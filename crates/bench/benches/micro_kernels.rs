@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks of the hot kernels: XOR, encode, decode,
+//! hash partitioning, pack/unpack-style copying, sort kernels, and
+//! combinatorial enumeration.
+//!
+//! ```sh
+//! cargo bench -p cts-bench --bench micro_kernels
+//! ```
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cts_core::combinatorics::Combinations;
+use cts_core::decode::Decoder;
+use cts_core::encode::Encoder;
+use cts_core::intermediate::MapOutputStore;
+use cts_core::packet::CodedPacket;
+use cts_core::placement::PlacementPlan;
+use cts_core::subset::NodeSet;
+use cts_core::xor::xor_into;
+use cts_mapreduce::workload::Workload;
+use cts_terasort::sort::{sort_records, SortKernel};
+use cts_terasort::teragen;
+use cts_terasort::workload::TeraSortWorkload;
+
+fn bench_xor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xor_into");
+    for size in [1usize << 10, 1 << 16, 1 << 20] {
+        let src = vec![0xA5u8; size];
+        let mut dst = vec![0x5Au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| xor_into(std::hint::black_box(&mut dst), std::hint::black_box(&src)));
+        });
+    }
+    group.finish();
+}
+
+/// Builds keep-rule stores for encode/decode benchmarks.
+fn stores_for(k: usize, r: usize, value_len: usize) -> Vec<MapOutputStore> {
+    let plan = PlacementPlan::new(k, r).unwrap();
+    (0..k)
+        .map(|node| {
+            let mut st = MapOutputStore::new();
+            for fid in plan.files_of_node(node) {
+                let f = plan.nodes_of_file(fid);
+                for t in 0..k {
+                    if plan.keeps_intermediate(node, f, t) {
+                        st.insert(t, f, Bytes::from(vec![(t * 7) as u8; value_len]));
+                    }
+                }
+            }
+            st
+        })
+        .collect()
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let (k, r) = (8usize, 3usize);
+    let value_len = 64 * 1024;
+    let stores = stores_for(k, r, value_len);
+    let enc = Encoder::new(k, r, 0).unwrap();
+    let groups: Vec<NodeSet> = enc
+        .groups()
+        .groups_of_node(0)
+        .map(|(_, m)| m)
+        .take(8)
+        .collect();
+
+    let mut group = c.benchmark_group("encode_group");
+    group.throughput(Throughput::Bytes((value_len * groups.len()) as u64));
+    group.bench_function(format!("k{k}_r{r}_64k"), |b| {
+        b.iter(|| {
+            for m in &groups {
+                std::hint::black_box(enc.encode_group(*m, &stores[0]).unwrap());
+            }
+        });
+    });
+    group.finish();
+
+    // Decode: node 1 decodes node 0's packets.
+    let packets: Vec<CodedPacket> = groups
+        .iter()
+        .filter(|m| m.contains(1))
+        .map(|m| enc.encode_group(*m, &stores[0]).unwrap())
+        .collect();
+    let dec = Decoder::new(k, r, 1).unwrap();
+    let mut group = c.benchmark_group("decode_packet");
+    group.throughput(Throughput::Bytes(
+        packets.iter().map(|p| p.payload.len() as u64 * r as u64).sum(),
+    ));
+    group.bench_function(format!("k{k}_r{r}_64k"), |b| {
+        b.iter(|| {
+            for p in &packets {
+                std::hint::black_box(dec.decode_packet(p, &stores[1]).unwrap());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_packet_wire(c: &mut Criterion) {
+    let (k, r) = (8usize, 3usize);
+    let stores = stores_for(k, r, 64 * 1024);
+    let enc = Encoder::new(k, r, 0).unwrap();
+    let pkt = enc.encode_all(&stores[0]).unwrap().remove(0);
+    let wire = pkt.to_bytes();
+    let mut group = c.benchmark_group("packet_wire");
+    group.throughput(Throughput::Bytes(wire.len() as u64));
+    group.bench_function("serialize", |b| {
+        b.iter(|| std::hint::black_box(pkt.to_bytes()));
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| std::hint::black_box(CodedPacket::from_bytes(&wire).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_map_hashing(c: &mut Criterion) {
+    let records = 50_000;
+    let input = teragen::generate(records, 11);
+    let workload = TeraSortWorkload::range(16);
+    let mut group = c.benchmark_group("map_hash_partition");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("k16", |b| {
+        b.iter(|| std::hint::black_box(workload.map_file(&input, 16)));
+    });
+    group.finish();
+}
+
+fn bench_sort_kernels(c: &mut Criterion) {
+    let records = 100_000;
+    let input = teragen::generate(records, 13);
+    let mut group = c.benchmark_group("reduce_sort");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("comparison_100k", |b| {
+        b.iter(|| std::hint::black_box(sort_records(&input, SortKernel::Comparison)));
+    });
+    group.bench_function("lsd_radix_100k", |b| {
+        b.iter(|| std::hint::black_box(sort_records(&input, SortKernel::LsdRadix)));
+    });
+    group.finish();
+}
+
+fn bench_codegen_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codegen_enumeration");
+    for (k, r) in [(16usize, 3usize), (16, 5), (20, 5)] {
+        group.bench_function(format!("k{k}_r{r}"), |b| {
+            b.iter(|| {
+                let count = Combinations::new(k, r + 1).count();
+                std::hint::black_box(count)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_xor,
+    bench_encode_decode,
+    bench_packet_wire,
+    bench_map_hashing,
+    bench_sort_kernels,
+    bench_codegen_enumeration
+);
+criterion_main!(benches);

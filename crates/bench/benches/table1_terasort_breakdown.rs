@@ -1,0 +1,47 @@
+//! **Table I** — performance of TeraSort sorting 12 GB with K = 16 nodes
+//! and 100 Mbps network speed.
+//!
+//! Paper row: Map 1.86, Pack 2.35, Shuffle 945.72, Unpack 0.85,
+//! Reduce 10.47, Total 961.25 (s); 98.4% of the time in the shuffle.
+//!
+//! ```sh
+//! cargo bench -p cts-bench --bench table1_terasort_breakdown
+//! ```
+
+use cts_bench::{reference, Experiment};
+
+fn main() {
+    let exp = Experiment::paper(16);
+    println!(
+        "TABLE I reproduction — TeraSort, 12 GB, K = 16, 100 Mbps\n\
+         (scaled run: {} records = {:.1} MB, projected ×{:.0})\n",
+        exp.records,
+        exp.input_bytes() as f64 / 1e6,
+        exp.scale()
+    );
+
+    let result = exp.run_uncoded();
+    println!(
+        "{}",
+        reference::compare(
+            "TeraSort stage breakdown (paper Table I vs this reproduction)",
+            &reference::table2_terasort(),
+            &result.breakdown
+        )
+    );
+
+    let shuffle_share = result.breakdown.shuffle_s / result.breakdown.total_s();
+    println!(
+        "shuffle share of total: {:.1}%  (paper: 98.4%)",
+        shuffle_share * 100.0
+    );
+    let map_ratio = result.breakdown.shuffle_s / result.breakdown.map_s;
+    println!("shuffle / map ratio:    {map_ratio:.0}×   (paper: 508.5×)");
+
+    assert!(shuffle_share > 0.95, "shuffle must dominate");
+    assert!(
+        (result.breakdown.total_s() - 961.25).abs() / 961.25 < 0.05,
+        "total within 5% of the paper"
+    );
+    println!("\nshape checks passed ✓");
+}

@@ -1,0 +1,515 @@
+//! Decoding of coded packets — paper §IV-E, Algorithm 2.
+//!
+//! On receipt of `E_{M,u}` from sender `u`, node `k` XORs out the segments
+//! it already knows from its own Map stage,
+//!
+//! ```text
+//! E_{M,u} ⊕ (⊕_{t ∈ M\{u,k}} I^t_{M\{t}, u})  =  I^k_{M\{k}, u}
+//! ```
+//!
+//! recovering the `u`-indexed segment of the intermediate value `I^k_{M\{k}}`
+//! it is missing (eq. (10)). Collecting one segment from each of the `r`
+//! senders in the group and merging them in ascending sender position yields
+//! the complete `I^k_{M\{k}}`.
+
+use std::collections::HashMap;
+
+use crate::error::{CodedError, Result};
+use crate::groups::MulticastGroups;
+use crate::intermediate::IntermediateSource;
+use crate::packet::CodedPacket;
+use crate::segment::{segment_slice, segment_span};
+use crate::subset::{NodeId, NodeSet};
+use crate::xor::xor_into;
+
+/// A segment of a needed intermediate value recovered from one packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodedSegment {
+    /// The file label `F = M\{k}` the segment belongs to.
+    pub file: NodeSet,
+    /// The sender the segment is indexed by (`u` in eq. (10)).
+    pub sender: NodeId,
+    /// Zero-based position of this segment within the reassembled value
+    /// (= position of `sender` within `F`).
+    pub position: usize,
+    /// The recovered bytes, already trimmed to the original length.
+    pub data: Vec<u8>,
+}
+
+/// Per-node decoder for the coded shuffle.
+#[derive(Clone, Debug)]
+pub struct Decoder {
+    groups: MulticastGroups,
+    node: NodeId,
+}
+
+impl Decoder {
+    /// Decoder for `node` in a `(K, r)` deployment.
+    ///
+    /// # Errors
+    /// `InvalidParameters` if `(k, r)` is invalid or `node >= k`.
+    pub fn new(k: usize, r: usize, node: NodeId) -> Result<Self> {
+        let groups = MulticastGroups::new(k, r)?;
+        if node >= k {
+            return Err(CodedError::InvalidParameters {
+                what: format!("node {node} out of range for K = {k}"),
+            });
+        }
+        Ok(Decoder { groups, node })
+    }
+
+    /// The node this decoder belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Recovers this node's segment from one received packet (eq. (10)).
+    ///
+    /// # Errors
+    /// * `PlanMismatch` if the packet's group does not include this node, or
+    ///   the group size disagrees with `r+1`, or this node is the sender;
+    /// * `MalformedPacket` if the packet lacks a segment length for this
+    ///   node or the payload is shorter than a known segment requires;
+    /// * `MissingIntermediate` if a cancelling value is locally absent.
+    pub fn decode_packet<S: IntermediateSource>(
+        &self,
+        packet: &CodedPacket,
+        source: &S,
+    ) -> Result<DecodedSegment> {
+        let m = packet.group;
+        if m.len() != self.groups.group_size() {
+            return Err(CodedError::PlanMismatch {
+                what: format!(
+                    "packet group {m} has {} members, expected {}",
+                    m.len(),
+                    self.groups.group_size()
+                ),
+            });
+        }
+        if !m.contains(self.node) || packet.sender == self.node {
+            return Err(CodedError::PlanMismatch {
+                what: format!(
+                    "packet for group {m} from {} not decodable at node {}",
+                    packet.sender, self.node
+                ),
+            });
+        }
+        let my_len = packet
+            .seg_len_for(self.node)
+            .ok_or_else(|| CodedError::MalformedPacket {
+                what: format!("no segment length for receiver {}", self.node),
+            })? as usize;
+        if my_len > packet.payload.len() {
+            return Err(CodedError::MalformedPacket {
+                what: format!(
+                    "declared segment length {my_len} exceeds payload {}",
+                    packet.payload.len()
+                ),
+            });
+        }
+
+        // Cancel the locally known segments: t ∈ M \ {u, k}.
+        let mut acc = packet.payload.clone();
+        for t in m.iter().filter(|&t| t != packet.sender && t != self.node) {
+            let file = m.without(t);
+            let data = source
+                .intermediate(t, file)
+                .ok_or(CodedError::MissingIntermediate { target: t, file })?;
+            let seg = segment_slice(data, file, packet.sender);
+            if seg.len() > acc.len() {
+                return Err(CodedError::MalformedPacket {
+                    what: format!(
+                        "payload {} bytes cannot contain known segment of {}",
+                        acc.len(),
+                        seg.len()
+                    ),
+                });
+            }
+            xor_into(&mut acc, seg);
+        }
+
+        let file = m.without(self.node);
+        acc.truncate(my_len);
+        let position = file
+            .position_of(packet.sender)
+            .expect("sender is in M\\{node} by construction");
+        Ok(DecodedSegment {
+            file,
+            sender: packet.sender,
+            position,
+            data: acc,
+        })
+    }
+
+    /// Group enumeration shared with the encoder.
+    pub fn groups(&self) -> &MulticastGroups {
+        &self.groups
+    }
+}
+
+/// Reassembles the `r` decoded segments of one intermediate value
+/// `I^k_{F}` (paper: "merge them back").
+#[derive(Clone, Debug)]
+pub struct SegmentAssembler {
+    file: NodeSet,
+    pieces: Vec<Option<Vec<u8>>>,
+    received: usize,
+}
+
+impl SegmentAssembler {
+    /// Assembler for the intermediate of file `F` (`|F| = r` pieces).
+    pub fn new(file: NodeSet) -> Self {
+        let r = file.len();
+        SegmentAssembler {
+            file,
+            pieces: vec![None; r],
+            received: 0,
+        }
+    }
+
+    /// The file being reassembled.
+    pub fn file(&self) -> NodeSet {
+        self.file
+    }
+
+    /// Adds one decoded segment.
+    ///
+    /// # Errors
+    /// `MalformedPacket` if the segment's file disagrees, the position is out
+    /// of range, or the slot is already filled with different data.
+    pub fn add(&mut self, seg: DecodedSegment) -> Result<()> {
+        if seg.file != self.file {
+            return Err(CodedError::MalformedPacket {
+                what: format!("segment for {} fed to assembler for {}", seg.file, self.file),
+            });
+        }
+        if seg.position >= self.pieces.len() {
+            return Err(CodedError::MalformedPacket {
+                what: format!("segment position {} out of range", seg.position),
+            });
+        }
+        match &self.pieces[seg.position] {
+            Some(existing) if *existing != seg.data => {
+                Err(CodedError::MalformedPacket {
+                    what: format!("conflicting duplicate segment at position {}", seg.position),
+                })
+            }
+            Some(_) => Ok(()), // benign duplicate
+            None => {
+                self.pieces[seg.position] = Some(seg.data);
+                self.received += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// True once all `r` segments are present.
+    pub fn is_complete(&self) -> bool {
+        self.received == self.pieces.len()
+    }
+
+    /// Concatenates the segments into the full intermediate value, verifying
+    /// that each piece has the length the deterministic split implies.
+    ///
+    /// # Errors
+    /// `MalformedPacket` if incomplete or if piece lengths are inconsistent
+    /// with the split rule of eq. (7).
+    pub fn assemble(self) -> Result<Vec<u8>> {
+        if !self.is_complete() {
+            return Err(CodedError::MalformedPacket {
+                what: format!(
+                    "assembling {} with only {}/{} segments",
+                    self.file,
+                    self.received,
+                    self.pieces.len()
+                ),
+            });
+        }
+        let parts = self.pieces.len();
+        let total: usize = self.pieces.iter().map(|p| p.as_ref().unwrap().len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for (i, piece) in self.pieces.into_iter().enumerate() {
+            let piece = piece.unwrap();
+            let expected = segment_span(total, parts, i).len;
+            if piece.len() != expected {
+                return Err(CodedError::MalformedPacket {
+                    what: format!(
+                        "segment {i} has {} bytes, split rule implies {expected}",
+                        piece.len()
+                    ),
+                });
+            }
+            out.extend_from_slice(&piece);
+        }
+        Ok(out)
+    }
+}
+
+/// Drives decoding across all groups of a node: feeds packets in any order,
+/// emits completed intermediate values `(file, bytes)` as they finish.
+///
+/// This is the receive-side state machine of the Multicast Shuffling stage:
+/// a node expects `r` packets per group for each of its `C(K-1, r)` groups
+/// and finishes with `C(K-1, r)` recovered intermediates — exactly the
+/// `{I^k_S : k ∉ S}` set of paper §IV-E.
+#[derive(Debug)]
+pub struct DecodePipeline {
+    decoder: Decoder,
+    assemblers: HashMap<u64, SegmentAssembler>,
+}
+
+impl DecodePipeline {
+    /// Pipeline for `node` in a `(K, r)` deployment.
+    pub fn new(k: usize, r: usize, node: NodeId) -> Result<Self> {
+        Ok(DecodePipeline {
+            decoder: Decoder::new(k, r, node)?,
+            assemblers: HashMap::new(),
+        })
+    }
+
+    /// Number of intermediates this node must recover in total.
+    pub fn expected_total(&self) -> u64 {
+        self.decoder.groups.groups_per_node()
+    }
+
+    /// Processes one received packet; returns the completed `(file, value)`
+    /// if this packet was the last segment of its group.
+    pub fn accept<S: IntermediateSource>(
+        &mut self,
+        packet: &CodedPacket,
+        source: &S,
+    ) -> Result<Option<(NodeSet, Vec<u8>)>> {
+        let seg = self.decoder.decode_packet(packet, source)?;
+        let key = seg.file.bits();
+        let assembler = self
+            .assemblers
+            .entry(key)
+            .or_insert_with(|| SegmentAssembler::new(seg.file));
+        assembler.add(seg)?;
+        if assembler.is_complete() {
+            let assembler = self.assemblers.remove(&key).unwrap();
+            let file = assembler.file();
+            Ok(Some((file, assembler.assemble()?)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Number of partially assembled intermediates still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.assemblers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::Encoder;
+    use crate::intermediate::MapOutputStore;
+    use crate::placement::PlacementPlan;
+    use bytes::Bytes;
+
+    fn fs(nodes: &[usize]) -> NodeSet {
+        nodes.iter().copied().collect()
+    }
+
+    /// Deterministic intermediate contents for (target, file).
+    fn value_for(t: NodeId, file: NodeSet, len_scale: usize) -> Vec<u8> {
+        let len = (t + 1) * len_scale + file.len();
+        (0..len)
+            .map(|i| (t * 89 + file.bits() as usize * 31 + i * 7) as u8)
+            .collect()
+    }
+
+    /// Builds the keep-rule store for every node of a (k, r) deployment.
+    fn stores(k: usize, r: usize, len_scale: usize) -> Vec<MapOutputStore> {
+        let plan = PlacementPlan::new(k, r).unwrap();
+        (0..k)
+            .map(|node| {
+                let mut store = MapOutputStore::new();
+                for file_id in plan.files_of_node(node) {
+                    let file = plan.nodes_of_file(file_id);
+                    for t in 0..k {
+                        if plan.keeps_intermediate(node, file, t) {
+                            store.insert(t, file, Bytes::from(value_for(t, file, len_scale)));
+                        }
+                    }
+                }
+                store
+            })
+            .collect()
+    }
+
+    /// Full multicast exchange: every node encodes for all its groups, every
+    /// other group member decodes, and the recovered values must equal the
+    /// originals.
+    fn roundtrip(k: usize, r: usize, len_scale: usize) {
+        let stores = stores(k, r, len_scale);
+        let mut pipelines: Vec<DecodePipeline> = (0..k)
+            .map(|n| DecodePipeline::new(k, r, n).unwrap())
+            .collect();
+        let mut recovered: Vec<Vec<(NodeSet, Vec<u8>)>> = vec![Vec::new(); k];
+
+        for sender in 0..k {
+            let enc = Encoder::new(k, r, sender).unwrap();
+            for pkt in enc.encode_all(&stores[sender]).unwrap() {
+                // Wire roundtrip as the transport would do.
+                let pkt = CodedPacket::from_bytes(&pkt.to_bytes()).unwrap();
+                for receiver in pkt.group.iter().filter(|&n| n != sender) {
+                    if let Some(done) = pipelines[receiver]
+                        .accept(&pkt, &stores[receiver])
+                        .unwrap()
+                    {
+                        recovered[receiver].push(done);
+                    }
+                }
+            }
+        }
+
+        let plan = PlacementPlan::new(k, r).unwrap();
+        for node in 0..k {
+            // Every node recovers exactly the intermediates of files it did
+            // not map: C(K-1, r) of them.
+            assert_eq!(
+                recovered[node].len() as u64,
+                pipelines[node].expected_total(),
+                "node {node} at (k={k}, r={r})"
+            );
+            assert_eq!(pipelines[node].in_flight(), 0);
+            for (file, data) in &recovered[node] {
+                assert!(!file.contains(node));
+                assert_eq!(file.len(), r);
+                assert_eq!(
+                    *data,
+                    value_for(node, *file, len_scale),
+                    "I^{node}_{file} (k={k}, r={r})"
+                );
+                // The file must exist in the placement.
+                plan.file_of_nodes(*file).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_paper_fig7_setting() {
+        roundtrip(3, 2, 4); // the Fig. 6/7 group {1,2,3}
+    }
+
+    #[test]
+    fn roundtrip_k4_r2_fig4_setting() {
+        roundtrip(4, 2, 10);
+    }
+
+    #[test]
+    fn roundtrip_various_k_r() {
+        for (k, r) in [(4, 1), (4, 3), (5, 2), (5, 4), (6, 3), (7, 2), (6, 5)] {
+            roundtrip(k, r, 7);
+        }
+    }
+
+    #[test]
+    fn roundtrip_tiny_values_with_padding() {
+        // len_scale 1 → values of 2..=k+1 bytes; splits produce zero-length
+        // tail segments, exercising the padding paths.
+        roundtrip(5, 3, 1);
+        roundtrip(6, 4, 1);
+    }
+
+    #[test]
+    fn decode_rejects_foreign_group() {
+        let stores = stores(4, 2, 3);
+        let dec = Decoder::new(4, 2, 3).unwrap();
+        let enc = Encoder::new(4, 2, 0).unwrap();
+        // Group {0,1,2} does not contain node 3.
+        let pkt = enc.encode_group(fs(&[0, 1, 2]), &stores[0]).unwrap();
+        let err = dec.decode_packet(&pkt, &stores[3]).unwrap_err();
+        assert!(matches!(err, CodedError::PlanMismatch { .. }));
+    }
+
+    #[test]
+    fn decode_rejects_own_packet() {
+        let stores = stores(3, 2, 3);
+        let enc = Encoder::new(3, 2, 0).unwrap();
+        let dec = Decoder::new(3, 2, 0).unwrap();
+        let pkt = enc.encode_group(fs(&[0, 1, 2]), &stores[0]).unwrap();
+        assert!(dec.decode_packet(&pkt, &stores[0]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_r() {
+        let stores = stores(4, 2, 3);
+        let enc = Encoder::new(4, 2, 0).unwrap();
+        let pkt = enc.encode_group(fs(&[0, 1, 2]), &stores[0]).unwrap();
+        // A decoder configured for r = 3 sees a group of the wrong size.
+        let dec = Decoder::new(4, 3, 1).unwrap();
+        let err = dec.decode_packet(&pkt, &stores[1]).unwrap_err();
+        assert!(matches!(err, CodedError::PlanMismatch { .. }));
+    }
+
+    #[test]
+    fn assembler_rejects_conflicting_duplicate() {
+        let file = fs(&[1, 2]);
+        let mut asm = SegmentAssembler::new(file);
+        asm.add(DecodedSegment {
+            file,
+            sender: 1,
+            position: 0,
+            data: vec![1, 2],
+        })
+        .unwrap();
+        // Same position, different bytes.
+        let err = asm
+            .add(DecodedSegment {
+                file,
+                sender: 1,
+                position: 0,
+                data: vec![9, 9],
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("conflicting"));
+    }
+
+    #[test]
+    fn assembler_accepts_benign_duplicate() {
+        let file = fs(&[1, 2]);
+        let mut asm = SegmentAssembler::new(file);
+        let seg = DecodedSegment {
+            file,
+            sender: 1,
+            position: 0,
+            data: vec![1, 2],
+        };
+        asm.add(seg.clone()).unwrap();
+        asm.add(seg).unwrap();
+        assert!(!asm.is_complete());
+    }
+
+    #[test]
+    fn assembler_incomplete_fails() {
+        let asm = SegmentAssembler::new(fs(&[1, 2]));
+        assert!(asm.assemble().is_err());
+    }
+
+    #[test]
+    fn assembler_validates_split_rule() {
+        let file = fs(&[1, 2]);
+        let mut asm = SegmentAssembler::new(file);
+        // Position 0 must be the longer piece; give it the shorter one.
+        asm.add(DecodedSegment {
+            file,
+            sender: 1,
+            position: 0,
+            data: vec![1],
+        })
+        .unwrap();
+        asm.add(DecodedSegment {
+            file,
+            sender: 2,
+            position: 1,
+            data: vec![2, 3],
+        })
+        .unwrap();
+        let err = asm.assemble().unwrap_err();
+        assert!(err.to_string().contains("split rule"));
+    }
+}

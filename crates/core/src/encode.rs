@@ -1,0 +1,253 @@
+//! Encoding to create coded packets — paper §IV-C, Algorithm 1.
+//!
+//! Within each multicast group `M` (`|M| = r+1`) containing node `k`, the
+//! encoder builds the packet
+//!
+//! ```text
+//! E_{M,k} = ⊕_{t ∈ M\{k}}  I^t_{M\{t}, k}
+//! ```
+//!
+//! where `I^t_{M\{t}}` is split into `r` segments indexed by the members of
+//! `M\{t}` (eq. (7)) and the XOR runs over the segments *addressed to `k`*,
+//! zero-padded to the longest (footnote 3). Every operand is locally known:
+//! `k ∈ M\{t}` means node `k` mapped file `F_{M\{t}}`, and `t ∉ M\{t}` means
+//! the keep rule retained `I^t_{M\{t}}`.
+
+use crate::error::{CodedError, Result};
+use crate::groups::MulticastGroups;
+use crate::intermediate::IntermediateSource;
+use crate::packet::CodedPacket;
+use crate::segment::{segment_for_node, segment_slice};
+use crate::subset::{NodeId, NodeSet};
+use crate::xor::xor_into;
+
+/// Per-node encoder for the coded shuffle.
+///
+/// ```
+/// use bytes::Bytes;
+/// use cts_core::encode::Encoder;
+/// use cts_core::intermediate::MapOutputStore;
+/// use cts_core::subset::NodeSet;
+///
+/// // K = 3, r = 2: the single group is {0,1,2}; node 0 encodes
+/// // I^1_{0,2} ⊕ I^2_{0,1} (segments addressed to node 0).
+/// let mut store = MapOutputStore::new();
+/// store.insert(1, NodeSet::from_iter([0usize, 2]), Bytes::from_static(b"ab"));
+/// store.insert(2, NodeSet::from_iter([0usize, 1]), Bytes::from_static(b"cd"));
+/// let enc = Encoder::new(3, 2, 0).unwrap();
+/// let pkt = enc
+///     .encode_group(NodeSet::from_iter([0usize, 1, 2]), &store)
+///     .unwrap();
+/// // Node 0 is at position 0 in both {0,2} and {0,1}: segments "a" and "c".
+/// assert_eq!(pkt.payload, vec![b'a' ^ b'c']);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Encoder {
+    groups: MulticastGroups,
+    node: NodeId,
+}
+
+impl Encoder {
+    /// Encoder for `node` in a `(K, r)` deployment.
+    ///
+    /// # Errors
+    /// `InvalidParameters` if `(k, r)` is invalid or `node >= k`.
+    pub fn new(k: usize, r: usize, node: NodeId) -> Result<Self> {
+        let groups = MulticastGroups::new(k, r)?;
+        if node >= k {
+            return Err(CodedError::InvalidParameters {
+                what: format!("node {node} out of range for K = {k}"),
+            });
+        }
+        Ok(Encoder { groups, node })
+    }
+
+    /// The node this encoder belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The group enumeration shared with the decoder.
+    pub fn groups(&self) -> &MulticastGroups {
+        &self.groups
+    }
+
+    /// Builds `E_{M,node}` for multicast group `m` (eq. (8)).
+    ///
+    /// # Errors
+    /// * `InvalidParameters` if `node ∉ m` or `|m| != r+1`;
+    /// * `MissingIntermediate` if a required `I^t_{M\{t}}` is absent from
+    ///   `source` (keep-rule violation upstream).
+    pub fn encode_group<S: IntermediateSource>(
+        &self,
+        m: NodeSet,
+        source: &S,
+    ) -> Result<CodedPacket> {
+        self.groups.id_of(m)?; // validates size and universe
+        if !m.contains(self.node) {
+            return Err(CodedError::InvalidParameters {
+                what: format!("node {} not in multicast group {m}", self.node),
+            });
+        }
+        let mut seg_lens = Vec::with_capacity(self.groups.r());
+        let mut payload: Vec<u8> = Vec::new();
+        for t in m.iter().filter(|&t| t != self.node) {
+            let file = m.without(t);
+            let data = source
+                .intermediate(t, file)
+                .ok_or(CodedError::MissingIntermediate { target: t, file })?;
+            let span = segment_for_node(data.len(), file, self.node);
+            let seg = segment_slice(data, file, self.node);
+            debug_assert_eq!(seg.len(), span.len);
+            if seg.len() > payload.len() {
+                payload.resize(seg.len(), 0);
+            }
+            xor_into(&mut payload, seg);
+            seg_lens.push((t, span.len as u32));
+        }
+        Ok(CodedPacket {
+            group: m,
+            sender: self.node,
+            seg_lens,
+            payload,
+        })
+    }
+
+    /// Encodes the packets for *all* groups containing this node, in
+    /// ascending group order — the node's complete send list for the
+    /// Multicast Shuffling stage (`C(K-1, r)` packets, paper §IV-C).
+    pub fn encode_all<S: IntermediateSource>(&self, source: &S) -> Result<Vec<CodedPacket>> {
+        let mut out = Vec::with_capacity(self.groups.groups_per_node() as usize);
+        for (_, m) in self.groups.groups_of_node(self.node) {
+            out.push(self.encode_group(m, source)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intermediate::MapOutputStore;
+    use bytes::Bytes;
+
+    fn fs(nodes: &[usize]) -> NodeSet {
+        nodes.iter().copied().collect()
+    }
+
+    /// Store with I^t_F = `pattern(t, F)` for all (t, F) a node would keep.
+    fn full_store(k: usize, r: usize, node: NodeId, len_of: impl Fn(NodeId, NodeSet) -> usize) -> MapOutputStore {
+        use crate::placement::PlacementPlan;
+        let plan = PlacementPlan::new(k, r).unwrap();
+        let mut store = MapOutputStore::new();
+        for file_id in plan.files_of_node(node) {
+            let file = plan.nodes_of_file(file_id);
+            for t in 0..k {
+                if plan.keeps_intermediate(node, file, t) {
+                    let len = len_of(t, file);
+                    let data: Vec<u8> = (0..len).map(|i| (t * 37 + i * 11 + 3) as u8).collect();
+                    store.insert(t, file, Bytes::from(data));
+                }
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn paper_fig6_structure() {
+        // Fig. 6: group M = {1,2,3} one-based = {0,1,2}, r = 2. Node 0's
+        // packet XORs the node-0 segments of I^1_{0,2} and I^2_{0,1}.
+        let mut store = MapOutputStore::new();
+        store.insert(1, fs(&[0, 2]), Bytes::from_static(&[10, 20]));
+        store.insert(2, fs(&[0, 1]), Bytes::from_static(&[30, 40]));
+        let enc = Encoder::new(3, 2, 0).unwrap();
+        let pkt = enc.encode_group(fs(&[0, 1, 2]), &store).unwrap();
+        // Node 0 is position 0 in both files; each 2-byte value splits 1+1.
+        assert_eq!(pkt.payload, vec![10 ^ 30]);
+        assert_eq!(pkt.seg_lens, vec![(1, 1), (2, 1)]);
+        assert_eq!(pkt.sender, 0);
+    }
+
+    #[test]
+    fn paper_fig5_example_single_kv() {
+        // §IV-C worked numbers: Node 1 multicasts [30 ⊕ 51] built from
+        // I^2_{1,3} = [30] and I^3_{1,2} = [51] (one-based). Zero-based:
+        // node 0, I^1_{0,2} = [30], I^2_{0,1} = [51]; with r = 2 a 1-byte
+        // value splits into segments of 1 and 0 bytes; node 0 holds
+        // position 0 → the 1-byte segment of each.
+        let mut store = MapOutputStore::new();
+        store.insert(1, fs(&[0, 2]), Bytes::from_static(&[30]));
+        store.insert(2, fs(&[0, 1]), Bytes::from_static(&[51]));
+        let enc = Encoder::new(3, 2, 0).unwrap();
+        let pkt = enc.encode_group(fs(&[0, 1, 2]), &store).unwrap();
+        assert_eq!(pkt.payload, vec![30 ^ 51]);
+    }
+
+    #[test]
+    fn missing_intermediate_is_reported() {
+        let store = MapOutputStore::new();
+        let enc = Encoder::new(3, 2, 0).unwrap();
+        let err = enc.encode_group(fs(&[0, 1, 2]), &store).unwrap_err();
+        assert!(matches!(err, CodedError::MissingIntermediate { .. }));
+    }
+
+    #[test]
+    fn rejects_group_without_self() {
+        let store = MapOutputStore::new();
+        let enc = Encoder::new(4, 2, 3).unwrap();
+        let err = enc.encode_group(fs(&[0, 1, 2]), &store).unwrap_err();
+        assert!(matches!(err, CodedError::InvalidParameters { .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_group_size() {
+        let store = MapOutputStore::new();
+        let enc = Encoder::new(4, 2, 0).unwrap();
+        assert!(enc.encode_group(fs(&[0, 1]), &store).is_err());
+    }
+
+    #[test]
+    fn payload_padded_to_longest_segment() {
+        // Unequal intermediate sizes → zero-padded XOR (footnote 3).
+        let mut store = MapOutputStore::new();
+        store.insert(1, fs(&[0, 2]), Bytes::from(vec![0xAA; 10])); // segs 5/5
+        store.insert(2, fs(&[0, 1]), Bytes::from(vec![0xBB; 4])); // segs 2/2
+        let enc = Encoder::new(3, 2, 0).unwrap();
+        let pkt = enc.encode_group(fs(&[0, 1, 2]), &store).unwrap();
+        assert_eq!(pkt.payload.len(), 5);
+        assert_eq!(&pkt.payload[..2], &[0xAA ^ 0xBB, 0xAA ^ 0xBB]);
+        assert_eq!(&pkt.payload[2..], &[0xAA, 0xAA, 0xAA]);
+        assert_eq!(pkt.seg_len_for(1), Some(5));
+        assert_eq!(pkt.seg_len_for(2), Some(2));
+    }
+
+    #[test]
+    fn encode_all_covers_every_group_of_node() {
+        let k = 6;
+        let r = 3;
+        let node = 2;
+        let store = full_store(k, r, node, |t, f| (t + 1) * 3 + f.len());
+        let enc = Encoder::new(k, r, node).unwrap();
+        let packets = enc.encode_all(&store).unwrap();
+        assert_eq!(packets.len() as u64, enc.groups().groups_per_node());
+        for p in &packets {
+            assert!(p.group.contains(node));
+            assert_eq!(p.sender, node);
+            assert_eq!(p.seg_lens.len(), r);
+        }
+        // Ascending group order.
+        for w in packets.windows(2) {
+            assert!(w[0].group < w[1].group);
+        }
+    }
+
+    #[test]
+    fn empty_intermediates_give_empty_packets() {
+        let store = full_store(4, 2, 1, |_, _| 0);
+        let enc = Encoder::new(4, 2, 1).unwrap();
+        for pkt in enc.encode_all(&store).unwrap() {
+            assert!(pkt.payload.is_empty());
+            assert!(pkt.seg_lens.iter().all(|(_, l)| *l == 0));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type shared across the coded-shuffle core.
+
+use crate::subset::{NodeId, NodeSet};
+
+/// Errors produced by the coded-shuffle core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodedError {
+    /// A constructor received parameters outside its domain (e.g. `r > K`).
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        what: String,
+    },
+    /// An encode/decode step required an intermediate value `I^t_F` that the
+    /// local store does not hold — the placement, the keep rule, and the
+    /// request disagree.
+    MissingIntermediate {
+        /// The reduce target `t` of the missing intermediate.
+        target: NodeId,
+        /// The file label `F` of the missing intermediate.
+        file: NodeSet,
+    },
+    /// A coded packet failed structural validation (truncated buffer, wrong
+    /// lengths, unknown sender, …).
+    MalformedPacket {
+        /// What was wrong with the packet.
+        what: String,
+    },
+    /// A packet arrived for a `(K, r)` configuration other than the local
+    /// plan's.
+    PlanMismatch {
+        /// Description of the disagreement.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for CodedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodedError::InvalidParameters { what } => write!(f, "invalid parameters: {what}"),
+            CodedError::MissingIntermediate { target, file } => {
+                write!(f, "missing intermediate I^{target}_{file}")
+            }
+            CodedError::MalformedPacket { what } => write!(f, "malformed coded packet: {what}"),
+            CodedError::PlanMismatch { what } => write!(f, "plan mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodedError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, CodedError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CodedError::MissingIntermediate {
+            target: 2,
+            file: NodeSet::from_iter([0usize, 1]),
+        };
+        assert_eq!(e.to_string(), "missing intermediate I^2_{0,1}");
+        let e = CodedError::InvalidParameters {
+            what: "r must be in 1..=4, got 9".into(),
+        };
+        assert!(e.to_string().contains("r must be"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Coded packet structure and wire format.
+//!
+//! A [`CodedPacket`] is the unit of multicast in the coded shuffle: the XOR
+//! of `r` zero-padded segments (paper eq. (8)) plus the header metadata the
+//! receivers need to trim padding and attribute the recovered segment. The
+//! wire format is a compact little-endian layout with full structural
+//! validation on parse, so a corrupted or truncated packet is reported as a
+//! [`CodedError::MalformedPacket`] instead of garbage data.
+
+use crate::error::{CodedError, Result};
+use crate::subset::{NodeId, NodeSet};
+
+/// Format version written into every serialized packet.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Magic bytes prefixing every serialized packet (`"CT"`).
+pub const WIRE_MAGIC: [u8; 2] = *b"CT";
+
+/// One coded multicast packet `E_{M,k}` (paper eq. (8)).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodedPacket {
+    /// The multicast group `M` this packet belongs to.
+    pub group: NodeSet,
+    /// The sender `k ∈ M`.
+    pub sender: NodeId,
+    /// For each other member `t ∈ M\{k}` (ascending), the *original* length
+    /// of the segment `I^t_{M\{t},k}` folded into the payload. Receiver `t`
+    /// reads its own entry to strip zero padding from the recovered segment.
+    pub seg_lens: Vec<(NodeId, u32)>,
+    /// XOR of the `r` zero-padded segments; length = max original length.
+    pub payload: Vec<u8>,
+}
+
+impl CodedPacket {
+    /// Total serialized size in bytes.
+    pub fn wire_len(&self) -> usize {
+        2 + 1 + 2 + 8 + 2 + self.seg_lens.len() * 6 + 4 + self.payload.len()
+    }
+
+    /// The original segment length recorded for receiver `t`, if present.
+    pub fn seg_len_for(&self, t: NodeId) -> Option<u32> {
+        self.seg_lens
+            .iter()
+            .find(|(node, _)| *node == t)
+            .map(|(_, len)| *len)
+    }
+
+    /// Serializes to the wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.push(WIRE_VERSION);
+        out.extend_from_slice(&(self.sender as u16).to_le_bytes());
+        out.extend_from_slice(&self.group.bits().to_le_bytes());
+        out.extend_from_slice(&(self.seg_lens.len() as u16).to_le_bytes());
+        for (t, len) in &self.seg_lens {
+            out.extend_from_slice(&(*t as u16).to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a packet from the wire format, validating structure:
+    /// magic/version, sender membership, header/segment consistency, and
+    /// that the payload length equals the longest recorded segment.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let mut cursor = Cursor::new(buf);
+        let magic = cursor.take(2)?;
+        if magic != WIRE_MAGIC {
+            return Err(malformed("bad magic"));
+        }
+        let version = cursor.u8()?;
+        if version != WIRE_VERSION {
+            return Err(malformed(format!("unsupported version {version}")));
+        }
+        let sender = cursor.u16()? as NodeId;
+        let group = NodeSet::from_bits(cursor.u64()?);
+        if !group.contains(sender) {
+            return Err(malformed(format!("sender {sender} not in group {group}")));
+        }
+        let nseg = cursor.u16()? as usize;
+        if nseg != group.len().saturating_sub(1) {
+            return Err(malformed(format!(
+                "{nseg} segment lengths for group of {} members",
+                group.len()
+            )));
+        }
+        let mut seg_lens = Vec::with_capacity(nseg);
+        let mut prev: Option<NodeId> = None;
+        for _ in 0..nseg {
+            let t = cursor.u16()? as NodeId;
+            let len = cursor.u32()?;
+            if !group.contains(t) || t == sender {
+                return Err(malformed(format!("segment target {t} invalid for {group}")));
+            }
+            if let Some(p) = prev {
+                if t <= p {
+                    return Err(malformed("segment targets not strictly ascending"));
+                }
+            }
+            prev = Some(t);
+            seg_lens.push((t, len));
+        }
+        let payload_len = cursor.u32()? as usize;
+        let payload = cursor.take(payload_len)?.to_vec();
+        if cursor.remaining() != 0 {
+            return Err(malformed(format!("{} trailing bytes", cursor.remaining())));
+        }
+        // Payload must be padded to exactly the longest segment.
+        let max_seg = seg_lens.iter().map(|(_, l)| *l).max().unwrap_or(0) as usize;
+        if payload.len() != max_seg {
+            return Err(malformed(format!(
+                "payload {} bytes but longest segment is {}",
+                payload.len(),
+                max_seg
+            )));
+        }
+        Ok(CodedPacket {
+            group,
+            sender,
+            seg_lens,
+            payload,
+        })
+    }
+}
+
+fn malformed(what: impl Into<String>) -> CodedError {
+    CodedError::MalformedPacket { what: what.into() }
+}
+
+/// Minimal checked little-endian reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(malformed(format!(
+                "truncated: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CodedPacket {
+        CodedPacket {
+            group: NodeSet::from_iter([0usize, 1, 2]),
+            sender: 0,
+            seg_lens: vec![(1, 3), (2, 5)],
+            payload: vec![0xAA, 0xBB, 0xCC, 0xDD, 0xEE],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let p = sample();
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), p.wire_len());
+        let q = CodedPacket::from_bytes(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let p = CodedPacket {
+            group: NodeSet::from_iter([3usize, 7]),
+            sender: 7,
+            seg_lens: vec![(3, 0)],
+            payload: vec![],
+        };
+        let q = CodedPacket::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn seg_len_for_lookup() {
+        let p = sample();
+        assert_eq!(p.seg_len_for(1), Some(3));
+        assert_eq!(p.seg_len_for(2), Some(5));
+        assert_eq!(p.seg_len_for(0), None);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            CodedPacket::from_bytes(&bytes),
+            Err(CodedError::MalformedPacket { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = sample().to_bytes();
+        bytes[2] = 99;
+        let err = CodedPacket::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("version"));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                CodedPacket::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        let err = CodedPacket::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_sender_outside_group() {
+        let mut p = sample();
+        p.sender = 5;
+        let err = CodedPacket::from_bytes(&p.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("sender"));
+    }
+
+    #[test]
+    fn rejects_wrong_payload_length() {
+        let mut p = sample();
+        p.payload.push(0); // longer than longest segment
+        let err = CodedPacket::from_bytes(&p.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("payload"));
+    }
+
+    #[test]
+    fn rejects_unsorted_targets() {
+        let mut p = sample();
+        p.seg_lens.swap(0, 1);
+        let err = CodedPacket::from_bytes(&p.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("ascending"));
+    }
+
+    #[test]
+    fn rejects_segment_count_mismatch() {
+        let mut p = sample();
+        p.seg_lens.pop();
+        p.payload.truncate(3);
+        let err = CodedPacket::from_bytes(&p.to_bytes()).unwrap_err();
+        assert!(err.to_string().contains("segment lengths"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Deterministic segment splitting (paper eq. (7)).
+//!
+//! Before encoding, every needed intermediate value `I^t_F` is "evenly and
+//! arbitrarily split into r segments `{I^t_{F,k} : k ∈ F}`". *Arbitrarily*
+//! in the paper means the split is a design choice — but encoder and decoder
+//! must agree on it exactly. Our convention:
+//!
+//! * the byte buffer is cut into `r` contiguous chunks;
+//! * the first `len % r` chunks have `⌈len/r⌉` bytes, the rest `⌊len/r⌋`;
+//! * chunk `p` belongs to the node at ascending position `p` within `F`.
+//!
+//! Splitting happens on *serialized* intermediates, so chunk boundaries may
+//! fall inside a KV pair — harmless, because segments are re-concatenated
+//! before deserialization (paper §IV-E "merge them back").
+
+use crate::subset::{NodeId, NodeSet};
+
+/// The byte range `[offset, offset + len)` of one segment within its parent
+/// intermediate value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentSpan {
+    /// Byte offset of the segment in the serialized intermediate.
+    pub offset: usize,
+    /// Byte length of the segment.
+    pub len: usize,
+}
+
+/// Computes the span of the segment at `position` (0-based) when a buffer of
+/// `total_len` bytes is split into `parts` segments.
+///
+/// # Panics
+/// Panics if `parts == 0` or `position >= parts`.
+///
+/// ```
+/// use cts_core::segment::segment_span;
+/// // 10 bytes into 3 parts: 4 + 3 + 3.
+/// assert_eq!(segment_span(10, 3, 0).len, 4);
+/// assert_eq!(segment_span(10, 3, 1).len, 3);
+/// assert_eq!(segment_span(10, 3, 2).offset, 7);
+/// ```
+pub fn segment_span(total_len: usize, parts: usize, position: usize) -> SegmentSpan {
+    assert!(parts > 0, "cannot split into zero parts");
+    assert!(position < parts, "segment position out of range");
+    let base = total_len / parts;
+    let extra = total_len % parts;
+    if position < extra {
+        SegmentSpan {
+            offset: position * (base + 1),
+            len: base + 1,
+        }
+    } else {
+        SegmentSpan {
+            offset: extra * (base + 1) + (position - extra) * base,
+            len: base,
+        }
+    }
+}
+
+/// The span of the segment of `I^t_F` addressed to `node`, where `node ∈ F`
+/// and `F` has `r` members: chunk index = `F.position_of(node)`.
+///
+/// # Panics
+/// Panics if `node ∉ F`.
+pub fn segment_for_node(total_len: usize, file: NodeSet, node: NodeId) -> SegmentSpan {
+    let position = file
+        .position_of(node)
+        .unwrap_or_else(|| panic!("node {node} not in file set {file}"));
+    segment_span(total_len, file.len(), position)
+}
+
+/// Slices the segment of `data` addressed to `node` within file set `file`.
+pub fn segment_slice(data: &[u8], file: NodeSet, node: NodeId) -> &[u8] {
+    let span = segment_for_node(data.len(), file, node);
+    &data[span.offset..span.offset + span.len]
+}
+
+/// The maximum segment length when `total_len` bytes are split into `parts`
+/// (`⌈total_len / parts⌉`) — the zero-padded packet payload contribution.
+#[inline]
+pub fn max_segment_len(total_len: usize, parts: usize) -> usize {
+    total_len.div_ceil(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_tile_the_buffer_exactly() {
+        for total in [0usize, 1, 2, 5, 9, 10, 11, 100, 997] {
+            for parts in 1..=8usize {
+                let mut cursor = 0usize;
+                for p in 0..parts {
+                    let s = segment_span(total, parts, p);
+                    assert_eq!(s.offset, cursor, "total {total} parts {parts} p {p}");
+                    cursor += s.len;
+                }
+                assert_eq!(cursor, total);
+            }
+        }
+    }
+
+    #[test]
+    fn spans_differ_by_at_most_one() {
+        for total in [7usize, 23, 100] {
+            for parts in 1..=6usize {
+                let lens: Vec<usize> =
+                    (0..parts).map(|p| segment_span(total, parts, p).len).collect();
+                let mn = *lens.iter().min().unwrap();
+                let mx = *lens.iter().max().unwrap();
+                assert!(mx - mn <= 1);
+                assert_eq!(mx, max_segment_len(total, parts));
+            }
+        }
+    }
+
+    #[test]
+    fn longer_chunks_come_first() {
+        // 11 into 4: 3,3,3,2.
+        let lens: Vec<usize> = (0..4).map(|p| segment_span(11, 4, p).len).collect();
+        assert_eq!(lens, vec![3, 3, 3, 2]);
+    }
+
+    #[test]
+    fn segment_for_node_uses_ascending_position() {
+        let file = NodeSet::from_iter([2usize, 5, 7]);
+        let total = 10usize; // chunks 4,3,3
+        assert_eq!(segment_for_node(total, file, 2), SegmentSpan { offset: 0, len: 4 });
+        assert_eq!(segment_for_node(total, file, 5), SegmentSpan { offset: 4, len: 3 });
+        assert_eq!(segment_for_node(total, file, 7), SegmentSpan { offset: 7, len: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "not in file set")]
+    fn segment_for_node_rejects_non_member() {
+        segment_for_node(10, NodeSet::from_iter([1usize, 2]), 0);
+    }
+
+    #[test]
+    fn segment_slice_matches_manual_split() {
+        let data: Vec<u8> = (0..23u8).collect();
+        let file = NodeSet::from_iter([0usize, 3, 9]);
+        let a = segment_slice(&data, file, 0);
+        let b = segment_slice(&data, file, 3);
+        let c = segment_slice(&data, file, 9);
+        let mut rejoined = a.to_vec();
+        rejoined.extend_from_slice(b);
+        rejoined.extend_from_slice(c);
+        assert_eq!(rejoined, data);
+    }
+
+    #[test]
+    fn empty_intermediate_yields_empty_segments() {
+        let file = NodeSet::from_iter([0usize, 1, 2]);
+        for n in [0usize, 1, 2] {
+            assert_eq!(segment_for_node(0, file, n).len, 0);
+        }
+        assert_eq!(max_segment_len(0, 3), 0);
+    }
+}

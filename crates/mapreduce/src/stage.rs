@@ -1,0 +1,185 @@
+//! Stage names, wall-clock timing, and engine configuration.
+
+use std::time::{Duration, Instant};
+
+use cts_net::cluster::ClusterConfig;
+
+/// Canonical stage labels (also used as trace stage names).
+pub mod stages {
+    /// Multicast-group initialization (coded only).
+    pub const CODEGEN: &str = "CodeGen";
+    /// Hashing input files into key partitions.
+    pub const MAP: &str = "Map";
+    /// Serialization: Pack (uncoded) / Encode incl. XOR (coded).
+    pub const PACK_ENCODE: &str = "PackEncode";
+    /// The data shuffle — the only stage whose trace events the network
+    /// model charges.
+    pub const SHUFFLE: &str = "Shuffle";
+    /// Deserialization: Unpack (uncoded) / Decode incl. XOR (coded).
+    pub const UNPACK_DECODE: &str = "UnpackDecode";
+    /// Local per-partition reduction.
+    pub const REDUCE: &str = "Reduce";
+}
+
+/// Measured wall-clock stage durations for one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeWall {
+    /// CodeGen duration.
+    pub codegen: Duration,
+    /// Map duration.
+    pub map: Duration,
+    /// Pack/Encode duration.
+    pub pack_encode: Duration,
+    /// Shuffle duration (includes waiting for peers — synchronous stages).
+    pub shuffle: Duration,
+    /// Unpack/Decode duration.
+    pub unpack_decode: Duration,
+    /// Reduce duration.
+    pub reduce: Duration,
+}
+
+impl NodeWall {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.codegen + self.map + self.pack_encode + self.shuffle + self.unpack_decode + self.reduce
+    }
+}
+
+/// Cluster-wide wall times: the per-stage maximum over nodes (stages are
+/// barrier-synchronized, so the slowest node defines the stage).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WallTimes {
+    /// Slowest node per stage.
+    pub max: NodeWall,
+}
+
+impl WallTimes {
+    /// Aggregates per-node measurements.
+    pub fn aggregate(nodes: &[NodeWall]) -> Self {
+        let mut max = NodeWall::default();
+        for n in nodes {
+            max.codegen = max.codegen.max(n.codegen);
+            max.map = max.map.max(n.map);
+            max.pack_encode = max.pack_encode.max(n.pack_encode);
+            max.shuffle = max.shuffle.max(n.shuffle);
+            max.unpack_decode = max.unpack_decode.max(n.unpack_decode);
+            max.reduce = max.reduce.max(n.reduce);
+        }
+        WallTimes { max }
+    }
+}
+
+/// A simple scoped stopwatch.
+pub struct StageTimer {
+    started: Instant,
+}
+
+impl StageTimer {
+    /// Starts timing.
+    pub fn start() -> Self {
+        StageTimer {
+            started: Instant::now(),
+        }
+    }
+
+    /// Stops and returns the elapsed duration.
+    pub fn stop(self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// Parameters shared by the engines.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker count `K`.
+    pub k: usize,
+    /// Redundancy `r` (ignored by the uncoded engine).
+    pub r: usize,
+    /// Cluster fabric configuration.
+    pub cluster: ClusterConfig,
+    /// Insert a global barrier after every multicast group / sender turn so
+    /// *wall-clock* execution is strictly serial like the paper's. The
+    /// virtual-time model replays the trace serially regardless, so this
+    /// only matters for rate-limited real-time runs.
+    pub strict_serial_shuffle: bool,
+    /// Decode each coded packet as it arrives instead of in a separate
+    /// stage afterwards — a first step toward the paper's §VI
+    /// *asynchronous execution* direction: XOR cancellation overlaps the
+    /// waits of the multicast shuffle. Outputs are identical; the decode
+    /// work simply lands inside the Shuffle wall-clock window (stats and
+    /// traced bytes are unchanged, so the paper-scale model is
+    /// unaffected).
+    pub pipelined_decode: bool,
+}
+
+impl EngineConfig {
+    /// Local in-memory cluster, redundancy `r`.
+    pub fn local(k: usize, r: usize) -> Self {
+        EngineConfig {
+            k,
+            r,
+            cluster: ClusterConfig::local(k),
+            strict_serial_shuffle: false,
+            pipelined_decode: false,
+        }
+    }
+
+    /// Loopback-TCP cluster, redundancy `r`.
+    pub fn tcp(k: usize, r: usize) -> Self {
+        EngineConfig {
+            k,
+            r,
+            cluster: ClusterConfig::tcp(k),
+            strict_serial_shuffle: false,
+            pipelined_decode: false,
+        }
+    }
+
+    /// Enables pipelined (asynchronous) decode.
+    pub fn with_pipelined_decode(mut self) -> Self {
+        self.pipelined_decode = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_aggregate_takes_maxima() {
+        let a = NodeWall {
+            map: Duration::from_millis(10),
+            reduce: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let b = NodeWall {
+            map: Duration::from_millis(3),
+            reduce: Duration::from_millis(9),
+            ..Default::default()
+        };
+        let w = WallTimes::aggregate(&[a, b]);
+        assert_eq!(w.max.map, Duration::from_millis(10));
+        assert_eq!(w.max.reduce, Duration::from_millis(9));
+    }
+
+    #[test]
+    fn node_wall_total_sums() {
+        let n = NodeWall {
+            codegen: Duration::from_millis(1),
+            map: Duration::from_millis(2),
+            pack_encode: Duration::from_millis(3),
+            shuffle: Duration::from_millis(4),
+            unpack_decode: Duration::from_millis(5),
+            reduce: Duration::from_millis(6),
+        };
+        assert_eq!(n.total(), Duration::from_millis(21));
+    }
+
+    #[test]
+    fn timer_measures_something() {
+        let t = StageTimer::start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(t.stop() >= Duration::from_millis(4));
+    }
+}

@@ -1,0 +1,178 @@
+//! The workload abstraction: what varies between TeraSort, WordCount,
+//! Grep, … (the paper's §VI "beyond sorting" direction).
+//!
+//! A [`Workload`] is byte-oriented, mirroring the paper's implementation
+//! where intermediate values are serialized buffers and the shuffle layer
+//! never looks inside them:
+//!
+//! * [`Workload::map_file`] hashes one input file into `K` per-partition
+//!   serialized intermediates (the paper's `Hash(F)` producing
+//!   `{I¹_F, …, I^K_F}`);
+//! * [`Workload::reduce`] turns the *concatenation* of a partition's
+//!   intermediates into final output (the paper's `Sort`).
+//!
+//! Two contracts make a workload coding-compatible:
+//! 1. intermediates must be concatenation-mergeable — `reduce` sees the
+//!    pieces in an arbitrary (but deterministic) file order;
+//! 2. `reduce` must be insensitive to that order (sort, aggregate, …) so
+//!    uncoded and coded executions produce identical output.
+
+use bytes::Bytes;
+
+/// How raw input bytes split into files without breaking records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputFormat {
+    /// Fixed-width records of the given byte size (TeraGen: 100).
+    FixedWidth(usize),
+    /// Newline-delimited text; splits land after `\n`.
+    Lines,
+}
+
+impl InputFormat {
+    /// Splits `input` into `n` contiguous files at record boundaries, as
+    /// evenly as byte counts allow. Zero-copy: files share `input`'s
+    /// buffer.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, or for `FixedWidth(w)` if `w == 0` or the input
+    /// length is not a multiple of `w`.
+    pub fn split(&self, input: &Bytes, n: usize) -> Vec<Bytes> {
+        assert!(n > 0, "cannot split into zero files");
+        match *self {
+            InputFormat::FixedWidth(w) => {
+                assert!(w > 0, "record width must be positive");
+                assert!(
+                    input.len().is_multiple_of(w),
+                    "input length {} is not a multiple of record width {w}",
+                    input.len()
+                );
+                let records = input.len() / w;
+                let base = records / n;
+                let extra = records % n;
+                let mut out = Vec::with_capacity(n);
+                let mut offset = 0usize;
+                for i in 0..n {
+                    let count = base + usize::from(i < extra);
+                    let bytes = count * w;
+                    out.push(input.slice(offset..offset + bytes));
+                    offset += bytes;
+                }
+                debug_assert_eq!(offset, input.len());
+                out
+            }
+            InputFormat::Lines => {
+                let len = input.len();
+                let mut cuts = Vec::with_capacity(n + 1);
+                cuts.push(0usize);
+                for i in 1..n {
+                    let target = len * i / n;
+                    let target = target.max(*cuts.last().unwrap());
+                    // Advance to just past the next newline (or EOF).
+                    let cut = input[target..]
+                        .iter()
+                        .position(|&b| b == b'\n')
+                        .map(|p| target + p + 1)
+                        .unwrap_or(len);
+                    cuts.push(cut);
+                }
+                cuts.push(len);
+                cuts.windows(2).map(|w| input.slice(w[0]..w[1])).collect()
+            }
+        }
+    }
+}
+
+/// A MapReduce workload runnable by both engines.
+pub trait Workload: Send + Sync {
+    /// Human-readable name ("terasort", "wordcount", …).
+    fn name(&self) -> &str;
+
+    /// The input splitting rule.
+    fn format(&self) -> InputFormat;
+
+    /// Hashes one file into `num_partitions` serialized intermediates
+    /// (`out[p]` holds the KV pairs of partition `p`).
+    fn map_file(&self, file: &[u8], num_partitions: usize) -> Vec<Vec<u8>>;
+
+    /// Produces the final output of `partition` from the concatenation of
+    /// all its intermediates. Must be insensitive to concatenation order.
+    fn reduce(&self, partition: usize, data: &[u8]) -> Vec<u8>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_width_split_even() {
+        let input = Bytes::from(vec![7u8; 100 * 10]);
+        let files = InputFormat::FixedWidth(100).split(&input, 5);
+        assert_eq!(files.len(), 5);
+        assert!(files.iter().all(|f| f.len() == 200));
+    }
+
+    #[test]
+    fn fixed_width_split_remainder_spread() {
+        // 11 records over 4 files: 3,3,3,2.
+        let input = Bytes::from(vec![0u8; 11 * 4]);
+        let files = InputFormat::FixedWidth(4).split(&input, 4);
+        let lens: Vec<usize> = files.iter().map(|f| f.len() / 4).collect();
+        assert_eq!(lens, vec![3, 3, 3, 2]);
+        let total: usize = files.iter().map(|f| f.len()).sum();
+        assert_eq!(total, input.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of record width")]
+    fn fixed_width_rejects_partial_records() {
+        InputFormat::FixedWidth(100).split(&Bytes::from(vec![0u8; 150]), 2);
+    }
+
+    #[test]
+    fn lines_split_at_newlines() {
+        let input = Bytes::from_static(b"aa\nbbbb\nc\ndddd\ne\n");
+        let files = InputFormat::Lines.split(&input, 3);
+        assert_eq!(files.len(), 3);
+        // Re-concatenation is lossless.
+        let joined: Vec<u8> = files.iter().flat_map(|f| f.iter().copied()).collect();
+        assert_eq!(&joined[..], &input[..]);
+        // Every file ends at a line boundary (or is last).
+        for f in &files[..2] {
+            assert!(f.is_empty() || f.last() == Some(&b'\n'), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn lines_split_handles_no_trailing_newline() {
+        let input = Bytes::from_static(b"one\ntwo\nthree");
+        let files = InputFormat::Lines.split(&input, 2);
+        let joined: Vec<u8> = files.iter().flat_map(|f| f.iter().copied()).collect();
+        assert_eq!(&joined[..], &input[..]);
+    }
+
+    #[test]
+    fn lines_split_more_files_than_lines() {
+        let input = Bytes::from_static(b"only\n");
+        let files = InputFormat::Lines.split(&input, 4);
+        assert_eq!(files.len(), 4);
+        let non_empty: Vec<&Bytes> = files.iter().filter(|f| !f.is_empty()).collect();
+        assert_eq!(non_empty.len(), 1);
+    }
+
+    #[test]
+    fn split_is_zero_copy() {
+        let input = Bytes::from(vec![1u8; 400]);
+        let files = InputFormat::FixedWidth(100).split(&input, 2);
+        assert_eq!(files[0].as_ptr(), input.as_ptr());
+    }
+
+    #[test]
+    fn empty_input_splits_into_empty_files() {
+        let input = Bytes::new();
+        for fmt in [InputFormat::FixedWidth(100), InputFormat::Lines] {
+            let files = fmt.split(&input, 3);
+            assert_eq!(files.len(), 3);
+            assert!(files.iter().all(|f| f.is_empty()));
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! SPMD cluster execution.
+//!
+//! The paper's deployment (Fig. 8) is a coordinator plus `K` worker
+//! processes running the same program. Here each worker is a thread running
+//! the user's closure against its own [`Communicator`]; the harness thread
+//! plays the coordinator (it stages per-node inputs before the run and
+//! collects results and the transfer trace after). Workers communicate only
+//! through the fabric — in-memory channels or real TCP sockets.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::comm::{BcastAlgorithm, Communicator};
+use crate::error::Result;
+use crate::local::LocalFabric;
+use crate::rate::TokenBucket;
+use crate::tcp::build_tcp_fabric;
+use crate::trace::{Trace, TraceCollector};
+use crate::transport::Transport;
+
+/// Which fabric the cluster runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process mailboxes (fast; the default for experiments).
+    #[default]
+    Local,
+    /// Real TCP sockets over loopback.
+    Tcp,
+}
+
+/// Cluster construction parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of worker nodes `K`.
+    pub k: usize,
+    /// Fabric type.
+    pub transport: TransportKind,
+    /// Optional per-node egress cap in bytes/second (the paper's 100 Mbps
+    /// `tc` limit ≈ `12.5e6`). `None` runs at memory/loopback speed.
+    pub rate_limit_bps: Option<f64>,
+    /// Multicast algorithm.
+    pub bcast: BcastAlgorithm,
+    /// Whether to record a transfer trace.
+    pub trace_enabled: bool,
+}
+
+impl ClusterConfig {
+    /// An in-memory cluster of `k` nodes with tracing on.
+    pub fn local(k: usize) -> Self {
+        ClusterConfig {
+            k,
+            transport: TransportKind::Local,
+            rate_limit_bps: None,
+            bcast: BcastAlgorithm::default(),
+            trace_enabled: true,
+        }
+    }
+
+    /// A loopback-TCP cluster of `k` nodes with tracing on.
+    pub fn tcp(k: usize) -> Self {
+        ClusterConfig {
+            transport: TransportKind::Tcp,
+            ..ClusterConfig::local(k)
+        }
+    }
+
+    /// Sets the per-node egress rate limit (bytes/second).
+    pub fn with_rate_limit(mut self, bps: f64) -> Self {
+        self.rate_limit_bps = Some(bps);
+        self
+    }
+
+    /// Selects the multicast algorithm.
+    pub fn with_bcast(mut self, algo: BcastAlgorithm) -> Self {
+        self.bcast = algo;
+        self
+    }
+
+    /// Enables or disables trace recording.
+    pub fn with_trace(mut self, enabled: bool) -> Self {
+        self.trace_enabled = enabled;
+        self
+    }
+}
+
+/// The outcome of an SPMD run: one result per rank plus the transfer trace.
+#[derive(Debug)]
+pub struct ClusterRun<R> {
+    /// Per-rank return values, rank order.
+    pub results: Vec<R>,
+    /// Recorded transfer trace (empty if tracing was disabled).
+    pub trace: Trace,
+}
+
+/// Runs `f` on every rank of a fresh fabric, SPMD style.
+///
+/// If any node panics, the whole fabric is shut down (so no peer blocks
+/// forever on a receive) and the first panic is re-raised on the caller.
+pub fn run_spmd<R, F>(config: &ClusterConfig, f: F) -> Result<ClusterRun<R>>
+where
+    R: Send,
+    F: Fn(&Communicator) -> R + Send + Sync,
+{
+    run_spmd_with_inputs(config, vec![(); config.k], move |comm, ()| f(comm))
+}
+
+/// Like [`run_spmd`] but hands `inputs[rank]` to each node — the
+/// coordinator's file-placement step.
+///
+/// # Panics
+/// Panics if `inputs.len() != config.k`.
+pub fn run_spmd_with_inputs<I, R, F>(
+    config: &ClusterConfig,
+    inputs: Vec<I>,
+    f: F,
+) -> Result<ClusterRun<R>>
+where
+    I: Send,
+    R: Send,
+    F: Fn(&Communicator, I) -> R + Send + Sync,
+{
+    assert_eq!(inputs.len(), config.k, "need exactly one input per node");
+    let k = config.k;
+    let trace = Arc::new(TraceCollector::new(config.trace_enabled));
+
+    let transports: Vec<Arc<dyn Transport>> = match config.transport {
+        TransportKind::Local => {
+            let fabric = LocalFabric::new(k);
+            (0..k)
+                .map(|r| Arc::new(fabric.endpoint(r)) as Arc<dyn Transport>)
+                .collect()
+        }
+        TransportKind::Tcp => build_tcp_fabric(k)?
+            .into_iter()
+            .map(|ep| Arc::new(ep) as Arc<dyn Transport>)
+            .collect(),
+    };
+
+    let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..k).map(|_| Mutex::new(None)).collect();
+    let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for rank in 0..k {
+            let transport = Arc::clone(&transports[rank]);
+            let all_transports = &transports;
+            let trace = Arc::clone(&trace);
+            let rate = config
+                .rate_limit_bps
+                .map(|bps| Arc::new(TokenBucket::new(bps, (64 * 1024) as f64)));
+            let bcast = config.bcast;
+            let slots = &slots;
+            let results = &results;
+            let panics = &panics;
+            let f = &f;
+            scope.spawn(move || {
+                let comm = Communicator::new(transport, trace, rate, bcast);
+                let input = slots[rank].lock().take().expect("input taken once");
+                match catch_unwind(AssertUnwindSafe(|| f(&comm, input))) {
+                    Ok(r) => {
+                        *results[rank].lock() = Some(r);
+                    }
+                    Err(payload) => {
+                        // Unblock every peer before propagating.
+                        for t in all_transports.iter() {
+                            t.shutdown();
+                        }
+                        panics.lock().push(payload);
+                    }
+                }
+            });
+        }
+    });
+
+    let mut panics = panics.into_inner();
+    if let Some(first) = panics.drain(..).next() {
+        resume_unwind(first);
+    }
+
+    let results = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every rank produced a result"))
+        .collect();
+    Ok(ClusterRun {
+        results,
+        trace: trace.snapshot(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Tag;
+    use bytes::Bytes;
+
+    #[test]
+    fn spmd_ring_local() {
+        let run = run_spmd(&ClusterConfig::local(4), |comm| {
+            let me = comm.rank();
+            let next = (me + 1) % 4;
+            let prev = (me + 3) % 4;
+            comm.send(next, Tag::app(0), Bytes::copy_from_slice(&[me as u8]))
+                .unwrap();
+            comm.recv(prev, Tag::app(0)).unwrap()[0] as usize
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn spmd_ring_tcp() {
+        let run = run_spmd(&ClusterConfig::tcp(3), |comm| {
+            let me = comm.rank();
+            let next = (me + 1) % 3;
+            let prev = (me + 2) % 3;
+            comm.send(next, Tag::app(0), Bytes::copy_from_slice(&[me as u8]))
+                .unwrap();
+            comm.recv(prev, Tag::app(0)).unwrap()[0] as usize
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn inputs_are_distributed_by_rank() {
+        let inputs: Vec<String> = (0..3).map(|i| format!("input-{i}")).collect();
+        let run = run_spmd_with_inputs(&ClusterConfig::local(3), inputs, |comm, input| {
+            format!("{}@{}", input, comm.rank())
+        })
+        .unwrap();
+        assert_eq!(
+            run.results,
+            vec!["input-0@0", "input-1@1", "input-2@2"]
+        );
+    }
+
+    #[test]
+    fn trace_is_collected() {
+        let run = run_spmd(&ClusterConfig::local(2), |comm| {
+            comm.set_stage("Shuffle");
+            if comm.rank() == 0 {
+                comm.send(1, Tag::app(0), Bytes::from(vec![0u8; 42])).unwrap();
+            } else {
+                comm.recv(0, Tag::app(0)).unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(run.trace.stage_bytes("Shuffle"), 42);
+    }
+
+    #[test]
+    fn node_panic_propagates_without_hanging() {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_spmd(&ClusterConfig::local(3), |comm| {
+                if comm.rank() == 1 {
+                    panic!("node 1 exploded");
+                }
+                // Ranks 0 and 2 wait for a message that never comes; the
+                // abort must wake them.
+                let _ = comm.recv(1, Tag::app(0));
+            })
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert!(msg.contains("exploded"));
+    }
+
+    #[test]
+    fn barrier_over_both_fabrics() {
+        for cfg in [ClusterConfig::local(5), ClusterConfig::tcp(5)] {
+            let run = run_spmd(&cfg, |comm| {
+                for _ in 0..3 {
+                    comm.barrier().unwrap();
+                }
+                comm.rank()
+            })
+            .unwrap();
+            assert_eq!(run.results, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn rate_limited_cluster_throttles() {
+        use std::time::Instant;
+        // 1 MB/s egress; send 200 KB beyond burst → ≥ ~0.13 s.
+        let cfg = ClusterConfig::local(2).with_rate_limit(1_000_000.0);
+        let start = Instant::now();
+        run_spmd(&cfg, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, Tag::app(0), Bytes::from(vec![0u8; 200_000]))
+                    .unwrap();
+                comm.send(1, Tag::app(0), Bytes::from(vec![0u8; 1]))
+                    .unwrap();
+            } else {
+                comm.recv(0, Tag::app(0)).unwrap();
+                comm.recv(0, Tag::app(0)).unwrap();
+            }
+        })
+        .unwrap();
+        assert!(start.elapsed().as_millis() >= 100);
+    }
+}

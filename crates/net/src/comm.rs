@@ -1,0 +1,571 @@
+//! The per-node communicator: point-to-point sends plus MPI-style
+//! collectives (barrier, broadcast, gather, scatter) with transfer tracing
+//! and optional egress rate limiting.
+//!
+//! One `Communicator` is handed to each SPMD node closure by the
+//! [`cluster`](crate::cluster) runner. It mirrors the Open MPI surface the
+//! paper's C++ implementation uses: `MPI_Send`/`MPI_Recv`,
+//! `MPI_Bcast` within a multicast group (binomial tree, like Open MPI's
+//! default for small groups), and `MPI_Barrier` between stages.
+
+use std::sync::atomic::{AtomicU16, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::error::{NetError, Result};
+use crate::message::Tag;
+use crate::rate::TokenBucket;
+use crate::trace::{EventKind, TraceCollector};
+use crate::transport::Transport;
+
+/// Which broadcast algorithm multicasts use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BcastAlgorithm {
+    /// Root sends to every member back-to-back (`r` serial unicasts).
+    Flat,
+    /// Binomial tree (MPICH/Open MPI style): `⌈log2 m⌉` rounds, relays
+    /// forward as they receive.
+    #[default]
+    BinomialTree,
+}
+
+/// Per-node handle for all communication.
+pub struct Communicator {
+    transport: Arc<dyn Transport>,
+    trace: Arc<TraceCollector>,
+    rate: Option<Arc<TokenBucket>>,
+    bcast_algo: BcastAlgorithm,
+    stage: AtomicU16,
+    barrier_epoch: AtomicU32,
+    bcast_epoch: AtomicU32,
+}
+
+impl Communicator {
+    /// Wires a communicator over `transport`, recording into `trace`,
+    /// optionally shaping egress with `rate`.
+    pub fn new(
+        transport: Arc<dyn Transport>,
+        trace: Arc<TraceCollector>,
+        rate: Option<Arc<TokenBucket>>,
+        bcast_algo: BcastAlgorithm,
+    ) -> Self {
+        let stage = trace.intern("init");
+        Communicator {
+            transport,
+            trace,
+            rate,
+            bcast_algo,
+            stage: AtomicU16::new(stage),
+            barrier_epoch: AtomicU32::new(0),
+            bcast_epoch: AtomicU32::new(0),
+        }
+    }
+
+    /// This node's rank.
+    pub fn rank(&self) -> usize {
+        self.transport.rank()
+    }
+
+    /// Number of nodes in the fabric.
+    pub fn world_size(&self) -> usize {
+        self.transport.world_size()
+    }
+
+    /// Labels subsequent traffic with a stage name ("Map", "Shuffle", …).
+    pub fn set_stage(&self, name: &str) {
+        self.stage.store(self.trace.intern(name), Ordering::Relaxed);
+    }
+
+    /// The underlying transport (for tests and wrappers).
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    fn shape(&self, bytes: usize) {
+        if let Some(rate) = &self.rate {
+            rate.acquire(bytes as u64);
+        }
+    }
+
+    /// Application point-to-point send (recorded as shuffle traffic).
+    pub fn send(&self, dst: usize, tag: Tag, payload: Bytes) -> Result<()> {
+        self.trace.record(
+            self.stage.load(Ordering::Relaxed),
+            self.rank(),
+            1u64 << dst,
+            payload.len() as u64,
+            EventKind::AppUnicast,
+        );
+        self.shape(payload.len());
+        self.transport.send(dst, tag, payload)
+    }
+
+    /// Substrate-internal send (control traffic, tree relays) — excluded
+    /// from communication-load accounting.
+    fn send_internal(&self, dst: usize, tag: Tag, payload: Bytes) -> Result<()> {
+        self.send_internal_oh(dst, tag, payload, 0)
+    }
+
+    /// Internal send carrying an explicit protocol-overhead byte count
+    /// (tree relays of a coded packet inherit the packet's header size).
+    fn send_internal_oh(&self, dst: usize, tag: Tag, payload: Bytes, overhead: u64) -> Result<()> {
+        self.trace.record_with_overhead(
+            self.stage.load(Ordering::Relaxed),
+            self.rank(),
+            1u64 << dst,
+            payload.len() as u64,
+            overhead,
+            EventKind::Internal,
+        );
+        self.shape(payload.len());
+        self.transport.send(dst, tag, payload)
+    }
+
+    /// Blocking receive matched on `(src, tag)`.
+    pub fn recv(&self, src: usize, tag: Tag) -> Result<Bytes> {
+        self.transport.recv(src, tag)
+    }
+
+    /// Blocking receive with a deadline.
+    pub fn recv_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> Result<Bytes> {
+        self.transport.recv_timeout(src, tag, timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self, src: usize, tag: Tag) -> Result<Option<Bytes>> {
+        self.transport.try_recv(src, tag)
+    }
+
+    /// Global barrier across all ranks (flat coordinator pattern through
+    /// rank 0, like the paper's synchronous stage transitions).
+    pub fn barrier(&self) -> Result<()> {
+        let epoch = self.barrier_epoch.fetch_add(1, Ordering::Relaxed);
+        let tag = Tag::new(Tag::BARRIER, epoch & 0x00FF_FFFF);
+        let k = self.world_size();
+        if k == 1 {
+            return Ok(());
+        }
+        if self.rank() == 0 {
+            for src in 1..k {
+                self.transport.recv(src, tag)?;
+            }
+            for dst in 1..k {
+                self.send_internal(dst, tag, Bytes::new())?;
+            }
+        } else {
+            self.send_internal(0, tag, Bytes::new())?;
+            self.transport.recv(0, tag)?;
+        }
+        Ok(())
+    }
+
+    /// Multicast within a member group — the `MPI_Bcast` equivalent.
+    ///
+    /// `members` must be sorted ascending, contain both `root` and the
+    /// caller, and every member must call `broadcast` with the same
+    /// arguments (SPMD). The root passes `Some(payload)`, others `None`;
+    /// everyone returns the payload.
+    ///
+    /// The trace records **one** `Multicast` event at the root (bytes
+    /// counted once — the paper's communication-load convention) plus the
+    /// underlying tree/flat unicasts as `Internal` events.
+    pub fn broadcast(
+        &self,
+        root: usize,
+        members: &[usize],
+        tag: Tag,
+        data: Option<Bytes>,
+    ) -> Result<Bytes> {
+        self.broadcast_with_overhead(root, members, tag, data, 0)
+    }
+
+    /// [`broadcast`](Self::broadcast) with an explicit protocol-overhead
+    /// byte count recorded on the multicast trace event. The coded engine
+    /// passes its packet-header size so the performance model can scale
+    /// payload and overhead separately.
+    pub fn broadcast_with_overhead(
+        &self,
+        root: usize,
+        members: &[usize],
+        tag: Tag,
+        data: Option<Bytes>,
+        overhead: u64,
+    ) -> Result<Bytes> {
+        let m = members.len();
+        if m == 0 || members.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(NetError::CollectiveMisuse {
+                what: "members must be non-empty, sorted, unique".into(),
+            });
+        }
+        let my_pos = members.binary_search(&self.rank()).map_err(|_| {
+            NetError::CollectiveMisuse {
+                what: format!("caller {} not in group", self.rank()),
+            }
+        })?;
+        let root_pos = members
+            .binary_search(&root)
+            .map_err(|_| NetError::CollectiveMisuse {
+                what: format!("root {root} not in group"),
+            })?;
+        let is_root = self.rank() == root;
+        if is_root && data.is_none() {
+            return Err(NetError::CollectiveMisuse {
+                what: "root must supply the payload".into(),
+            });
+        }
+
+        if is_root {
+            let dsts = members
+                .iter()
+                .filter(|&&n| n != root)
+                .fold(0u64, |acc, &n| acc | (1u64 << n));
+            self.trace.record_with_overhead(
+                self.stage.load(Ordering::Relaxed),
+                self.rank(),
+                dsts,
+                data.as_ref().map(|d| d.len()).unwrap_or(0) as u64,
+                overhead,
+                EventKind::Multicast,
+            );
+        }
+        if m == 1 {
+            return Ok(data.unwrap());
+        }
+
+        match self.bcast_algo {
+            BcastAlgorithm::Flat => {
+                if is_root {
+                    let payload = data.unwrap();
+                    for &dst in members.iter().filter(|&&n| n != root) {
+                        self.send_internal_oh(dst, tag, payload.clone(), overhead)?;
+                    }
+                    Ok(payload)
+                } else {
+                    self.transport.recv(root, tag)
+                }
+            }
+            BcastAlgorithm::BinomialTree => {
+                let vrank = (my_pos + m - root_pos) % m;
+                let actual = |v: usize| members[(v + root_pos) % m];
+                let mut payload = data;
+                let mut mask = 1usize;
+                while mask < m {
+                    if vrank & mask != 0 {
+                        let parent = actual(vrank - mask);
+                        payload = Some(self.transport.recv(parent, tag)?);
+                        break;
+                    }
+                    mask <<= 1;
+                }
+                let payload = payload.expect("binomial bcast: payload after recv phase");
+                mask >>= 1;
+                while mask > 0 {
+                    if vrank + mask < m {
+                        self.send_internal_oh(actual(vrank + mask), tag, payload.clone(), overhead)?;
+                    }
+                    mask >>= 1;
+                }
+                Ok(payload)
+            }
+        }
+    }
+
+    /// Broadcast with an automatically assigned group-unique tag, for use
+    /// when the same group multicasts repeatedly (serial multicast shuffle).
+    /// All members' epochs advance in lockstep because the call pattern is
+    /// SPMD-deterministic.
+    pub fn broadcast_auto(
+        &self,
+        root: usize,
+        members: &[usize],
+        data: Option<Bytes>,
+    ) -> Result<Bytes> {
+        let epoch = self.bcast_epoch.fetch_add(1, Ordering::Relaxed);
+        let tag = Tag::new(Tag::BCAST, epoch & 0x00FF_FFFF);
+        self.broadcast(root, members, tag, data)
+    }
+
+    /// Gathers one payload from every member at `root` (member order).
+    /// Returns `Some(payloads)` at the root, `None` elsewhere. Recorded as
+    /// internal control traffic.
+    pub fn gather(
+        &self,
+        root: usize,
+        members: &[usize],
+        tag: Tag,
+        data: Bytes,
+    ) -> Result<Option<Vec<Bytes>>> {
+        if !members.contains(&self.rank()) || !members.contains(&root) {
+            return Err(NetError::CollectiveMisuse {
+                what: "gather: caller and root must both be members".into(),
+            });
+        }
+        if self.rank() == root {
+            let mut out = Vec::with_capacity(members.len());
+            for &m in members {
+                if m == root {
+                    out.push(data.clone());
+                } else {
+                    out.push(self.transport.recv(m, tag)?);
+                }
+            }
+            Ok(Some(out))
+        } else {
+            self.send_internal(root, tag, data)?;
+            Ok(None)
+        }
+    }
+
+    /// Scatters `chunks[i]` to `members[i]` from `root`; returns the
+    /// caller's chunk. The coordinator's file-placement path (paper Fig. 8).
+    pub fn scatter(
+        &self,
+        root: usize,
+        members: &[usize],
+        tag: Tag,
+        chunks: Option<Vec<Bytes>>,
+    ) -> Result<Bytes> {
+        if !members.contains(&self.rank()) || !members.contains(&root) {
+            return Err(NetError::CollectiveMisuse {
+                what: "scatter: caller and root must both be members".into(),
+            });
+        }
+        if self.rank() == root {
+            let chunks = chunks.ok_or_else(|| NetError::CollectiveMisuse {
+                what: "scatter: root must supply chunks".into(),
+            })?;
+            if chunks.len() != members.len() {
+                return Err(NetError::CollectiveMisuse {
+                    what: format!(
+                        "scatter: {} chunks for {} members",
+                        chunks.len(),
+                        members.len()
+                    ),
+                });
+            }
+            let mut own = None;
+            for (&m, chunk) in members.iter().zip(chunks) {
+                if m == root {
+                    own = Some(chunk);
+                } else {
+                    self.send_internal(m, tag, chunk)?;
+                }
+            }
+            Ok(own.expect("root is a member"))
+        } else {
+            self.transport.recv(root, tag)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalFabric;
+
+    fn comms(k: usize, algo: BcastAlgorithm) -> Vec<Communicator> {
+        let fabric = LocalFabric::new(k);
+        let trace = Arc::new(TraceCollector::new(true));
+        (0..k)
+            .map(|r| {
+                Communicator::new(
+                    Arc::new(fabric.endpoint(r)),
+                    Arc::clone(&trace),
+                    None,
+                    algo,
+                )
+            })
+            .collect()
+    }
+
+    fn run_spmd<R: Send>(
+        comms: &[Communicator],
+        f: impl Fn(&Communicator) -> R + Sync,
+    ) -> Vec<R> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = comms.iter().map(|c| scope.spawn(|| f(c))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let comms = comms(4, BcastAlgorithm::default());
+        let counter = AtomicUsize::new(0);
+        run_spmd(&comms, |c| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            c.barrier().unwrap();
+            // After the barrier, everyone must have incremented.
+            assert_eq!(counter.load(Ordering::SeqCst), 4);
+            c.barrier().unwrap();
+        });
+    }
+
+    #[test]
+    fn broadcast_binomial_reaches_all() {
+        let comms = comms(6, BcastAlgorithm::BinomialTree);
+        let members = [0usize, 2, 3, 5];
+        let results = run_spmd(&comms, |c| {
+            if members.contains(&c.rank()) {
+                let data = (c.rank() == 3).then(|| Bytes::from_static(b"tree!"));
+                Some(c.broadcast(3, &members, Tag::new(Tag::BCAST, 1), data).unwrap())
+            } else {
+                None
+            }
+        });
+        for (rank, res) in results.iter().enumerate() {
+            if members.contains(&rank) {
+                assert_eq!(res.as_ref().unwrap(), "tree!");
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_flat_reaches_all() {
+        let comms = comms(5, BcastAlgorithm::Flat);
+        let members = [1usize, 2, 4];
+        let results = run_spmd(&comms, |c| {
+            if members.contains(&c.rank()) {
+                let data = (c.rank() == 1).then(|| Bytes::from_static(b"flat"));
+                Some(c.broadcast(1, &members, Tag::new(Tag::BCAST, 9), data).unwrap())
+            } else {
+                None
+            }
+        });
+        assert_eq!(results[2].as_ref().unwrap(), "flat");
+        assert_eq!(results[4].as_ref().unwrap(), "flat");
+    }
+
+    #[test]
+    fn broadcast_records_one_multicast_event() {
+        let fabric = LocalFabric::new(3);
+        let trace = Arc::new(TraceCollector::new(true));
+        let comms: Vec<Communicator> = (0..3)
+            .map(|r| {
+                Communicator::new(
+                    Arc::new(fabric.endpoint(r)),
+                    Arc::clone(&trace),
+                    None,
+                    BcastAlgorithm::BinomialTree,
+                )
+            })
+            .collect();
+        run_spmd(&comms, |c| {
+            c.set_stage("Shuffle");
+            let data = (c.rank() == 0).then(|| Bytes::from(vec![0u8; 100]));
+            c.broadcast(0, &[0, 1, 2], Tag::new(Tag::BCAST, 0), data).unwrap();
+        });
+        let t = trace.snapshot();
+        let multicasts: Vec<_> = t
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Multicast)
+            .collect();
+        assert_eq!(multicasts.len(), 1);
+        assert_eq!(multicasts[0].bytes, 100);
+        assert_eq!(multicasts[0].fanout(), 2);
+        // Bytes counted once despite 2 receivers.
+        assert_eq!(t.stage_bytes("Shuffle"), 100);
+        assert_eq!(t.stage_bytes_unicast_equivalent("Shuffle"), 200);
+    }
+
+    #[test]
+    fn broadcast_rejects_outsider_and_bad_members() {
+        let comms = comms(3, BcastAlgorithm::default());
+        // Caller not in group.
+        let err = comms[2]
+            .broadcast(0, &[0, 1], Tag::new(Tag::BCAST, 0), None)
+            .unwrap_err();
+        assert!(matches!(err, NetError::CollectiveMisuse { .. }));
+        // Unsorted member list.
+        let err = comms[0]
+            .broadcast(0, &[1, 0], Tag::new(Tag::BCAST, 0), Some(Bytes::new()))
+            .unwrap_err();
+        assert!(matches!(err, NetError::CollectiveMisuse { .. }));
+        // Root missing payload.
+        let err = comms[0]
+            .broadcast(0, &[0, 1], Tag::new(Tag::BCAST, 0), None)
+            .unwrap_err();
+        assert!(matches!(err, NetError::CollectiveMisuse { .. }));
+    }
+
+    #[test]
+    fn gather_collects_in_member_order() {
+        let comms = comms(4, BcastAlgorithm::default());
+        let members = [0usize, 1, 3];
+        let results = run_spmd(&comms, |c| {
+            if !members.contains(&c.rank()) {
+                return None;
+            }
+            c.gather(
+                1,
+                &members,
+                Tag::new(Tag::GATHER, 0),
+                Bytes::copy_from_slice(&[c.rank() as u8]),
+            )
+            .unwrap()
+        });
+        let gathered = results[1].as_ref().unwrap();
+        let got: Vec<u8> = gathered.iter().map(|b| b[0]).collect();
+        assert_eq!(got, vec![0, 1, 3]);
+        assert!(results[0].is_none());
+        assert!(results[3].is_none());
+    }
+
+    #[test]
+    fn scatter_distributes_by_member_order() {
+        let comms = comms(3, BcastAlgorithm::default());
+        let members = [0usize, 1, 2];
+        let results = run_spmd(&comms, |c| {
+            let chunks = (c.rank() == 0).then(|| {
+                vec![
+                    Bytes::from_static(b"zero"),
+                    Bytes::from_static(b"one"),
+                    Bytes::from_static(b"two"),
+                ]
+            });
+            c.scatter(0, &members, Tag::new(Tag::SCATTER, 0), chunks).unwrap()
+        });
+        assert_eq!(results[0], "zero");
+        assert_eq!(results[1], "one");
+        assert_eq!(results[2], "two");
+    }
+
+    #[test]
+    fn broadcast_auto_serializes_repeated_groups() {
+        let comms = comms(3, BcastAlgorithm::BinomialTree);
+        let members = [0usize, 1, 2];
+        let results = run_spmd(&comms, |c| {
+            let mut got = Vec::new();
+            for round in 0..10u8 {
+                for &root in &members {
+                    let data =
+                        (c.rank() == root).then(|| Bytes::copy_from_slice(&[root as u8, round]));
+                    got.push(c.broadcast_auto(root, &members, data).unwrap());
+                }
+            }
+            got
+        });
+        for r in results {
+            assert_eq!(r.len(), 30);
+            for (i, payload) in r.iter().enumerate() {
+                assert_eq!(payload[0] as usize, i % 3);
+                assert_eq!(payload[1] as usize, i / 3);
+            }
+        }
+    }
+
+    #[test]
+    fn single_member_broadcast_is_identity() {
+        let comms = comms(2, BcastAlgorithm::default());
+        let out = comms[0]
+            .broadcast(0, &[0], Tag::new(Tag::BCAST, 0), Some(Bytes::from_static(b"me")))
+            .unwrap();
+        assert_eq!(out, "me");
+    }
+}

@@ -1,0 +1,175 @@
+//! Fault injection for transport-level failure testing.
+//!
+//! Wraps any [`Transport`] and applies a user rule to every outgoing
+//! message: deliver, drop, corrupt, or fail the send. Tests use this to
+//! verify that the engines and the packet parser surface transport
+//! misbehaviour as errors instead of silently producing wrong output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::error::{NetError, Result};
+use crate::message::Tag;
+use crate::transport::Transport;
+
+/// Decision returned by a fault rule for one outgoing message.
+pub enum FaultAction {
+    /// Deliver unchanged.
+    Deliver,
+    /// Silently drop (receiver never sees it — models a lost frame).
+    Drop,
+    /// Deliver a corrupted payload instead.
+    Corrupt(Bytes),
+    /// Fail the `send` call itself with an error.
+    FailSend,
+}
+
+/// The rule signature: `(dst, tag, payload, send_index)` → action.
+pub type FaultRule = dyn Fn(usize, Tag, &Bytes, u64) -> FaultAction + Send + Sync;
+
+/// A [`Transport`] wrapper that applies a [`FaultRule`] to outgoing traffic.
+pub struct FaultyTransport {
+    inner: Arc<dyn Transport>,
+    rule: Box<FaultRule>,
+    sends: AtomicU64,
+    dropped: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+impl FaultyTransport {
+    /// Wraps `inner` with `rule`.
+    pub fn new(inner: Arc<dyn Transport>, rule: Box<FaultRule>) -> Self {
+        FaultyTransport {
+            inner,
+            rule,
+            sends: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            corrupted: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of messages silently dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of messages corrupted so far.
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted.load(Ordering::Relaxed)
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn world_size(&self) -> usize {
+        self.inner.world_size()
+    }
+
+    fn send(&self, dst: usize, tag: Tag, payload: Bytes) -> Result<()> {
+        let idx = self.sends.fetch_add(1, Ordering::Relaxed);
+        match (self.rule)(dst, tag, &payload, idx) {
+            FaultAction::Deliver => self.inner.send(dst, tag, payload),
+            FaultAction::Drop => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            FaultAction::Corrupt(bad) => {
+                self.corrupted.fetch_add(1, Ordering::Relaxed);
+                self.inner.send(dst, tag, bad)
+            }
+            FaultAction::FailSend => Err(NetError::InjectedFault {
+                what: format!("send #{idx} to {dst} {tag} failed by rule"),
+            }),
+        }
+    }
+
+    fn recv(&self, src: usize, tag: Tag) -> Result<Bytes> {
+        self.inner.recv(src, tag)
+    }
+
+    fn recv_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> Result<Bytes> {
+        self.inner.recv_timeout(src, tag, timeout)
+    }
+
+    fn try_recv(&self, src: usize, tag: Tag) -> Result<Option<Bytes>> {
+        self.inner.try_recv(src, tag)
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalFabric;
+
+    #[test]
+    fn deliver_passes_through() {
+        let fabric = LocalFabric::new(2);
+        let faulty = FaultyTransport::new(
+            Arc::new(fabric.endpoint(0)),
+            Box::new(|_, _, _, _| FaultAction::Deliver),
+        );
+        faulty.send(1, Tag::app(0), Bytes::from_static(b"ok")).unwrap();
+        assert_eq!(fabric.endpoint(1).recv(0, Tag::app(0)).unwrap(), "ok");
+    }
+
+    #[test]
+    fn drop_loses_the_message() {
+        let fabric = LocalFabric::new(2);
+        let faulty = FaultyTransport::new(
+            Arc::new(fabric.endpoint(0)),
+            Box::new(|_, _, _, idx| {
+                if idx == 0 {
+                    FaultAction::Drop
+                } else {
+                    FaultAction::Deliver
+                }
+            }),
+        );
+        faulty.send(1, Tag::app(0), Bytes::from_static(b"lost")).unwrap();
+        faulty.send(1, Tag::app(0), Bytes::from_static(b"kept")).unwrap();
+        assert_eq!(faulty.dropped(), 1);
+        // The first message that arrives is the second one sent.
+        assert_eq!(fabric.endpoint(1).recv(0, Tag::app(0)).unwrap(), "kept");
+    }
+
+    #[test]
+    fn corrupt_replaces_payload() {
+        let fabric = LocalFabric::new(2);
+        let faulty = FaultyTransport::new(
+            Arc::new(fabric.endpoint(0)),
+            Box::new(|_, _, payload, _| {
+                let mut bad = payload.to_vec();
+                if !bad.is_empty() {
+                    bad[0] ^= 0xFF;
+                }
+                FaultAction::Corrupt(Bytes::from(bad))
+            }),
+        );
+        faulty.send(1, Tag::app(0), Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(faulty.corrupted(), 1);
+        let got = fabric.endpoint(1).recv(0, Tag::app(0)).unwrap();
+        assert_eq!(got[0], b'a' ^ 0xFF);
+        assert_eq!(&got[1..], b"bc");
+    }
+
+    #[test]
+    fn fail_send_surfaces_error() {
+        let fabric = LocalFabric::new(2);
+        let faulty = FaultyTransport::new(
+            Arc::new(fabric.endpoint(0)),
+            Box::new(|_, _, _, _| FaultAction::FailSend),
+        );
+        let err = faulty.send(1, Tag::app(0), Bytes::new()).unwrap_err();
+        assert!(matches!(err, NetError::InjectedFault { .. }));
+    }
+}

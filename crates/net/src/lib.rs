@@ -1,0 +1,63 @@
+//! # cts-net — MPI-like message passing for Coded TeraSort
+//!
+//! The paper implements TeraSort and CodedTeraSort in C++ over Open MPI on
+//! an EC2 cluster. There is no comparable Rust substrate, so this crate
+//! builds one from scratch:
+//!
+//! * [`mailbox`] — blocking, `(source, tag)`-matched message queues with
+//!   MPI receive semantics;
+//! * [`local`] — an in-process fabric (threads + shared mailboxes) that
+//!   moves real bytes at memory speed;
+//! * [`tcp`] — a real-socket fabric (full TCP mesh over loopback,
+//!   length-prefixed frames, one reader thread per peer);
+//! * [`comm`] — the per-node [`Communicator`]:
+//!   send/recv, barrier, binomial-tree or flat broadcast (the `MPI_Bcast`
+//!   of the paper's Multicast Shuffling), gather, scatter;
+//! * [`rate`] — token-bucket egress shaping (the paper's 100 Mbps `tc` cap)
+//!   for real-time demos;
+//! * [`trace`] — transfer tracing: every unicast and multicast with stage
+//!   labels and byte counts, consumed by `cts-netsim`'s calibrated network
+//!   model;
+//! * [`cluster`] — SPMD runners ([`run_spmd`]) spawning
+//!   one thread per rank over either fabric, with panic-safe teardown;
+//! * [`fault`] — transport-level fault injection for failure testing.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use cts_net::cluster::{run_spmd, ClusterConfig};
+//! use cts_net::message::Tag;
+//!
+//! // Three nodes; node 0 multicasts a packet to the whole group.
+//! let run = run_spmd(&ClusterConfig::local(3), |comm| {
+//!     comm.set_stage("Shuffle");
+//!     let data = (comm.rank() == 0).then(|| Bytes::from_static(b"coded packet"));
+//!     comm.broadcast(0, &[0, 1, 2], Tag::new(Tag::BCAST, 0), data).unwrap()
+//! })
+//! .unwrap();
+//! assert!(run.results.iter().all(|r| r == "coded packet"));
+//! // The trace counted the multicast's bytes once.
+//! assert_eq!(run.trace.stage_bytes("Shuffle"), 12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod comm;
+pub mod error;
+pub mod fault;
+pub mod local;
+pub mod mailbox;
+pub mod message;
+pub mod rate;
+pub mod tcp;
+pub mod trace;
+pub mod transport;
+
+pub use cluster::{run_spmd, run_spmd_with_inputs, ClusterConfig, ClusterRun, TransportKind};
+pub use comm::{BcastAlgorithm, Communicator};
+pub use error::{NetError, Result};
+pub use message::{Message, Tag};
+pub use trace::{EventKind, Trace, TraceCollector, TraceEvent};
+pub use transport::Transport;

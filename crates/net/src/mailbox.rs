@@ -1,0 +1,256 @@
+//! Tag-matched mailboxes.
+//!
+//! Each endpoint owns one [`Mailbox`]. Incoming messages are queued by
+//! `(source, tag)`; `recv(src, tag)` blocks until a matching message is
+//! available, preserving FIFO order per `(source, tag)` pair — the same
+//! matching semantics as MPI's `MPI_Recv` with an explicit source and tag.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{NetError, Result};
+use crate::message::{Message, Tag};
+
+#[derive(Default)]
+struct Inner {
+    queues: HashMap<(usize, u32), VecDeque<Bytes>>,
+    closed: bool,
+}
+
+/// A blocking, tag-matched message queue for one endpoint.
+pub struct Mailbox {
+    rank: usize,
+    inner: Mutex<Inner>,
+    available: Condvar,
+}
+
+impl Mailbox {
+    /// Creates the mailbox for endpoint `rank`.
+    pub fn new(rank: usize) -> Self {
+        Mailbox {
+            rank,
+            inner: Mutex::new(Inner::default()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The owner's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Enqueues a message (called by the transport's delivery path).
+    ///
+    /// Delivery to a closed mailbox is silently dropped — the owner has
+    /// already stopped receiving.
+    pub fn deliver(&self, msg: Message) {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        inner
+            .queues
+            .entry((msg.src, msg.tag.0))
+            .or_default()
+            .push_back(msg.payload);
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Blocks until a message from `(src, tag)` is available and returns it.
+    ///
+    /// # Errors
+    /// `Disconnected` if the mailbox is closed while waiting (or already
+    /// closed and empty for this key).
+    pub fn recv(&self, src: usize, tag: Tag) -> Result<Bytes> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(q) = inner.queues.get_mut(&(src, tag.0)) {
+                if let Some(payload) = q.pop_front() {
+                    return Ok(payload);
+                }
+            }
+            if inner.closed {
+                return Err(NetError::Disconnected { rank: self.rank });
+            }
+            self.available.wait(&mut inner);
+        }
+    }
+
+    /// Like [`recv`](Self::recv) with a deadline.
+    ///
+    /// # Errors
+    /// `Timeout` if the deadline passes, `Disconnected` if closed.
+    pub fn recv_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> Result<Bytes> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(q) = inner.queues.get_mut(&(src, tag.0)) {
+                if let Some(payload) = q.pop_front() {
+                    return Ok(payload);
+                }
+            }
+            if inner.closed {
+                return Err(NetError::Disconnected { rank: self.rank });
+            }
+            if self.available.wait_until(&mut inner, deadline).timed_out() {
+                return Err(NetError::Timeout { src, tag: tag.0 });
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self, src: usize, tag: Tag) -> Option<Bytes> {
+        let mut inner = self.inner.lock();
+        inner
+            .queues
+            .get_mut(&(src, tag.0))
+            .and_then(|q| q.pop_front())
+    }
+
+    /// Total queued messages (diagnostics).
+    pub fn queued(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.queues.values().map(|q| q.len()).sum()
+    }
+
+    /// Closes the mailbox: queued messages remain readable via
+    /// [`try_recv`](Self::try_recv), but blocked and future `recv`s fail
+    /// with `Disconnected`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        drop(inner);
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn msg(src: usize, tag: Tag, bytes: &'static [u8]) -> Message {
+        Message {
+            src,
+            tag,
+            payload: Bytes::from_static(bytes),
+        }
+    }
+
+    #[test]
+    fn fifo_per_source_and_tag() {
+        let mb = Mailbox::new(0);
+        mb.deliver(msg(1, Tag::app(0), b"first"));
+        mb.deliver(msg(1, Tag::app(0), b"second"));
+        assert_eq!(mb.recv(1, Tag::app(0)).unwrap(), "first");
+        assert_eq!(mb.recv(1, Tag::app(0)).unwrap(), "second");
+    }
+
+    #[test]
+    fn matching_is_keyed_on_src_and_tag() {
+        let mb = Mailbox::new(0);
+        mb.deliver(msg(2, Tag::app(7), b"from-2"));
+        mb.deliver(msg(1, Tag::app(7), b"from-1"));
+        mb.deliver(msg(1, Tag::app(9), b"tag-9"));
+        // Out-of-order matching works regardless of arrival order.
+        assert_eq!(mb.recv(1, Tag::app(9)).unwrap(), "tag-9");
+        assert_eq!(mb.recv(1, Tag::app(7)).unwrap(), "from-1");
+        assert_eq!(mb.recv(2, Tag::app(7)).unwrap(), "from-2");
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_delivery() {
+        let mb = Arc::new(Mailbox::new(3));
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv(0, Tag::app(1)).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        mb.deliver(msg(0, Tag::app(1), b"late"));
+        assert_eq!(handle.join().unwrap(), "late");
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let mb = Mailbox::new(0);
+        let err = mb
+            .recv_timeout(1, Tag::app(0), Duration::from_millis(10))
+            .unwrap_err();
+        assert!(matches!(err, NetError::Timeout { src: 1, .. }));
+    }
+
+    #[test]
+    fn recv_timeout_succeeds_when_present() {
+        let mb = Mailbox::new(0);
+        mb.deliver(msg(1, Tag::app(0), b"x"));
+        let got = mb
+            .recv_timeout(1, Tag::app(0), Duration::from_millis(10))
+            .unwrap();
+        assert_eq!(got, "x");
+    }
+
+    #[test]
+    fn close_wakes_blocked_receivers() {
+        let mb = Arc::new(Mailbox::new(5));
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv(0, Tag::app(0)));
+        std::thread::sleep(Duration::from_millis(20));
+        mb.close();
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(NetError::Disconnected { rank: 5 })
+        ));
+    }
+
+    #[test]
+    fn close_drops_future_deliveries() {
+        let mb = Mailbox::new(0);
+        mb.close();
+        mb.deliver(msg(1, Tag::app(0), b"ghost"));
+        assert_eq!(mb.try_recv(1, Tag::app(0)), None);
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let mb = Mailbox::new(0);
+        assert_eq!(mb.try_recv(1, Tag::app(0)), None);
+        mb.deliver(msg(1, Tag::app(0), b"now"));
+        assert_eq!(mb.try_recv(1, Tag::app(0)).unwrap(), "now");
+        assert_eq!(mb.queued(), 0);
+    }
+
+    #[test]
+    fn queued_counts_all_keys() {
+        let mb = Mailbox::new(0);
+        mb.deliver(msg(1, Tag::app(0), b"a"));
+        mb.deliver(msg(2, Tag::app(1), b"b"));
+        mb.deliver(msg(2, Tag::app(1), b"c"));
+        assert_eq!(mb.queued(), 3);
+    }
+
+    #[test]
+    fn many_concurrent_receivers() {
+        let mb = Arc::new(Mailbox::new(0));
+        let mut handles = Vec::new();
+        for src in 0..8usize {
+            let mb = Arc::clone(&mb);
+            handles.push(std::thread::spawn(move || {
+                mb.recv(src, Tag::app(src as u32)).unwrap()
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        for src in (0..8usize).rev() {
+            mb.deliver(Message {
+                src,
+                tag: Tag::app(src as u32),
+                payload: Bytes::copy_from_slice(&[src as u8]),
+            });
+        }
+        for (src, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.join().unwrap()[0] as usize, src);
+        }
+    }
+}

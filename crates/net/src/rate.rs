@@ -1,0 +1,148 @@
+//! Token-bucket egress rate limiting.
+//!
+//! The paper caps every EC2 instance at 100 Mbps with `tc` (§V-B, footnote
+//! 5). [`TokenBucket`] reproduces that in *real time*: a transport wrapped
+//! with a bucket sleeps long enough that sustained egress never exceeds the
+//! configured rate. Used by the real-time demo modes; the table benchmarks
+//! use the virtual-time model in `cts-netsim` instead, which is exact and
+//! doesn't burn wall-clock seconds.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+struct BucketState {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// A classic token bucket: `rate` tokens (bytes) per second, holding at most
+/// `burst` tokens.
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    state: Mutex<BucketState>,
+}
+
+impl TokenBucket {
+    /// A bucket replenishing `rate_bytes_per_sec`, with a burst allowance of
+    /// `burst_bytes`.
+    ///
+    /// # Panics
+    /// Panics if `rate_bytes_per_sec <= 0` or `burst_bytes <= 0`.
+    pub fn new(rate_bytes_per_sec: f64, burst_bytes: f64) -> Self {
+        assert!(rate_bytes_per_sec > 0.0, "rate must be positive");
+        assert!(burst_bytes > 0.0, "burst must be positive");
+        TokenBucket {
+            rate: rate_bytes_per_sec,
+            burst: burst_bytes,
+            state: Mutex::new(BucketState {
+                tokens: burst_bytes,
+                last_refill: Instant::now(),
+            }),
+        }
+    }
+
+    /// A bucket shaped like the paper's setup: 100 Mbps with a burst of one
+    /// MTU-ish 64 KiB.
+    pub fn paper_100mbps() -> Self {
+        TokenBucket::new(100e6 / 8.0, 64.0 * 1024.0)
+    }
+
+    /// The configured rate in bytes per second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Blocks until `n` bytes worth of tokens are available, then consumes
+    /// them. Requests larger than the burst size are admitted by letting the
+    /// token count go negative (debt), which delays subsequent senders —
+    /// this keeps long-run throughput exact for arbitrarily large messages.
+    pub fn acquire(&self, n: u64) {
+        let needed = n as f64;
+        let wait = {
+            let mut st = self.state.lock();
+            let now = Instant::now();
+            let elapsed = now.duration_since(st.last_refill).as_secs_f64();
+            st.tokens = (st.tokens + elapsed * self.rate).min(self.burst);
+            st.last_refill = now;
+            st.tokens -= needed;
+            if st.tokens >= 0.0 {
+                None
+            } else {
+                Some(Duration::from_secs_f64(-st.tokens / self.rate))
+            }
+        };
+        if let Some(d) = wait {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_is_free() {
+        let bucket = TokenBucket::new(1000.0, 1000.0);
+        let start = Instant::now();
+        bucket.acquire(1000);
+        assert!(start.elapsed() < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn sustained_rate_is_enforced() {
+        // 100 KB/s, send 10 KB beyond the 1 KB burst → ~100 ms.
+        let bucket = TokenBucket::new(100_000.0, 1_000.0);
+        let start = Instant::now();
+        for _ in 0..11 {
+            bucket.acquire(1_000);
+        }
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(80),
+            "rate limit not enforced: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(500),
+            "rate limit too aggressive: {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_request_goes_into_debt() {
+        let bucket = TokenBucket::new(1_000_000.0, 1_000.0);
+        let start = Instant::now();
+        bucket.acquire(100_000); // 100 KB at 1 MB/s ≈ 100 ms of debt
+        bucket.acquire(1);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(80), "{elapsed:?}");
+    }
+
+    #[test]
+    fn concurrent_acquires_share_the_rate() {
+        use std::sync::Arc;
+        let bucket = Arc::new(TokenBucket::new(200_000.0, 1_000.0));
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = Arc::clone(&bucket);
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        b.acquire(1_000);
+                    }
+                });
+            }
+        });
+        // 20 KB total at 200 KB/s ≈ 100 ms (minus 1 KB burst).
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(70), "{elapsed:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_rejected() {
+        TokenBucket::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Transfer tracing.
+//!
+//! Every communicator records its traffic into a shared [`TraceCollector`].
+//! The resulting [`Trace`] — stage-labelled unicast and multicast events in
+//! global order — is what `cts-netsim` replays under a network model to
+//! produce the paper's stage timings, and what the Fig. 9 timeline renderer
+//! draws.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// What kind of transfer an event describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An application point-to-point send (TeraSort's unicast shuffle, or
+    /// any engine `send`).
+    AppUnicast,
+    /// A logical multicast: one coded packet delivered to a receiver set
+    /// (recorded once, at the root, regardless of the tree used).
+    Multicast,
+    /// Substrate-internal traffic: barrier control messages and the
+    /// point-to-point hops a tree broadcast decomposes into. Network models
+    /// for the paper's schedules ignore these; the tree-cost ablation uses
+    /// them.
+    Internal,
+}
+
+/// One recorded transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Global record order (monotonic across all nodes).
+    pub seq: u64,
+    /// Index into [`Trace::stages`].
+    pub stage: u16,
+    /// Sender rank.
+    pub src: u16,
+    /// Receiver set as a bitmask (single bit for unicasts).
+    pub dsts: u64,
+    /// Total bytes on the wire (payload + protocol overhead).
+    pub bytes: u64,
+    /// The fixed protocol-overhead portion of `bytes` (coded-packet
+    /// headers). When a scaled run is projected to a larger input, only
+    /// `bytes - overhead` scales — headers are per-packet constants.
+    pub overhead: u64,
+    /// Transfer kind.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Number of receivers.
+    pub fn fanout(&self) -> u32 {
+        self.dsts.count_ones()
+    }
+}
+
+/// A completed trace: interned stage names plus events in record order.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Stage names, indexed by [`TraceEvent::stage`].
+    pub stages: Vec<String>,
+    /// All recorded events.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// The stage index for `name`, if any events used it.
+    pub fn stage_index(&self, name: &str) -> Option<u16> {
+        self.stages.iter().position(|s| s == name).map(|i| i as u16)
+    }
+
+    /// Iterates events belonging to the named stage.
+    pub fn stage_events<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a TraceEvent> {
+        let idx = self.stage_index(name);
+        self.events
+            .iter()
+            .filter(move |e| Some(e.stage) == idx)
+    }
+
+    /// Total payload bytes sent in the named stage, counting a multicast
+    /// once (the paper's communication-load convention: a coded packet costs
+    /// its length, however many nodes hear it).
+    pub fn stage_bytes(&self, name: &str) -> u64 {
+        self.stage_events(name)
+            .filter(|e| e.kind != EventKind::Internal)
+            .map(|e| e.bytes)
+            .sum()
+    }
+
+    /// Total bytes if every multicast were replaced by per-receiver
+    /// unicasts — the uncoded-equivalent volume.
+    pub fn stage_bytes_unicast_equivalent(&self, name: &str) -> u64 {
+        self.stage_events(name)
+            .filter(|e| e.kind != EventKind::Internal)
+            .map(|e| e.bytes * e.fanout() as u64)
+            .sum()
+    }
+
+    /// Count of non-internal events in the named stage.
+    pub fn stage_transfer_count(&self, name: &str) -> usize {
+        self.stage_events(name)
+            .filter(|e| e.kind != EventKind::Internal)
+            .count()
+    }
+
+    /// Total non-internal bytes across all stages.
+    pub fn total_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind != EventKind::Internal)
+            .map(|e| e.bytes)
+            .sum()
+    }
+}
+
+#[derive(Default)]
+struct CollectorInner {
+    stage_index: HashMap<String, u16>,
+    stages: Vec<String>,
+    events: Vec<TraceEvent>,
+    seq: u64,
+}
+
+/// Thread-safe trace accumulator shared by all communicators of a fabric.
+pub struct TraceCollector {
+    enabled: bool,
+    inner: Mutex<CollectorInner>,
+}
+
+impl TraceCollector {
+    /// Creates a collector; a disabled collector records nothing (zero
+    /// overhead beyond an atomic check).
+    pub fn new(enabled: bool) -> Self {
+        TraceCollector {
+            enabled,
+            inner: Mutex::new(CollectorInner::default()),
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Interns a stage name, returning its index.
+    pub fn intern(&self, name: &str) -> u16 {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.stage_index.get(name) {
+            return idx;
+        }
+        let idx = inner.stages.len() as u16;
+        inner.stages.push(name.to_string());
+        inner.stage_index.insert(name.to_string(), idx);
+        idx
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn record(&self, stage: u16, src: usize, dsts: u64, bytes: u64, kind: EventKind) {
+        self.record_with_overhead(stage, src, dsts, bytes, 0, kind);
+    }
+
+    /// Records one event with an explicit protocol-overhead byte count.
+    pub fn record_with_overhead(
+        &self,
+        stage: u16,
+        src: usize,
+        dsts: u64,
+        bytes: u64,
+        overhead: u64,
+        kind: EventKind,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(overhead <= bytes, "overhead cannot exceed total bytes");
+        let mut inner = self.inner.lock();
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.events.push(TraceEvent {
+            seq,
+            stage,
+            src: src as u16,
+            dsts,
+            bytes,
+            overhead,
+            kind,
+        });
+    }
+
+    /// Takes a snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> Trace {
+        let inner = self.inner.lock();
+        Trace {
+            stages: inner.stages.clone(),
+            events: inner.events.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable() {
+        let c = TraceCollector::new(true);
+        let a = c.intern("Map");
+        let b = c.intern("Shuffle");
+        assert_ne!(a, b);
+        assert_eq!(c.intern("Map"), a);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let c = TraceCollector::new(true);
+        let s = c.intern("Shuffle");
+        c.record(s, 0, 0b0010, 100, EventKind::AppUnicast);
+        c.record(s, 1, 0b1101, 40, EventKind::Multicast);
+        let t = c.snapshot();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.events[0].seq, 0);
+        assert_eq!(t.events[1].seq, 1);
+        assert_eq!(t.events[1].fanout(), 3);
+        assert_eq!(t.stage_bytes("Shuffle"), 140);
+        assert_eq!(t.stage_bytes_unicast_equivalent("Shuffle"), 100 + 120);
+        assert_eq!(t.stage_transfer_count("Shuffle"), 2);
+    }
+
+    #[test]
+    fn internal_events_excluded_from_byte_counts() {
+        let c = TraceCollector::new(true);
+        let s = c.intern("Shuffle");
+        c.record(s, 0, 0b10, 1000, EventKind::Internal);
+        c.record(s, 0, 0b10, 7, EventKind::AppUnicast);
+        let t = c.snapshot();
+        assert_eq!(t.stage_bytes("Shuffle"), 7);
+        assert_eq!(t.total_bytes(), 7);
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let c = TraceCollector::new(false);
+        let s = c.intern("Map");
+        c.record(s, 0, 1, 10, EventKind::AppUnicast);
+        assert!(c.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn unknown_stage_queries_are_empty() {
+        let t = Trace::default();
+        assert_eq!(t.stage_bytes("Nope"), 0);
+        assert_eq!(t.stage_events("Nope").count(), 0);
+        assert_eq!(t.stage_index("Nope"), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! The point-to-point transport abstraction.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::error::Result;
+use crate::message::Tag;
+
+/// A point-to-point message transport for one endpoint of a fabric.
+///
+/// Implementations: [`local::LocalEndpoint`](crate::local::LocalEndpoint)
+/// (in-process, channel-backed), [`tcp::TcpEndpoint`](crate::tcp::TcpEndpoint)
+/// (real sockets), and [`fault::FaultyTransport`](crate::fault::FaultyTransport)
+/// (failure injection for tests).
+///
+/// Semantics mirror MPI's point-to-point layer:
+/// * `send` is asynchronous and never blocks on the receiver (buffered);
+/// * `recv(src, tag)` matches on exact source *and* tag;
+/// * messages between one `(src, dst, tag)` triple arrive in send order.
+pub trait Transport: Send + Sync {
+    /// This endpoint's rank in `0..world_size`.
+    fn rank(&self) -> usize;
+
+    /// Number of endpoints in the fabric.
+    fn world_size(&self) -> usize;
+
+    /// Sends `payload` to `dst` under `tag`.
+    fn send(&self, dst: usize, tag: Tag, payload: Bytes) -> Result<()>;
+
+    /// Blocks until a message from `(src, tag)` arrives.
+    fn recv(&self, src: usize, tag: Tag) -> Result<Bytes>;
+
+    /// Blocking receive with a deadline.
+    fn recv_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> Result<Bytes>;
+
+    /// Non-blocking receive.
+    fn try_recv(&self, src: usize, tag: Tag) -> Result<Option<Bytes>>;
+
+    /// Tears down this endpoint: wakes blocked receivers with
+    /// `Disconnected`. Used for orderly shutdown and for aborting a fabric
+    /// when a peer panics.
+    fn shutdown(&self);
+}

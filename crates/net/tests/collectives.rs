@@ -1,0 +1,162 @@
+//! Property tests of the collectives: flat and binomial-tree broadcasts
+//! must deliver identical payloads to every member for arbitrary group
+//! compositions and roots, over both fabrics.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use cts_net::cluster::{run_spmd, ClusterConfig};
+use cts_net::comm::BcastAlgorithm;
+use cts_net::message::Tag;
+use cts_net::trace::EventKind;
+use proptest::prelude::*;
+
+/// Deterministic payload per (root, round).
+fn payload(root: usize, round: usize) -> Bytes {
+    Bytes::from(
+        (0..(31 + root * 7 + round * 3))
+            .map(|i| (root * 89 + round * 17 + i) as u8)
+            .collect::<Vec<u8>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every member of a random group receives the root's payload, for
+    /// both algorithms, across several rounds with rotating roots.
+    #[test]
+    fn broadcast_delivers_for_random_groups(
+        k in 2usize..=8,
+        member_bits in 0u64..256,
+        algo_flat in any::<bool>(),
+    ) {
+        let members: Vec<usize> = (0..k).filter(|i| member_bits >> i & 1 == 1).collect();
+        prop_assume!(members.len() >= 2);
+        let algo = if algo_flat {
+            BcastAlgorithm::Flat
+        } else {
+            BcastAlgorithm::BinomialTree
+        };
+        let cfg = ClusterConfig::local(k).with_bcast(algo);
+        let members = Arc::new(members);
+        let members2 = Arc::clone(&members);
+
+        let run = run_spmd(&cfg, move |comm| {
+            if !members2.contains(&comm.rank()) {
+                return Vec::new();
+            }
+            let mut got = Vec::new();
+            for (round, &root) in members2.iter().enumerate() {
+                let data = (comm.rank() == root).then(|| payload(root, round));
+                got.push(
+                    comm.broadcast(root, &members2, Tag::new(Tag::BCAST, round as u32), data)
+                        .unwrap(),
+                );
+            }
+            got
+        })
+        .unwrap();
+
+        for (rank, got) in run.results.iter().enumerate() {
+            if members.contains(&rank) {
+                prop_assert_eq!(got.len(), members.len());
+                for (round, &root) in members.iter().enumerate() {
+                    prop_assert_eq!(&got[round], &payload(root, round));
+                }
+            } else {
+                prop_assert!(got.is_empty());
+            }
+        }
+        // Exactly one Multicast event per broadcast, with fanout m-1.
+        let multicasts: Vec<_> = run
+            .trace
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Multicast)
+            .collect();
+        prop_assert_eq!(multicasts.len(), members.len());
+        for m in multicasts {
+            prop_assert_eq!(m.fanout() as usize, members.len() - 1);
+        }
+    }
+
+    /// Gather returns payloads in member order for arbitrary groups/roots.
+    #[test]
+    fn gather_orders_by_member(
+        k in 2usize..=8,
+        member_bits in 0u64..256,
+        root_sel in 0usize..8,
+    ) {
+        let members: Vec<usize> = (0..k).filter(|i| member_bits >> i & 1 == 1).collect();
+        prop_assume!(!members.is_empty());
+        let root = members[root_sel % members.len()];
+        let members = Arc::new(members);
+        let members2 = Arc::clone(&members);
+
+        let run = run_spmd(&ClusterConfig::local(k), move |comm| {
+            if !members2.contains(&comm.rank()) {
+                return None;
+            }
+            comm.gather(
+                root,
+                &members2,
+                Tag::new(Tag::GATHER, 0),
+                Bytes::copy_from_slice(&[comm.rank() as u8]),
+            )
+            .unwrap()
+        })
+        .unwrap();
+
+        for (rank, res) in run.results.iter().enumerate() {
+            if rank == root {
+                let gathered = res.as_ref().expect("root gathers");
+                let ids: Vec<usize> = gathered.iter().map(|b| b[0] as usize).collect();
+                prop_assert_eq!(&ids, &*members);
+            } else {
+                prop_assert!(res.is_none());
+            }
+        }
+    }
+}
+
+/// A deterministic stress test: many interleaved broadcasts in overlapping
+/// groups over TCP, exercising the FIFO-per-channel relay ordering the
+/// coded shuffle depends on.
+#[test]
+fn overlapping_groups_over_tcp_stay_ordered() {
+    let k = 5;
+    let groups: Vec<Vec<usize>> = vec![
+        vec![0, 1, 2],
+        vec![1, 2, 3],
+        vec![0, 2, 4],
+        vec![0, 1, 2, 3, 4],
+        vec![2, 3, 4],
+    ];
+    let groups = Arc::new(groups);
+    let groups2 = Arc::clone(&groups);
+
+    let run = run_spmd(&ClusterConfig::tcp(k), move |comm| {
+        let mut received = Vec::new();
+        for (gi, members) in groups2.iter().enumerate() {
+            if !members.contains(&comm.rank()) {
+                continue;
+            }
+            for &root in members {
+                let data = (comm.rank() == root).then(|| payload(root, gi));
+                let got = comm
+                    .broadcast(root, members, Tag::new(Tag::BCAST, gi as u32), data)
+                    .unwrap();
+                received.push((gi, root, got));
+            }
+        }
+        received
+    })
+    .unwrap();
+
+    for (rank, received) in run.results.iter().enumerate() {
+        for (gi, root, got) in received {
+            assert_eq!(got, &payload(*root, *gi), "rank {rank} group {gi} root {root}");
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Parallel-shuffle discrete-event simulator (the paper's §VI
+//! *Asynchronous Execution* future direction).
+//!
+//! The paper shuffles serially — one sender at a time — and asks what
+//! parallel communication would change. This module answers with a fluid
+//! flow model: every node pushes its transfer queue concurrently (one
+//! outstanding transfer per node, in order), each node's NIC has finite
+//! egress and ingress capacity, and concurrent flows share links
+//! **max-min fairly** (progressive filling). A discrete-event loop advances
+//! between flow completions.
+//!
+//! A notable consequence the ablation bench surfaces: under full
+//! parallelism the *receiver* side becomes the bottleneck of the coded
+//! scheme (every multicast packet is heard by `r` nodes), so the coded
+//! advantage shrinks from `r×` to roughly `(1−1/K)/(1−r/K)⁻¹` — evidence
+//! for why the serial schedule is where coding shines, and why the paper
+//! flags the asynchronous setting as open.
+
+use cts_net::trace::TraceEvent;
+use serde::{Deserialize, Serialize};
+
+use crate::config::NetModelConfig;
+
+/// One flow scheduled by the fluid simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FluidFlow {
+    /// Sender rank.
+    pub src: u16,
+    /// Receiver bitmask.
+    pub dsts: u64,
+    /// Payload bytes (after scaling; before multicast inflation).
+    pub bytes: f64,
+    /// Virtual start time (seconds).
+    pub start_s: f64,
+    /// Virtual completion time.
+    pub end_s: f64,
+}
+
+/// Result of a fluid simulation.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FluidOutcome {
+    /// All flows with their simulated start/end times.
+    pub flows: Vec<FluidFlow>,
+    /// Stage completion time.
+    pub makespan_s: f64,
+}
+
+struct ActiveFlow {
+    queue_idx: usize, // index into the per-sender queue (for bookkeeping)
+    src: usize,
+    dsts: Vec<usize>,
+    remaining: f64,   // bytes left (inflated by multicast penalty)
+    latency_left: f64,
+    start_s: f64,
+    original_bytes: f64,
+    dst_mask: u64,
+}
+
+/// Simulates the parallel shuffle of `by_sender` transfer queues (as
+/// produced by [`transfers_by_sender`](crate::serial::transfers_by_sender)).
+///
+/// Each sender executes its queue in order with one outstanding transfer;
+/// all senders run concurrently. A transfer first pays the per-transfer
+/// latency (consuming no bandwidth), then streams `bytes × multicast
+/// penalty` through the sender's egress and every receiver's ingress, at
+/// the max-min fair rate.
+pub fn simulate_parallel(by_sender: &[Vec<TraceEvent>], net: &NetModelConfig) -> FluidOutcome {
+    let nodes = by_sender.len().max(
+        by_sender
+            .iter()
+            .flatten()
+            .flat_map(|e| mask_to_vec(e.dsts))
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0),
+    );
+    let cap = net.effective_bytes_per_sec();
+    let mut next_idx = vec![0usize; by_sender.len()];
+    let mut active: Vec<ActiveFlow> = Vec::new();
+    let mut finished: Vec<FluidFlow> = Vec::new();
+    let mut clock = 0.0f64;
+
+    let start_next = |sender: usize,
+                      next_idx: &mut Vec<usize>,
+                      active: &mut Vec<ActiveFlow>,
+                      clock: f64| {
+        if let Some(ev) = by_sender[sender].get(next_idx[sender]) {
+            let dsts = mask_to_vec(ev.dsts);
+            let inflation = net.multicast_penalty(dsts.len() as u32);
+            active.push(ActiveFlow {
+                queue_idx: next_idx[sender],
+                src: sender,
+                remaining: ev.bytes as f64 * inflation,
+                latency_left: net.per_transfer_latency_s,
+                start_s: clock,
+                original_bytes: ev.bytes as f64,
+                dst_mask: ev.dsts,
+                dsts,
+            });
+            next_idx[sender] += 1;
+        }
+    };
+
+    for sender in 0..by_sender.len() {
+        start_next(sender, &mut next_idx, &mut active, clock);
+    }
+
+    while !active.is_empty() {
+        // Flows past their latency phase compete for bandwidth.
+        let streaming: Vec<usize> = (0..active.len())
+            .filter(|&i| active[i].latency_left <= 0.0)
+            .collect();
+        let rates = maxmin_rates(&active, &streaming, nodes, cap);
+
+        // Time to the next event: a latency expiry or a flow completion.
+        let mut dt = f64::INFINITY;
+        for (i, f) in active.iter().enumerate() {
+            if f.latency_left > 0.0 {
+                dt = dt.min(f.latency_left);
+            } else if rates[i] > 0.0 {
+                dt = dt.min(f.remaining / rates[i]);
+            }
+        }
+        debug_assert!(dt.is_finite(), "fluid simulation stalled");
+        clock += dt;
+
+        // Advance and collect completions.
+        let mut completed: Vec<usize> = Vec::new();
+        for (i, f) in active.iter_mut().enumerate() {
+            if f.latency_left > 0.0 {
+                f.latency_left -= dt;
+            } else {
+                f.remaining -= rates[i] * dt;
+                if f.remaining <= 1e-9 {
+                    completed.push(i);
+                }
+            }
+        }
+        // Remove completed (descending index), record, and refill senders.
+        completed.sort_unstable_by(|a, b| b.cmp(a));
+        for i in completed {
+            let f = active.swap_remove(i);
+            finished.push(FluidFlow {
+                src: f.src as u16,
+                dsts: f.dst_mask,
+                bytes: f.original_bytes,
+                start_s: f.start_s,
+                end_s: clock,
+            });
+            let _ = f.queue_idx;
+            start_next(f.src, &mut next_idx, &mut active, clock);
+        }
+    }
+
+    finished.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
+    FluidOutcome {
+        makespan_s: clock,
+        flows: finished,
+    }
+}
+
+fn mask_to_vec(mask: u64) -> Vec<usize> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    let mut m = mask;
+    while m != 0 {
+        out.push(m.trailing_zeros() as usize);
+        m &= m - 1;
+    }
+    out
+}
+
+/// Max-min fair rates via progressive filling over per-node egress and
+/// ingress links of capacity `cap`. Only `streaming` flows (past latency)
+/// get bandwidth; others get 0.
+fn maxmin_rates(
+    active: &[ActiveFlow],
+    streaming: &[usize],
+    nodes: usize,
+    cap: f64,
+) -> Vec<f64> {
+    // Link ids: 0..nodes = egress, nodes..2*nodes = ingress.
+    let num_links = 2 * nodes;
+    let mut link_cap = vec![cap; num_links];
+    let mut rates = vec![0.0f64; active.len()];
+    let mut frozen: Vec<bool> = (0..active.len()).map(|i| !streaming.contains(&i)).collect();
+
+    let links_of = |f: &ActiveFlow| -> Vec<usize> {
+        let mut l = vec![f.src];
+        l.extend(f.dsts.iter().map(|&d| nodes + d));
+        l
+    };
+
+    loop {
+        // Flows still rising per link.
+        let mut counts = vec![0usize; num_links];
+        let mut any = false;
+        for (i, f) in active.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            any = true;
+            for l in links_of(f) {
+                counts[l] += 1;
+            }
+        }
+        if !any {
+            break;
+        }
+        // The binding link determines the uniform increment.
+        let mut delta = f64::INFINITY;
+        for l in 0..num_links {
+            if counts[l] > 0 {
+                delta = delta.min(link_cap[l] / counts[l] as f64);
+            }
+        }
+        if !delta.is_finite() || delta <= 0.0 {
+            break;
+        }
+        for (i, f) in active.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            rates[i] += delta;
+            for l in links_of(f) {
+                link_cap[l] -= delta;
+            }
+        }
+        // Freeze flows on saturated links.
+        for (i, f) in active.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            if links_of(f).iter().any(|&l| link_cap[l] <= 1e-9) {
+                frozen[i] = true;
+            }
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_net::trace::{EventKind, TraceEvent};
+
+    fn net_10mbs() -> NetModelConfig {
+        NetModelConfig {
+            bandwidth_bits_per_sec: 80e6, // 10 MB/s at eff 1
+            tcp_efficiency: 1.0,
+            per_transfer_latency_s: 0.0,
+            multicast_alpha: 0.0,
+            group_setup_s: 0.0,
+        }
+    }
+
+    fn ev(src: usize, dsts: u64, bytes: u64) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            stage: 0,
+            src: src as u16,
+            dsts,
+            bytes,
+            overhead: 0,
+            kind: EventKind::AppUnicast,
+        }
+    }
+
+    #[test]
+    fn single_flow_runs_at_line_rate() {
+        let out = simulate_parallel(&[vec![ev(0, 0b10, 10_000_000)]], &net_10mbs());
+        assert!((out.makespan_s - 1.0).abs() < 1e-6, "{}", out.makespan_s);
+        assert_eq!(out.flows.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_flows_run_concurrently() {
+        // 0→1 and 2→3 share no links: both finish at t = 1.
+        let out = simulate_parallel(
+            &[
+                vec![ev(0, 0b0010, 10_000_000)],
+                vec![],
+                vec![ev(2, 0b1000, 10_000_000)],
+            ],
+            &net_10mbs(),
+        );
+        assert!((out.makespan_s - 1.0).abs() < 1e-6, "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn ingress_contention_halves_rates() {
+        // 0→2 and 1→2 share node 2's ingress: each gets 5 MB/s → 2 s.
+        let out = simulate_parallel(
+            &[
+                vec![ev(0, 0b100, 10_000_000)],
+                vec![ev(1, 0b100, 10_000_000)],
+            ],
+            &net_10mbs(),
+        );
+        assert!((out.makespan_s - 2.0).abs() < 1e-6, "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn sender_queue_is_sequential() {
+        // One sender, two back-to-back unicasts to different receivers.
+        let out = simulate_parallel(
+            &[vec![ev(0, 0b010, 10_000_000), ev(0, 0b100, 10_000_000)]],
+            &net_10mbs(),
+        );
+        assert!((out.makespan_s - 2.0).abs() < 1e-6, "{}", out.makespan_s);
+        assert!(out.flows[0].end_s <= out.flows[1].start_s + 1e-9);
+    }
+
+    #[test]
+    fn parallel_all_to_all_beats_serial() {
+        // 4 nodes, all-to-all 10 MB each with the classic staggered order
+        // (step i: s → (s+i) mod K, all links disjoint per step):
+        // serial = 12 s; parallel = 3 s.
+        let by_sender: Vec<Vec<TraceEvent>> = (0..4usize)
+            .map(|s| {
+                (1..4usize)
+                    .map(|i| ev(s, 1 << ((s + i) % 4), 10_000_000))
+                    .collect()
+            })
+            .collect();
+        let out = simulate_parallel(&by_sender, &net_10mbs());
+        assert!((out.makespan_s - 3.0).abs() < 0.01, "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn naive_ordering_creates_ingress_hotspots() {
+        // If every sender targets node 0 first, node 0's ingress serializes
+        // the first phase: the makespan doubles vs. the staggered order.
+        let by_sender: Vec<Vec<TraceEvent>> = (0..4usize)
+            .map(|s| {
+                (0..4usize)
+                    .filter(|&d| d != s)
+                    .map(|d| ev(s, 1 << d, 10_000_000))
+                    .collect()
+            })
+            .collect();
+        let out = simulate_parallel(&by_sender, &net_10mbs());
+        assert!(out.makespan_s > 4.5, "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn multicast_loads_every_receiver_ingress() {
+        // Two senders multicast 10 MB to the same two receivers.
+        // Each receiver ingress carries 20 MB at 10 MB/s → 2 s.
+        let out = simulate_parallel(
+            &[
+                vec![ev(0, 0b1100, 10_000_000)],
+                vec![ev(1, 0b1100, 10_000_000)],
+            ],
+            &net_10mbs(),
+        );
+        assert!((out.makespan_s - 2.0).abs() < 1e-6, "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn latency_delays_streaming() {
+        let net = NetModelConfig {
+            per_transfer_latency_s: 0.5,
+            ..net_10mbs()
+        };
+        let out = simulate_parallel(&[vec![ev(0, 0b10, 10_000_000)]], &net);
+        assert!((out.makespan_s - 1.5).abs() < 1e-6, "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn multicast_penalty_inflates_bytes() {
+        let net = NetModelConfig {
+            multicast_alpha: 1.0,
+            ..net_10mbs()
+        };
+        // Fanout 2 → inflation 1 + log2(2) = 2 → 2 s for 10 MB.
+        let out = simulate_parallel(&[vec![ev(0, 0b110, 10_000_000)]], &net);
+        assert!((out.makespan_s - 2.0).abs() < 1e-6, "{}", out.makespan_s);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        let out = simulate_parallel(&[vec![], vec![]], &net_10mbs());
+        assert_eq!(out.makespan_s, 0.0);
+        assert!(out.flows.is_empty());
+    }
+}

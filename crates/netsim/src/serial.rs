@@ -1,0 +1,258 @@
+//! Serial shuffle schedule evaluation (paper Fig. 9).
+//!
+//! Both algorithms shuffle *serially*: exactly one sender is active at any
+//! instant. TeraSort unicasts back-to-back (Fig. 9(a)); CodedTeraSort
+//! multicasts one coded packet at a time (Fig. 9(b)). Under a serial
+//! schedule the stage time is simply the sum of individual transfer times —
+//! which the model computes from the traced byte counts, the calibrated
+//! link rate, the per-transfer latency, and the logarithmic multicast
+//! penalty.
+
+use cts_net::trace::{EventKind, Trace, TraceEvent};
+use serde::{Deserialize, Serialize};
+
+use crate::config::NetModelConfig;
+
+/// One scheduled transfer in virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledTransfer {
+    /// Virtual start time (seconds from stage start).
+    pub start_s: f64,
+    /// Virtual end time.
+    pub end_s: f64,
+    /// Sender rank.
+    pub src: u16,
+    /// Receiver bitmask.
+    pub dsts: u64,
+    /// Payload bytes (already scaled).
+    pub bytes: f64,
+}
+
+/// The result of evaluating a stage's transfers under a schedule.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Transfers with virtual start/end times, schedule order.
+    pub transfers: Vec<ScheduledTransfer>,
+}
+
+impl Schedule {
+    /// Stage completion time (end of the last transfer).
+    pub fn makespan_s(&self) -> f64 {
+        self.transfers.last().map(|t| t.end_s).unwrap_or(0.0)
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> f64 {
+        self.transfers.iter().map(|t| t.bytes).sum()
+    }
+}
+
+/// Evaluates the serial schedule over the non-internal events of `stage`,
+/// with byte counts multiplied by `scale`.
+///
+/// Transfers execute one after another in trace order — the order the
+/// engines produced them, which for both algorithms is the paper's
+/// node-by-node serial order.
+pub fn serial_schedule(
+    trace: &Trace,
+    stage: &str,
+    net: &NetModelConfig,
+    scale: f64,
+) -> Schedule {
+    let mut clock = 0.0f64;
+    let mut transfers = Vec::new();
+    for ev in trace.stage_events(stage) {
+        if ev.kind == EventKind::Internal {
+            continue;
+        }
+        let bytes = scaled_wire_bytes(ev, scale);
+        let duration = net.per_transfer_latency_s + net.transfer_seconds(bytes, ev.fanout());
+        transfers.push(ScheduledTransfer {
+            start_s: clock,
+            end_s: clock + duration,
+            src: ev.src,
+            dsts: ev.dsts,
+            bytes,
+        });
+        clock += duration;
+    }
+    Schedule { transfers }
+}
+
+/// Projects a traced transfer onto the target input size: payload scales,
+/// per-packet protocol overhead does not.
+#[inline]
+pub fn scaled_wire_bytes(ev: &TraceEvent, scale: f64) -> f64 {
+    (ev.bytes - ev.overhead) as f64 * scale + ev.overhead as f64
+}
+
+/// Serial makespan without materializing the schedule (fast path used by
+/// sweeps).
+pub fn serial_makespan(trace: &Trace, stage: &str, net: &NetModelConfig, scale: f64) -> f64 {
+    trace
+        .stage_events(stage)
+        .filter(|e| e.kind != EventKind::Internal)
+        .map(|e| net.per_transfer_latency_s + net.transfer_seconds(scaled_wire_bytes(e, scale), e.fanout()))
+        .sum()
+}
+
+/// Evaluates the *tree-decomposed* cost of multicasts: instead of the
+/// `1 + α·log2(m)` penalty on one transfer, each multicast to `m` receivers
+/// is charged as `m` serial unicasts of the same payload (a binomial tree
+/// moves the packet over exactly `m` edges). This is the ablation that
+/// quantifies what `MPI_Bcast`'s software tree would cost if its hops did
+/// not overlap at all, relative to ideal network-layer multicast (which
+/// EC2 does not support — §I).
+pub fn serial_makespan_tree_unicast(
+    trace: &Trace,
+    stage: &str,
+    net: &NetModelConfig,
+    scale: f64,
+) -> f64 {
+    trace
+        .stage_events(stage)
+        .map(|e| match e.kind {
+            EventKind::AppUnicast => {
+                net.per_transfer_latency_s + net.transfer_seconds(scaled_wire_bytes(e, scale), 1)
+            }
+            EventKind::Multicast => {
+                e.fanout() as f64
+                    * (net.per_transfer_latency_s
+                        + net.transfer_seconds(scaled_wire_bytes(e, scale), 1))
+            }
+            // Tree hops are already accounted by the fanout expansion.
+            EventKind::Internal => 0.0,
+        })
+        .sum()
+}
+
+/// Returns the per-sender transfer lists of a stage (trace order within
+/// each sender) — the input shape for the parallel-shuffle simulator.
+pub fn transfers_by_sender(trace: &Trace, stage: &str, scale: f64) -> Vec<Vec<TraceEvent>> {
+    let mut max_rank = 0usize;
+    let events: Vec<TraceEvent> = trace
+        .stage_events(stage)
+        .filter(|e| e.kind != EventKind::Internal)
+        .map(|e| {
+            max_rank = max_rank.max(e.src as usize);
+            let mut e = *e;
+            e.bytes = scaled_wire_bytes(&e, scale).round() as u64;
+            e.overhead = 0; // already folded into bytes
+            e
+        })
+        .collect();
+    let mut by_sender = vec![Vec::new(); max_rank + 1];
+    for e in events {
+        by_sender[e.src as usize].push(e);
+    }
+    by_sender
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_net::trace::TraceCollector;
+
+    fn trace_with(events: &[(usize, u64, u64, EventKind)]) -> Trace {
+        let c = TraceCollector::new(true);
+        let s = c.intern("Shuffle");
+        for &(src, dsts, bytes, kind) in events {
+            c.record(s, src, dsts, bytes, kind);
+        }
+        c.snapshot()
+    }
+
+    fn net() -> NetModelConfig {
+        NetModelConfig {
+            bandwidth_bits_per_sec: 80e6, // 10 MB/s effective at eff=1
+            tcp_efficiency: 1.0,
+            per_transfer_latency_s: 0.001,
+            multicast_alpha: 0.5,
+            group_setup_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn serial_unicasts_sum() {
+        let t = trace_with(&[
+            (0, 0b10, 10_000_000, EventKind::AppUnicast),
+            (1, 0b01, 20_000_000, EventKind::AppUnicast),
+        ]);
+        let s = serial_schedule(&t, "Shuffle", &net(), 1.0);
+        // 1 s + 2 s plus 1 ms latency each.
+        assert!((s.makespan_s() - 3.002).abs() < 1e-9);
+        assert_eq!(s.transfers.len(), 2);
+        assert!((s.transfers[0].end_s - s.transfers[1].start_s).abs() < 1e-12);
+        assert!((serial_makespan(&t, "Shuffle", &net(), 1.0) - s.makespan_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multicast_pays_log_penalty() {
+        let t = trace_with(&[(0, 0b1110, 10_000_000, EventKind::Multicast)]);
+        let s = serial_makespan(&t, "Shuffle", &net(), 1.0);
+        // fanout 3: 1 + 0.5·log2(3) ≈ 1.7925 → 1.7925 s + 1 ms.
+        assert!((s - (1.0 + 0.5 * 3f64.log2()) - 0.001).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn internal_events_are_free() {
+        let t = trace_with(&[
+            (0, 0b10, 1_000_000, EventKind::Internal),
+            (0, 0b10, 1_000_000, EventKind::AppUnicast),
+        ]);
+        let s = serial_makespan(&t, "Shuffle", &net(), 1.0);
+        assert!((s - 0.101).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_multiplies_bytes_not_latency() {
+        let t = trace_with(&[(0, 0b10, 1_000_000, EventKind::AppUnicast)]);
+        let s1 = serial_makespan(&t, "Shuffle", &net(), 1.0);
+        let s10 = serial_makespan(&t, "Shuffle", &net(), 10.0);
+        // s1 = 0.1 + 0.001; s10 = 1.0 + 0.001.
+        assert!((s10 - 1.001).abs() < 1e-9);
+        assert!((s1 - 0.101).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_unicast_charges_fanout_times() {
+        // One multicast to 3 receivers decomposed into 3 serial unicasts;
+        // the recorded tree hops themselves are not double-charged.
+        let t = trace_with(&[
+            (0, 0b1110, 1_000_000, EventKind::Multicast),
+            (0, 0b0010, 1_000_000, EventKind::Internal),
+            (1, 0b0100, 1_000_000, EventKind::Internal),
+            (0, 0b1000, 1_000_000, EventKind::Internal),
+        ]);
+        let tree = serial_makespan_tree_unicast(&t, "Shuffle", &net(), 1.0);
+        assert!((tree - 0.303).abs() < 1e-9, "{tree}");
+        // The penalty model charges less than 3 serial unicasts (that's the
+        // point of multicasting).
+        let penalty = serial_makespan(&t, "Shuffle", &net(), 1.0);
+        assert!(penalty < tree);
+    }
+
+    #[test]
+    fn transfers_by_sender_groups_and_scales() {
+        let t = trace_with(&[
+            (2, 0b001, 100, EventKind::AppUnicast),
+            (0, 0b100, 200, EventKind::AppUnicast),
+            (2, 0b010, 300, EventKind::AppUnicast),
+            (1, 0b001, 400, EventKind::Internal), // excluded
+        ]);
+        let by = transfers_by_sender(&t, "Shuffle", 2.0);
+        assert_eq!(by.len(), 3);
+        assert_eq!(by[0].len(), 1);
+        assert_eq!(by[1].len(), 0);
+        assert_eq!(by[2].len(), 2);
+        assert_eq!(by[2][0].bytes, 200);
+        assert_eq!(by[2][1].bytes, 600);
+    }
+
+    #[test]
+    fn empty_stage_is_zero() {
+        let t = trace_with(&[]);
+        assert_eq!(serial_makespan(&t, "Shuffle", &net(), 1.0), 0.0);
+        assert_eq!(serial_schedule(&t, "Shuffle", &net(), 1.0).makespan_s(), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! ASCII rendering of shuffle schedules — the Fig. 9 reproduction.
+//!
+//! The paper's Fig. 9 contrasts the serial-unicast schedule of TeraSort
+//! with the serial-multicast schedule of CodedTeraSort as timelines of
+//! arrows between nodes. [`render_listing`] prints the same information as
+//! an event list; [`render_gantt`] draws per-node sender lanes.
+
+use crate::serial::Schedule;
+
+fn fmt_bytes(b: f64) -> String {
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2} MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.2} KB", b / 1e3)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+fn fmt_dsts(mask: u64) -> String {
+    let members: Vec<String> = (0..64)
+        .filter(|i| mask >> i & 1 == 1)
+        .map(|i| i.to_string())
+        .collect();
+    if members.len() == 1 {
+        format!("node {}", members[0])
+    } else {
+        format!("{{{}}}", members.join(","))
+    }
+}
+
+/// Event-list rendering: one line per transfer, truncated to `max_rows`
+/// (with an ellipsis line when truncated).
+pub fn render_listing(schedule: &Schedule, max_rows: usize) -> String {
+    let mut out = String::new();
+    for (i, t) in schedule.transfers.iter().enumerate() {
+        if i >= max_rows {
+            out.push_str(&format!(
+                "  … {} more transfers …\n",
+                schedule.transfers.len() - max_rows
+            ));
+            break;
+        }
+        out.push_str(&format!(
+            "  [{:>9.3}s – {:>9.3}s] node {} → {:<12} {:>10}\n",
+            t.start_s,
+            t.end_s,
+            t.src,
+            fmt_dsts(t.dsts),
+            fmt_bytes(t.bytes),
+        ));
+    }
+    out.push_str(&format!(
+        "  makespan: {:.3}s over {} transfers, {}\n",
+        schedule.makespan_s(),
+        schedule.transfers.len(),
+        fmt_bytes(schedule.total_bytes()),
+    ));
+    out
+}
+
+/// Gantt rendering: one lane per sender, `width` character columns across
+/// the makespan; `█` marks intervals where that node is transmitting.
+///
+/// For the paper's serial schedules the lanes tile perfectly — node 0's
+/// block ends where node 1's begins (Fig. 9) — while the parallel ablation
+/// shows overlapping lanes.
+pub fn render_gantt(schedule: &Schedule, width: usize) -> String {
+    let makespan = schedule.makespan_s();
+    if makespan <= 0.0 || schedule.transfers.is_empty() {
+        return String::from("  (empty schedule)\n");
+    }
+    let max_node = schedule.transfers.iter().map(|t| t.src).max().unwrap() as usize;
+    let mut lanes = vec![vec![' '; width]; max_node + 1];
+    for t in &schedule.transfers {
+        let a = ((t.start_s / makespan) * width as f64).floor() as usize;
+        let b = ((t.end_s / makespan) * width as f64).ceil() as usize;
+        for cell in lanes[t.src as usize]
+            .iter_mut()
+            .take(b.min(width))
+            .skip(a.min(width.saturating_sub(1)))
+        {
+            *cell = '█';
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "  time →  0s {:>width$.3}s\n",
+        makespan,
+        width = width.saturating_sub(3)
+    ));
+    for (node, lane) in lanes.iter().enumerate() {
+        out.push_str(&format!("  node {node:>2} |{}|\n", lane.iter().collect::<String>()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::ScheduledTransfer;
+
+    fn serial_4node() -> Schedule {
+        // Four nodes transmit back-to-back for 1 s each.
+        Schedule {
+            transfers: (0..4)
+                .map(|i| ScheduledTransfer {
+                    start_s: i as f64,
+                    end_s: i as f64 + 1.0,
+                    src: i as u16,
+                    dsts: 0b1111 & !(1 << i),
+                    bytes: 1e6,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn listing_shows_transfers_and_makespan() {
+        let s = serial_4node();
+        let text = render_listing(&s, 10);
+        assert!(text.contains("node 0"));
+        assert!(text.contains("makespan: 4.000s"));
+        assert!(text.contains("4 transfers"));
+    }
+
+    #[test]
+    fn listing_truncates() {
+        let s = serial_4node();
+        let text = render_listing(&s, 2);
+        assert!(text.contains("2 more transfers"));
+    }
+
+    #[test]
+    fn gantt_lanes_tile_for_serial() {
+        let s = serial_4node();
+        let g = render_gantt(&s, 40);
+        // Every lane has some blocks; lane 0 starts at the left, lane 3
+        // ends at the right.
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 5); // header + 4 lanes
+        assert!(lines[1].contains('█'));
+        let lane0 = lines[1].split('|').nth(1).unwrap();
+        let lane3 = lines[4].split('|').nth(1).unwrap();
+        assert_eq!(lane0.chars().next().unwrap(), '█');
+        assert_eq!(lane3.chars().last().unwrap(), '█');
+    }
+
+    #[test]
+    fn empty_schedule_renders_gracefully() {
+        let s = Schedule::default();
+        assert!(render_gantt(&s, 20).contains("empty"));
+        assert!(render_listing(&s, 5).contains("0 transfers"));
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(500.0), "500 B");
+        assert_eq!(fmt_bytes(1500.0), "1.50 KB");
+        assert_eq!(fmt_bytes(46_875_000.0), "46.88 MB");
+        assert_eq!(fmt_bytes(3.25e9), "3.25 GB");
+    }
+
+    #[test]
+    fn dsts_formatting() {
+        assert_eq!(fmt_dsts(0b100), "node 2");
+        assert_eq!(fmt_dsts(0b1110), "{1,2,3}");
+    }
+}

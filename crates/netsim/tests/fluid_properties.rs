@@ -1,0 +1,124 @@
+//! Property tests of the fluid (parallel-shuffle) simulator: physics
+//! bounds that must hold for arbitrary transfer sets.
+
+use cts_net::trace::{EventKind, TraceEvent};
+use cts_netsim::config::NetModelConfig;
+use cts_netsim::fluid::simulate_parallel;
+use proptest::prelude::*;
+
+fn net(cap_mbps: f64) -> NetModelConfig {
+    NetModelConfig {
+        bandwidth_bits_per_sec: cap_mbps * 1e6,
+        tcp_efficiency: 1.0,
+        per_transfer_latency_s: 0.0,
+        multicast_alpha: 0.0,
+        group_setup_s: 0.0,
+    }
+}
+
+fn ev(src: usize, dsts: u64, bytes: u64) -> TraceEvent {
+    TraceEvent {
+        seq: 0,
+        stage: 0,
+        src: src as u16,
+        dsts,
+        bytes,
+        overhead: 0,
+        kind: EventKind::AppUnicast,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The simulated makespan is bracketed by two physics bounds:
+    /// * lower: the most loaded single link (egress of the busiest sender,
+    ///   ingress of the busiest receiver) at full capacity;
+    /// * upper: the fully serial schedule (sum of all transfer times).
+    #[test]
+    fn makespan_within_physics_bounds(
+        k in 2usize..=6,
+        plan in proptest::collection::vec((0usize..6, 0usize..6, 1u64..1_000_000), 1..24),
+    ) {
+        let cap = net(80.0); // 10 MB/s
+        let rate = cap.effective_bytes_per_sec();
+        let mut by_sender = vec![Vec::new(); k];
+        let mut egress = vec![0u64; k];
+        let mut ingress = vec![0u64; k];
+        let mut total = 0u64;
+        for (s, d, bytes) in plan {
+            let (s, d) = (s % k, d % k);
+            if s == d {
+                continue;
+            }
+            by_sender[s].push(ev(s, 1 << d, bytes));
+            egress[s] += bytes;
+            ingress[d] += bytes;
+            total += bytes;
+        }
+        prop_assume!(total > 0);
+        let out = simulate_parallel(&by_sender, &cap);
+
+        let lower = egress
+            .iter()
+            .chain(ingress.iter())
+            .cloned()
+            .max()
+            .unwrap() as f64
+            / rate;
+        let upper = total as f64 / rate;
+        prop_assert!(
+            out.makespan_s >= lower - 1e-6,
+            "makespan {} below link bound {lower}",
+            out.makespan_s
+        );
+        prop_assert!(
+            out.makespan_s <= upper + 1e-6,
+            "makespan {} above serial bound {upper}",
+            out.makespan_s
+        );
+        // Every flow is recorded exactly once.
+        let scheduled: usize = by_sender.iter().map(|q| q.len()).sum();
+        prop_assert_eq!(out.flows.len(), scheduled);
+    }
+
+    /// Per-sender queues execute in order: flow i+1 of a sender never
+    /// starts before flow i completes.
+    #[test]
+    fn sender_queues_are_sequential(
+        bytes in proptest::collection::vec(1u64..500_000, 2..10),
+    ) {
+        let cap = net(80.0);
+        let queue: Vec<TraceEvent> = bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| ev(0, 1 << (1 + i % 3), b))
+            .collect();
+        let out = simulate_parallel(&[queue], &cap);
+        let mut flows = out.flows.clone();
+        flows.sort_by(|a, b| a.start_s.partial_cmp(&b.start_s).unwrap());
+        for pair in flows.windows(2) {
+            prop_assert!(pair[1].start_s >= pair[0].end_s - 1e-9);
+        }
+    }
+
+    /// Doubling the link capacity halves the makespan (latency-free,
+    /// work-conserving fluid).
+    #[test]
+    fn makespan_scales_inversely_with_capacity(
+        plan in proptest::collection::vec((0usize..4, 0usize..4, 1u64..100_000), 1..12),
+    ) {
+        let mut by_sender = vec![Vec::new(); 4];
+        let mut any = false;
+        for (s, d, bytes) in plan {
+            if s != d {
+                by_sender[s].push(ev(s, 1 << d, bytes));
+                any = true;
+            }
+        }
+        prop_assume!(any);
+        let slow = simulate_parallel(&by_sender, &net(40.0)).makespan_s;
+        let fast = simulate_parallel(&by_sender, &net(80.0)).makespan_s;
+        prop_assert!((slow - 2.0 * fast).abs() / slow < 1e-6);
+    }
+}

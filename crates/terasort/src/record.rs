@@ -1,0 +1,141 @@
+//! The TeraSort record format.
+//!
+//! Following the paper's §V-A data format (TeraGen output): each record is
+//! exactly 100 bytes — a 10-byte key and a 90-byte value. Keys are
+//! unsigned integers compared by standard integer ordering, which for
+//! fixed-width big-endian byte strings is plain lexicographic comparison.
+
+/// Key width in bytes.
+pub const KEY_LEN: usize = 10;
+/// Value width in bytes.
+pub const VALUE_LEN: usize = 90;
+/// Total record width.
+pub const RECORD_LEN: usize = KEY_LEN + VALUE_LEN;
+
+/// Borrowing view over the records in a packed buffer.
+///
+/// # Panics
+/// Panics if `buf.len()` is not a multiple of [`RECORD_LEN`].
+pub fn records(buf: &[u8]) -> impl ExactSizeIterator<Item = &[u8]> {
+    assert!(
+        buf.len().is_multiple_of(RECORD_LEN),
+        "buffer of {} bytes is not whole records",
+        buf.len()
+    );
+    buf.chunks_exact(RECORD_LEN)
+}
+
+/// The key bytes of a record slice.
+///
+/// # Panics
+/// Panics if `record.len() != RECORD_LEN`.
+#[inline]
+pub fn key_of(record: &[u8]) -> &[u8] {
+    assert_eq!(record.len(), RECORD_LEN, "not a record");
+    &record[..KEY_LEN]
+}
+
+/// The value bytes of a record slice.
+#[inline]
+pub fn value_of(record: &[u8]) -> &[u8] {
+    assert_eq!(record.len(), RECORD_LEN, "not a record");
+    &record[KEY_LEN..]
+}
+
+/// Interprets a 10-byte key as an unsigned integer (big-endian), the
+/// paper's "standard integer ordering".
+#[inline]
+pub fn key_to_u128(key: &[u8]) -> u128 {
+    debug_assert_eq!(key.len(), KEY_LEN);
+    let mut padded = [0u8; 16];
+    padded[6..16].copy_from_slice(key);
+    u128::from_be_bytes(padded)
+}
+
+/// Number of whole records in a packed buffer.
+pub fn record_count(buf: &[u8]) -> usize {
+    debug_assert!(buf.len().is_multiple_of(RECORD_LEN));
+    buf.len() / RECORD_LEN
+}
+
+/// An order-independent checksum over the records of a buffer (sum of
+/// FNV-1a hashes of each whole record, wrapping). Input and sorted output
+/// must agree — the TeraValidate invariant.
+pub fn checksum(buf: &[u8]) -> u64 {
+    let mut total: u64 = 0;
+    for rec in records(buf) {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in rec {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        total = total.wrapping_add(h);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key_byte: u8) -> Vec<u8> {
+        let mut r = vec![0u8; RECORD_LEN];
+        r[0] = key_byte;
+        r[KEY_LEN] = 0xEE;
+        r
+    }
+
+    #[test]
+    fn accessors_split_key_and_value() {
+        let r = rec(42);
+        assert_eq!(key_of(&r)[0], 42);
+        assert_eq!(key_of(&r).len(), KEY_LEN);
+        assert_eq!(value_of(&r)[0], 0xEE);
+        assert_eq!(value_of(&r).len(), VALUE_LEN);
+    }
+
+    #[test]
+    fn records_iterates_chunks() {
+        let mut buf = rec(1);
+        buf.extend(rec(2));
+        buf.extend(rec(3));
+        let keys: Vec<u8> = records(&buf).map(|r| r[0]).collect();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(record_count(&buf), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole records")]
+    fn records_rejects_partial() {
+        let buf = vec![0u8; 150];
+        let _ = records(&buf);
+    }
+
+    #[test]
+    fn key_integer_order_is_lexicographic() {
+        let lo = [0u8, 0, 0, 0, 0, 0, 0, 0, 1, 0];
+        let hi = [0u8, 0, 0, 0, 0, 0, 0, 0, 1, 1];
+        assert!(key_to_u128(&lo) < key_to_u128(&hi));
+        assert!(lo < hi); // byte order agrees
+        let max = [0xFFu8; KEY_LEN];
+        assert_eq!(key_to_u128(&max), (1u128 << 80) - 1);
+    }
+
+    #[test]
+    fn checksum_is_order_independent() {
+        let mut a = rec(1);
+        a.extend(rec(2));
+        let mut b = rec(2);
+        b.extend(rec(1));
+        assert_eq!(checksum(&a), checksum(&b));
+        // …but content-dependent.
+        let mut c = rec(1);
+        c.extend(rec(3));
+        assert_ne!(checksum(&a), checksum(&c));
+    }
+
+    #[test]
+    fn checksum_of_empty_is_zero() {
+        assert_eq!(checksum(&[]), 0);
+    }
+}

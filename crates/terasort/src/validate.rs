@@ -1,0 +1,183 @@
+//! TeraValidate: end-to-end output verification.
+//!
+//! Hadoop's TeraValidate checks that the sorted output is a permutation of
+//! the input in global key order. [`validate`] enforces the same three
+//! invariants over per-partition outputs:
+//!
+//! 1. every partition is internally sorted;
+//! 2. partitions are ordered: each partition's first key is `>=` the
+//!    previous partition's last key;
+//! 3. the record count and the order-independent checksum match the input.
+
+use crate::record::{checksum, key_of, record_count, records};
+use crate::sort::is_sorted;
+
+/// A TeraValidate failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Some partition is not internally sorted.
+    PartitionUnsorted {
+        /// Which partition.
+        partition: usize,
+    },
+    /// Partition boundaries are out of global order.
+    BoundaryDisorder {
+        /// The partition whose first key is smaller than its predecessor's
+        /// last key.
+        partition: usize,
+    },
+    /// Output record count differs from the input's.
+    CountMismatch {
+        /// Input record count.
+        expected: usize,
+        /// Output record count.
+        actual: usize,
+    },
+    /// Output checksum differs — records were lost, duplicated, or
+    /// corrupted.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::PartitionUnsorted { partition } => {
+                write!(f, "partition {partition} is not sorted")
+            }
+            ValidationError::BoundaryDisorder { partition } => {
+                write!(f, "partition {partition} starts before its predecessor ends")
+            }
+            ValidationError::CountMismatch { expected, actual } => {
+                write!(f, "expected {expected} records, found {actual}")
+            }
+            ValidationError::ChecksumMismatch => write!(f, "record checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates per-partition sorted outputs against the original input.
+pub fn validate(input: &[u8], outputs: &[Vec<u8>]) -> Result<(), ValidationError> {
+    // 1. Internal order.
+    for (p, out) in outputs.iter().enumerate() {
+        if !is_sorted(out) {
+            return Err(ValidationError::PartitionUnsorted { partition: p });
+        }
+    }
+    // 2. Boundary order.
+    let mut prev_last: Option<Vec<u8>> = None;
+    for (p, out) in outputs.iter().enumerate() {
+        let mut iter = records(out);
+        if let Some(first) = iter.next() {
+            if let Some(ref last) = prev_last {
+                if key_of(first) < &last[..] {
+                    return Err(ValidationError::BoundaryDisorder { partition: p });
+                }
+            }
+            let last = records(out).last().unwrap();
+            prev_last = Some(key_of(last).to_vec());
+        }
+    }
+    // 3. Conservation.
+    let out_count: usize = outputs.iter().map(|o| record_count(o)).sum();
+    let in_count = record_count(input);
+    if out_count != in_count {
+        return Err(ValidationError::CountMismatch {
+            expected: in_count,
+            actual: out_count,
+        });
+    }
+    let out_sum = outputs
+        .iter()
+        .fold(0u64, |acc, o| acc.wrapping_add(checksum(o)));
+    if out_sum != checksum(input) {
+        return Err(ValidationError::ChecksumMismatch);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RECORD_LEN;
+    use crate::teragen::generate;
+    use crate::workload::TeraSortWorkload;
+    use cts_mapreduce::run_sequential;
+
+    #[test]
+    fn accepts_correct_output() {
+        let data = generate(400, 61);
+        let outputs = run_sequential(&TeraSortWorkload::range(4), &data, 4);
+        validate(&data, &outputs).unwrap();
+    }
+
+    #[test]
+    fn rejects_unsorted_partition() {
+        let data = generate(100, 62);
+        let mut outputs = run_sequential(&TeraSortWorkload::range(2), &data, 2);
+        // Reverse one partition's records.
+        let p0 = &mut outputs[0];
+        let reversed: Vec<u8> = p0
+            .chunks_exact(RECORD_LEN)
+            .rev()
+            .flat_map(|r| r.iter().copied())
+            .collect();
+        *p0 = reversed;
+        assert!(matches!(
+            validate(&data, &outputs),
+            Err(ValidationError::PartitionUnsorted { partition: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_swapped_partitions() {
+        let data = generate(200, 63);
+        let mut outputs = run_sequential(&TeraSortWorkload::range(2), &data, 2);
+        outputs.swap(0, 1);
+        assert!(matches!(
+            validate(&data, &outputs),
+            Err(ValidationError::BoundaryDisorder { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_lost_records() {
+        let data = generate(100, 64);
+        let mut outputs = run_sequential(&TeraSortWorkload::range(2), &data, 2);
+        let keep = outputs[1].len() - RECORD_LEN;
+        outputs[1].truncate(keep);
+        assert!(matches!(
+            validate(&data, &outputs),
+            Err(ValidationError::CountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_corrupted_value() {
+        let data = generate(100, 65);
+        let mut outputs = run_sequential(&TeraSortWorkload::range(2), &data, 2);
+        // Flip a value byte — order still fine, checksum not.
+        let len = outputs[0].len();
+        outputs[0][len - 1] ^= 0xFF;
+        assert_eq!(validate(&data, &outputs), Err(ValidationError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn empty_everything_validates() {
+        validate(&[], &[Vec::new(), Vec::new()]).unwrap();
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(ValidationError::PartitionUnsorted { partition: 3 }
+            .to_string()
+            .contains("partition 3"));
+        assert!(ValidationError::CountMismatch {
+            expected: 10,
+            actual: 9
+        }
+        .to_string()
+        .contains("10"));
+    }
+}

@@ -1,0 +1,147 @@
+//! The TeraSort workload plugged into the generic engines.
+
+use cts_mapreduce::workload::{InputFormat, Workload};
+
+use crate::partition::{KeyPartitioner, RangePartitioner, SampledPartitioner};
+use crate::record::{key_of, records, RECORD_LEN};
+use crate::sort::{sort_records, SortKernel};
+
+/// TeraSort as a [`Workload`]: Map hashes records into ordered key-range
+/// partitions (paper §III-A3); Reduce sorts the partition locally
+/// (§III-A5). Intermediates are packed record buffers, so concatenation
+/// order is irrelevant to the sorted result.
+pub struct TeraSortWorkload {
+    partitioner: Partitioner,
+    kernel: SortKernel,
+}
+
+enum Partitioner {
+    Range(RangePartitioner),
+    Sampled(SampledPartitioner),
+}
+
+impl Partitioner {
+    fn partition(&self, key: &[u8]) -> usize {
+        match self {
+            Partitioner::Range(p) => p.partition(key),
+            Partitioner::Sampled(p) => p.partition(key),
+        }
+    }
+}
+
+impl TeraSortWorkload {
+    /// Uniform range partitioning over `k` partitions with the paper's
+    /// `std::sort` kernel.
+    pub fn range(k: usize) -> Self {
+        TeraSortWorkload {
+            partitioner: Partitioner::Range(RangePartitioner::new(k)),
+            kernel: SortKernel::Comparison,
+        }
+    }
+
+    /// Sampling-based partitioning (for skewed inputs).
+    pub fn sampled(partitioner: SampledPartitioner) -> Self {
+        TeraSortWorkload {
+            partitioner: Partitioner::Sampled(partitioner),
+            kernel: SortKernel::Comparison,
+        }
+    }
+
+    /// Selects the Reduce sort kernel.
+    pub fn with_kernel(mut self, kernel: SortKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+}
+
+impl Workload for TeraSortWorkload {
+    fn name(&self) -> &str {
+        "terasort"
+    }
+
+    fn format(&self) -> InputFormat {
+        InputFormat::FixedWidth(RECORD_LEN)
+    }
+
+    fn map_file(&self, file: &[u8], num_partitions: usize) -> Vec<Vec<u8>> {
+        let mut out = vec![Vec::new(); num_partitions];
+        for rec in records(file) {
+            let p = self.partitioner.partition(key_of(rec));
+            debug_assert!(p < num_partitions, "partitioner out of range");
+            out[p].extend_from_slice(rec);
+        }
+        out
+    }
+
+    fn reduce(&self, _partition: usize, data: &[u8]) -> Vec<u8> {
+        sort_records(data, self.kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::KEY_LEN;
+    use crate::sort::is_sorted;
+    use crate::teragen::{generate, generate_skewed};
+    use cts_mapreduce::run_sequential;
+
+    #[test]
+    fn map_partitions_by_key_range() {
+        let w = TeraSortWorkload::range(4);
+        let data = generate(400, 8);
+        let parts = w.map_file(&data, 4);
+        // Each partition's keys stay inside its range.
+        for (p, buf) in parts.iter().enumerate() {
+            for rec in records(buf) {
+                assert_eq!(RangePartitioner::new(4).partition(key_of(rec)), p);
+            }
+        }
+        let total: usize = parts.iter().map(|b| b.len()).sum();
+        assert_eq!(total, data.len());
+    }
+
+    #[test]
+    fn sequential_end_to_end_sorts() {
+        let w = TeraSortWorkload::range(3);
+        let data = generate(300, 21);
+        let outputs = run_sequential(&w, &data, 3);
+        for out in &outputs {
+            assert!(is_sorted(out));
+        }
+        // Concatenated partitions form the globally sorted list (ordered
+        // partitions property).
+        let all: Vec<u8> = outputs.into_iter().flatten().collect();
+        assert!(is_sorted(&all));
+    }
+
+    #[test]
+    fn radix_kernel_matches_comparison() {
+        let data = generate(500, 33);
+        let a = run_sequential(&TeraSortWorkload::range(4), &data, 4);
+        let b = run_sequential(
+            &TeraSortWorkload::range(4).with_kernel(SortKernel::LsdRadix),
+            &data,
+            4,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampled_partitioner_balances_skew_end_to_end() {
+        let k = 4;
+        let data = generate_skewed(4000, 55, 0.6, 16);
+        let samples: Vec<[u8; KEY_LEN]> = records(&data)
+            .step_by(16)
+            .map(|r| key_of(r).try_into().unwrap())
+            .collect();
+        let w = TeraSortWorkload::sampled(SampledPartitioner::from_samples(samples, k));
+        let outputs = run_sequential(&w, &data, k);
+        let max = outputs.iter().map(|o| o.len()).max().unwrap();
+        let total: usize = outputs.iter().map(|o| o.len()).sum();
+        assert_eq!(total, data.len());
+        assert!(max < total / 2, "partitions still skewed");
+        let all: Vec<u8> = outputs.into_iter().flatten().collect();
+        assert!(is_sorted(&all));
+    }
+}

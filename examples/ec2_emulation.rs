@@ -1,0 +1,68 @@
+//! EC2-scale emulation: reproduce the paper's Table II (K = 16, 12 GB,
+//! 100 Mbps) from a laptop-scale run plus the calibrated model.
+//!
+//! The real algorithms execute on scaled data over the in-memory fabric;
+//! every transfer is traced; the calibrated EC2 model projects byte counts
+//! onto 12 GB and prints the paper-style table next to the paper's own
+//! numbers.
+//!
+//! ```sh
+//! cargo run --release --example ec2_emulation
+//! # knobs:
+//! CTS_RECORDS=1200000 CTS_TARGET_GB=12 cargo run --release --example ec2_emulation
+//! ```
+
+use coded_terasort::bench::{paper_comparison, reference, Experiment};
+use coded_terasort::prelude::*;
+
+fn main() {
+    let k = 16;
+    let exp = Experiment::paper(k);
+    println!(
+        "Scaled run: {} records ({:.1} MB) projected onto {:.0} GB, K = {k}\n",
+        exp.records,
+        exp.input_bytes() as f64 / 1e6,
+        exp.target_bytes as f64 / 1e9
+    );
+
+    let rows = paper_comparison(k, &[3, 5]);
+    println!(
+        "{}",
+        render_table("TABLE II — modeled at paper scale (this reproduction)", &rows)
+    );
+
+    println!("Side-by-side with the paper's measurements:\n");
+    println!(
+        "{}",
+        reference::compare(
+            "TeraSort (paper Table I/II vs model)",
+            &reference::table2_terasort(),
+            &rows[0].breakdown
+        )
+    );
+    println!(
+        "{}",
+        reference::compare(
+            "CodedTeraSort r = 3 (paper Table II vs model)",
+            &reference::table2_coded_r3(),
+            &rows[1].breakdown
+        )
+    );
+    println!(
+        "{}",
+        reference::compare(
+            "CodedTeraSort r = 5 (paper Table II vs model)",
+            &reference::table2_coded_r5(),
+            &rows[2].breakdown
+        )
+    );
+
+    let paper_speedups = [2.16, 3.39];
+    for (row, paper) in rows[1..].iter().zip(paper_speedups) {
+        println!(
+            "{}  speedup: {:.2}× (paper: {paper:.2}×)",
+            row.label,
+            row.speedup.unwrap()
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: sort with TeraSort and CodedTeraSort on an in-memory
+//! cluster, verify identical output, and inspect the shuffle savings.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use coded_terasort::prelude::*;
+
+fn main() {
+    let k = 4; // workers
+    let r = 2; // redundancy: each file mapped on 2 nodes
+    let records = 50_000; // 5 MB of TeraGen data
+
+    println!("Generating {records} TeraGen records (100 B each)…");
+    let input = teragen::generate(records, 42);
+
+    println!("Running conventional TeraSort  (K = {k})…");
+    let plain = run_terasort(input.clone(), &SortJob::local(k, 1)).expect("terasort");
+    plain.validate().expect("TeraValidate");
+
+    println!("Running CodedTeraSort          (K = {k}, r = {r})…");
+    let coded = run_coded_terasort(input, &SortJob::local(k, r)).expect("coded terasort");
+    coded.validate().expect("TeraValidate");
+
+    assert_eq!(
+        plain.outcome.outputs, coded.outcome.outputs,
+        "both algorithms must produce the identical sorted result"
+    );
+    println!("Outputs identical and globally sorted. ✓\n");
+
+    let plain_bytes = plain.outcome.stats.shuffle_bytes();
+    let coded_bytes = coded.outcome.stats.shuffle_bytes();
+    println!("Shuffle traffic (bytes on the wire, multicasts counted once):");
+    println!("  TeraSort       : {:>12}", plain_bytes);
+    println!("  CodedTeraSort  : {:>12}", coded_bytes);
+    println!(
+        "  reduction      : {:.2}×  (theory: L_uncoded/L_coded = r = {r} as K → ∞;\n\
+         \u{20}                  exact gain at K = {k}: {:.2}×)",
+        plain_bytes as f64 / coded_bytes as f64,
+        theory::uncoded_comm_load(1, k) / theory::coded_comm_load(r, k),
+    );
+
+    println!("\nMeasured communication loads (normalized by input size):");
+    let d = (records * cts_terasort::RECORD_LEN) as u64;
+    println!(
+        "  TeraSort       : {:.4}   (theory 1 - 1/K = {:.4})",
+        plain.outcome.stats.comm_load(d),
+        theory::uncoded_comm_load(1, k)
+    );
+    println!(
+        "  CodedTeraSort  : {:.4}   (theory (1/r)(1 - r/K) = {:.4})",
+        coded.outcome.stats.comm_load(d),
+        theory::coded_comm_load(r, k)
+    );
+
+    println!("\nWall-clock stage times of this in-memory run (coded):");
+    let w = coded.outcome.wall.max;
+    println!("  CodeGen  {:>8.2?}", w.codegen);
+    println!("  Map      {:>8.2?}", w.map);
+    println!("  Encode   {:>8.2?}", w.pack_encode);
+    println!("  Shuffle  {:>8.2?}", w.shuffle);
+    println!("  Decode   {:>8.2?}", w.unpack_decode);
+    println!("  Reduce   {:>8.2?}", w.reduce);
+    println!("\n(The EC2-scale stage times are produced by the model — see");
+    println!(" `cargo bench -p cts-bench` and examples/ec2_emulation.rs.)");
+}

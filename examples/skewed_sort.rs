@@ -1,0 +1,77 @@
+//! Sorting skewed keys: uniform range partitioning vs quantile sampling.
+//!
+//! The paper's TeraGen keys are uniform, so equal-width ranges balance
+//! reducers exactly. Real key distributions rarely are — with a hot key
+//! prefix, range partitioning sends most of the data to one reducer,
+//! destroying both the Reduce balance and the shuffle pattern. The
+//! sampling partitioner (Hadoop's TotalOrderPartitioner approach) fixes
+//! it; coding composes transparently with either.
+//!
+//! ```sh
+//! cargo run --release --example skewed_sort
+//! ```
+
+use coded_terasort::prelude::*;
+use cts_terasort::teragen::generate_skewed;
+
+fn spread(outputs: &[Vec<u8>]) -> (usize, usize) {
+    let min = outputs.iter().map(|o| o.len()).min().unwrap_or(0);
+    let max = outputs.iter().map(|o| o.len()).max().unwrap_or(0);
+    (min, max)
+}
+
+fn main() {
+    let k = 8;
+    let r = 2;
+    let records = 40_000;
+    // 60% of records share one 16-bit key prefix.
+    let input = generate_skewed(records, 7, 0.6, 16);
+    println!(
+        "{} records ({:.1} MB), 60% sharing one 16-bit key prefix, K = {k}, r = {r}\n",
+        records,
+        input.len() as f64 / 1e6
+    );
+
+    println!("Range partitioning (the paper's, exact for uniform keys):");
+    let ranged = run_coded_terasort(input.clone(), &SortJob::local(k, r)).expect("ranged sort");
+    ranged.validate().expect("TeraValidate");
+    let (min, max) = spread(&ranged.outcome.outputs);
+    println!(
+        "  partition sizes: min {:.2} MB, max {:.2} MB  → the hot reducer holds {:.0}% of all data",
+        min as f64 / 1e6,
+        max as f64 / 1e6,
+        100.0 * max as f64 / input.len() as f64
+    );
+
+    println!("\nQuantile sampling (TotalOrderPartitioner-style, 1-in-16 sample):");
+    let sampled = run_coded_terasort(input.clone(), &SortJob::local(k, r).with_sampling(16))
+        .expect("sampled sort");
+    sampled.validate().expect("TeraValidate");
+    let (min, max) = spread(&sampled.outcome.outputs);
+    println!(
+        "  partition sizes: min {:.2} MB, max {:.2} MB  → largest reducer holds {:.0}%",
+        min as f64 / 1e6,
+        max as f64 / 1e6,
+        100.0 * max as f64 / input.len() as f64
+    );
+
+    // Same global sorted list either way.
+    let a: Vec<u8> = ranged.outcome.outputs.into_iter().flatten().collect();
+    let b: Vec<u8> = sampled.outcome.outputs.into_iter().flatten().collect();
+    assert_eq!(a, b);
+    println!("\nGlobal sorted output identical under both partitioners. ✓");
+
+    // Reduce-stage implication, through the calibrated model: the slowest
+    // reducer defines the stage.
+    let model = PerfModel::ec2_paper();
+    let mut rs = ranged.outcome.stats.clone();
+    let mut ss = sampled.outcome.stats.clone();
+    let scale = 12e9 / input.len() as f64;
+    rs.scale = scale;
+    ss.scale = scale;
+    println!(
+        "\nmodeled Reduce stage at 12 GB: range-partitioned {:.0} s vs sampled {:.0} s",
+        model.reduce_s(&rs),
+        model.reduce_s(&ss),
+    );
+}

@@ -1,0 +1,249 @@
+//! `cts` — the command-line face of the reproduction.
+//!
+//! ```text
+//! cts gen    --records 100000 --out data.bin [--seed 7] [--skew 0.6]
+//! cts sort   --input data.bin --k 8 --r 3 [--pods 4] [--sampled 16]
+//!            [--tcp] [--radix]
+//! cts model  --k 16 --r 3 [--records 120000] [--target-gb 12]
+//! cts theory --k 16 [--tmap 1.86 --tshuffle 945.72 --treduce 10.47]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use bytes::Bytes;
+use coded_terasort::bench::Experiment;
+use coded_terasort::mapreduce::run_coded_pods;
+use coded_terasort::prelude::*;
+use cts_terasort::workload::TeraSortWorkload;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "sort" => cmd_sort(&opts),
+        "model" => cmd_model(&opts),
+        "theory" => cmd_theory(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cts — Coded TeraSort reproduction CLI
+
+USAGE:
+  cts gen    --records N --out FILE [--seed S] [--skew F]
+               generate TeraGen records (100 B each; --skew hot-fraction)
+  cts sort   --input FILE --k K [--r R] [--pods G] [--sampled STRIDE]
+               [--tcp] [--radix] [--no-validate]
+               sort a file: r=1 → TeraSort, r>1 → CodedTeraSort,
+               --pods G → pod-partitioned coded engine
+  cts model  --k K --r R [--records N] [--target-gb G]
+               modeled paper-scale stage breakdown (EC2 calibration)
+  cts theory --k K [--tmap S --tshuffle S --treduce S]
+               communication loads and the optimal r* (eqs. (2),(4),(5))";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut out = HashMap::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{arg}`"));
+        };
+        // Boolean flags take no value.
+        if matches!(name, "tcp" | "radix" | "no-validate") {
+            out.insert(name.to_string(), "true".to_string());
+            continue;
+        }
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?;
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn req<T: std::str::FromStr>(opts: &Flags, name: &str) -> Result<T, String> {
+    opts.get(name)
+        .ok_or_else(|| format!("--{name} is required"))?
+        .parse()
+        .map_err(|_| format!("--{name}: cannot parse `{}`", opts[name]))
+}
+
+fn opt<T: std::str::FromStr>(opts: &Flags, name: &str, default: T) -> Result<T, String> {
+    match opts.get(name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+fn cmd_gen(opts: &Flags) -> Result<(), String> {
+    let records: usize = req(opts, "records")?;
+    let out: String = req(opts, "out")?;
+    let seed: u64 = opt(opts, "seed", 2017)?;
+    let skew: f64 = opt(opts, "skew", 0.0)?;
+    let data = if skew > 0.0 {
+        cts_terasort::teragen::generate_skewed(records, seed, skew, 16)
+    } else {
+        teragen::generate(records, seed)
+    };
+    std::fs::write(&out, &data).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {} records ({:.1} MB) to {out}",
+        records,
+        data.len() as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_sort(opts: &Flags) -> Result<(), String> {
+    let input_path: String = req(opts, "input")?;
+    let k: usize = req(opts, "k")?;
+    let r: usize = opt(opts, "r", 1)?;
+    let pods: usize = opt(opts, "pods", 0)?;
+    let sampled: usize = opt(opts, "sampled", 0)?;
+    let tcp = opts.contains_key("tcp");
+    let radix = opts.contains_key("radix");
+    let validate = !opts.contains_key("no-validate");
+
+    let raw = std::fs::read(&input_path).map_err(|e| format!("reading {input_path}: {e}"))?;
+    let input = Bytes::from(raw);
+    println!(
+        "sorting {:.1} MB with K = {k}, r = {r}{}{} over {}…",
+        input.len() as f64 / 1e6,
+        if pods > 0 {
+            format!(", pods of {pods}")
+        } else {
+            String::new()
+        },
+        if sampled > 0 { ", sampled" } else { "" },
+        if tcp { "TCP" } else { "in-memory channels" },
+    );
+
+    let mut job = if tcp {
+        SortJob {
+            k,
+            r,
+            kernel: SortKernel::Comparison,
+            partitioner: PartitionerKind::Range,
+            engine: EngineConfig::tcp(k, r),
+        }
+    } else {
+        SortJob::local(k, r)
+    };
+    if radix {
+        job = job.with_kernel(SortKernel::LsdRadix);
+    }
+    if sampled > 0 {
+        job = job.with_sampling(sampled);
+    }
+
+    let started = std::time::Instant::now();
+    let (outputs, stats) = if pods > 0 {
+        let workload = TeraSortWorkload::range(k);
+        let outcome = run_coded_pods(&workload, input.clone(), &job.engine, pods)
+            .map_err(|e| e.to_string())?;
+        (outcome.outputs, outcome.stats)
+    } else if r > 1 {
+        let run = run_coded_terasort(input.clone(), &job).map_err(|e| e.to_string())?;
+        (run.outcome.outputs, run.outcome.stats)
+    } else {
+        let run = run_terasort(input.clone(), &job).map_err(|e| e.to_string())?;
+        (run.outcome.outputs, run.outcome.stats)
+    };
+    let elapsed = started.elapsed();
+
+    if validate {
+        cts_terasort::validate(&input, &outputs).map_err(|e| format!("TeraValidate: {e}"))?;
+        println!("TeraValidate passed ✓");
+    }
+    println!("wall-clock: {elapsed:.2?}");
+    println!(
+        "shuffle: {} bytes across the wire (load {:.4}; TeraSort baseline {:.4})",
+        stats.shuffle_bytes(),
+        stats.comm_load(input.len() as u64),
+        theory::uncoded_comm_load(1, k),
+    );
+    Ok(())
+}
+
+fn cmd_model(opts: &Flags) -> Result<(), String> {
+    let k: usize = req(opts, "k")?;
+    let r: usize = req(opts, "r")?;
+    let records: usize = opt(opts, "records", 120_000)?;
+    let target_gb: f64 = opt(opts, "target-gb", 12.0)?;
+    let exp = Experiment {
+        k,
+        records,
+        target_bytes: (target_gb * 1e9) as u64,
+        seed: 2017,
+    };
+    let base = exp.run_uncoded();
+    let rows = if r > 1 {
+        let coded = exp.run_coded(r);
+        vec![base.row(None), coded.row(Some(&base.breakdown))]
+    } else {
+        vec![base.row(None)]
+    };
+    println!(
+        "{}",
+        render_table(
+            &format!("modeled at {target_gb} GB, K = {k}, 100 Mbps (EC2 calibration)"),
+            &rows
+        )
+    );
+    Ok(())
+}
+
+fn cmd_theory(opts: &Flags) -> Result<(), String> {
+    let k: usize = req(opts, "k")?;
+    println!("communication loads at K = {k}:");
+    println!("{:>3} {:>12} {:>12}", "r", "uncoded", "CMR");
+    for r in 1..=k {
+        println!(
+            "{r:>3} {:>12.4} {:>12.4}",
+            theory::uncoded_comm_load(r, k),
+            theory::coded_comm_load(r, k)
+        );
+    }
+    if let (Ok(tm), Ok(ts), Ok(tr)) = (
+        req::<f64>(opts, "tmap"),
+        req::<f64>(opts, "tshuffle"),
+        req::<f64>(opts, "treduce"),
+    ) {
+        let r_star = theory::optimal_r(tm, ts, tr, k);
+        println!(
+            "\nr* = {r_star} (√(Ts/Tm) = {:.2}); predicted total at r*: {:.1} s vs baseline {:.1} s",
+            theory::optimal_r_real(tm, ts),
+            theory::predicted_total_time(r_star, tm, ts, tr),
+            tm + ts + tr,
+        );
+    }
+    Ok(())
+}
