@@ -47,7 +47,8 @@ fn main() {
         // The software-tree decomposition: every multicast charged as its
         // r binomial-tree unicast hops.
         let net = NetModelConfig::ec2_100mbps();
-        let tree = serial_makespan_tree_unicast(&coded.trace, SHUFFLE_STAGE, &net, coded.stats.scale);
+        let tree =
+            serial_makespan_tree_unicast(&coded.trace, SHUFFLE_STAGE, &net, coded.stats.scale);
         println!(
             "{:>8} {tree:>12.1} {:>11.2}x {:>10.2}   (binomial-tree unicasts)",
             "tree",

@@ -70,8 +70,7 @@ fn main() {
 
     println!("\ncoding gain in each regime:");
     for (r, parallel) in &coded_parallel {
-        let serial_gain = base_serial
-            / exp.run_coded(*r).breakdown.shuffle_s;
+        let serial_gain = base_serial / exp.run_coded(*r).breakdown.shuffle_s;
         let parallel_gain = base_parallel / parallel;
         println!(
             "  r = {r}: serial-shuffle gain {serial_gain:.2}× → parallel-shuffle gain {parallel_gain:.2}×"
@@ -85,6 +84,9 @@ fn main() {
     }
 
     // Parallelism helps both schemes dramatically.
-    assert!(base_serial / base_parallel > 8.0, "uncoded ≈ K× parallel win");
+    assert!(
+        base_serial / base_parallel > 8.0,
+        "uncoded ≈ K× parallel win"
+    );
     println!("\nparallelism ≈ K×-accelerates the uncoded shuffle; the coded gain\nmigrates from sender serialization to receiver-side load — the open\nquestion the paper poses. ✓");
 }

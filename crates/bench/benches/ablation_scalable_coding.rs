@@ -25,9 +25,8 @@ use cts_netsim::config::{NetModelConfig, PerfModelConfig};
 fn flat_cost(k: usize, r: usize, d: f64, net: &NetModelConfig) -> (f64, f64) {
     let groups = binomial(k as u64, r as u64 + 1);
     let codegen = groups as f64 * net.group_setup_s;
-    let shuffle =
-        d * theory::coded_comm_load(r, k) * net.multicast_penalty(r as u32)
-            / net.effective_bytes_per_sec();
+    let shuffle = d * theory::coded_comm_load(r, k) * net.multicast_penalty(r as u32)
+        / net.effective_bytes_per_sec();
     (codegen, shuffle)
 }
 
@@ -63,7 +62,11 @@ fn main() {
         let (pcg, psh) = pod_cost(k, r, g, d, &net);
         let flat_total = fcg + fsh;
         let pod_total = pcg + psh;
-        let winner = if pod_total < flat_total { "pods" } else { "flat" };
+        let winner = if pod_total < flat_total {
+            "pods"
+        } else {
+            "flat"
+        };
         if winner == "pods" && crossover.is_none() {
             crossover = Some(k);
         }

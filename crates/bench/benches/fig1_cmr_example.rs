@@ -69,7 +69,10 @@ fn main() {
     let mut decoded = 0;
     for (node, store) in stores.iter().enumerate() {
         let mut pipe = DecodePipeline::new(k, 2, node).unwrap();
-        for pkt in packets.iter().filter(|p| p.group.contains(node) && p.sender != node) {
+        for pkt in packets
+            .iter()
+            .filter(|p| p.group.contains(node) && p.sender != node)
+        {
             if pipe.accept(pkt, store).unwrap().is_some() {
                 decoded += 1;
             }
@@ -77,7 +80,8 @@ fn main() {
     }
     assert_eq!(decoded, 3, "each node recovers its one missing value");
 
-    println!("\nnormalized loads: uncoded r=1 {:.3}, uncoded r=2 {:.3}, coded r=2 {:.3}",
+    println!(
+        "\nnormalized loads: uncoded r=1 {:.3}, uncoded r=2 {:.3}, coded r=2 {:.3}",
         theory::uncoded_comm_load(1, 3),
         theory::uncoded_comm_load(2, 3),
         theory::coded_comm_load(2, 3),

@@ -25,7 +25,10 @@ fn main() {
     let d = (records * RECORD_LEN) as f64;
 
     println!("FIG. 2 reproduction — communication load vs computation load, K = {k}");
-    println!("({} records per point; measured = wire bytes / input bytes,", records);
+    println!(
+        "({} records per point; measured = wire bytes / input bytes,",
+        records
+    );
     println!(" with per-packet headers excluded as in the paper's normalization)\n");
     println!(
         "{:>3} {:>14} {:>14} {:>14} {:>9}",

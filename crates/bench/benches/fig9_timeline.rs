@@ -36,7 +36,10 @@ fn main() {
     // Structural checks: serial schedules tile (node i+1 starts when node
     // i finishes its turn), and every multicast reaches r receivers.
     for pair in schedule_a.transfers.windows(2) {
-        assert!((pair[0].end_s - pair[1].start_s).abs() < 1e-9, "serial tiling");
+        assert!(
+            (pair[0].end_s - pair[1].start_s).abs() < 1e-9,
+            "serial tiling"
+        );
     }
     assert!(schedule_b
         .transfers

@@ -85,7 +85,10 @@ fn bench_encode_decode(c: &mut Criterion) {
     let dec = Decoder::new(k, r, 1).unwrap();
     let mut group = c.benchmark_group("decode_packet");
     group.throughput(Throughput::Bytes(
-        packets.iter().map(|p| p.payload.len() as u64 * r as u64).sum(),
+        packets
+            .iter()
+            .map(|p| p.payload.len() as u64 * r as u64)
+            .sum(),
     ));
     group.bench_function(format!("k{k}_r{r}_64k"), |b| {
         b.iter(|| {

@@ -22,8 +22,16 @@ fn main() {
 
     for (label, paper, ours) in [
         ("TeraSort", reference::table2_terasort(), rows[0].breakdown),
-        ("CodedTeraSort r=3", reference::table2_coded_r3(), rows[1].breakdown),
-        ("CodedTeraSort r=5", reference::table2_coded_r5(), rows[2].breakdown),
+        (
+            "CodedTeraSort r=3",
+            reference::table2_coded_r3(),
+            rows[1].breakdown,
+        ),
+        (
+            "CodedTeraSort r=5",
+            reference::table2_coded_r5(),
+            rows[2].breakdown,
+        ),
     ] {
         println!("{}", reference::compare(label, &paper, &ours));
     }

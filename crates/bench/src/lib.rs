@@ -75,7 +75,11 @@ impl Experiment {
         let input = self.input();
         let run = run_terasort(input, &SortJob::local(self.k, 1)).expect("terasort run");
         run.validate().expect("TeraValidate (uncoded)");
-        self.finish(run.outcome.stats, run.outcome.trace, "TeraSort:".to_string())
+        self.finish(
+            run.outcome.stats,
+            run.outcome.trace,
+            "TeraSort:".to_string(),
+        )
     }
 
     /// Runs CodedTeraSort at redundancy `r` and models the breakdown.

@@ -181,12 +181,8 @@ fn colex_successor(set: NodeSet, n: usize) -> Option<NodeSet> {
 pub fn combinations_of(universe: NodeSet, k: usize) -> impl Iterator<Item = NodeSet> {
     let members: Vec<NodeId> = universe.to_vec();
     let n = members.len();
-    Combinations::new(n, k).map(move |positions| {
-        positions
-            .iter()
-            .map(|p| members[p])
-            .collect::<NodeSet>()
-    })
+    Combinations::new(n, k)
+        .map(move |positions| positions.iter().map(|p| members[p]).collect::<NodeSet>())
 }
 
 #[cfg(test)]

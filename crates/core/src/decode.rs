@@ -180,7 +180,10 @@ impl SegmentAssembler {
     pub fn add(&mut self, seg: DecodedSegment) -> Result<()> {
         if seg.file != self.file {
             return Err(CodedError::MalformedPacket {
-                what: format!("segment for {} fed to assembler for {}", seg.file, self.file),
+                what: format!(
+                    "segment for {} fed to assembler for {}",
+                    seg.file, self.file
+                ),
             });
         }
         if seg.position >= self.pieces.len() {
@@ -189,11 +192,9 @@ impl SegmentAssembler {
             });
         }
         match &self.pieces[seg.position] {
-            Some(existing) if *existing != seg.data => {
-                Err(CodedError::MalformedPacket {
-                    what: format!("conflicting duplicate segment at position {}", seg.position),
-                })
-            }
+            Some(existing) if *existing != seg.data => Err(CodedError::MalformedPacket {
+                what: format!("conflicting duplicate segment at position {}", seg.position),
+            }),
             Some(_) => Ok(()), // benign duplicate
             None => {
                 self.pieces[seg.position] = Some(seg.data);
@@ -356,9 +357,7 @@ mod tests {
                 // Wire roundtrip as the transport would do.
                 let pkt = CodedPacket::from_bytes(&pkt.to_bytes()).unwrap();
                 for receiver in pkt.group.iter().filter(|&n| n != sender) {
-                    if let Some(done) = pipelines[receiver]
-                        .accept(&pkt, &stores[receiver])
-                        .unwrap()
+                    if let Some(done) = pipelines[receiver].accept(&pkt, &stores[receiver]).unwrap()
                     {
                         recovered[receiver].push(done);
                     }

@@ -136,7 +136,12 @@ mod tests {
     }
 
     /// Store with I^t_F = `pattern(t, F)` for all (t, F) a node would keep.
-    fn full_store(k: usize, r: usize, node: NodeId, len_of: impl Fn(NodeId, NodeSet) -> usize) -> MapOutputStore {
+    fn full_store(
+        k: usize,
+        r: usize,
+        node: NodeId,
+        len_of: impl Fn(NodeId, NodeSet) -> usize,
+    ) -> MapOutputStore {
         use crate::placement::PlacementPlan;
         let plan = PlacementPlan::new(k, r).unwrap();
         let mut store = MapOutputStore::new();

@@ -104,8 +104,9 @@ mod tests {
     fn spans_differ_by_at_most_one() {
         for total in [7usize, 23, 100] {
             for parts in 1..=6usize {
-                let lens: Vec<usize> =
-                    (0..parts).map(|p| segment_span(total, parts, p).len).collect();
+                let lens: Vec<usize> = (0..parts)
+                    .map(|p| segment_span(total, parts, p).len)
+                    .collect();
                 let mn = *lens.iter().min().unwrap();
                 let mx = *lens.iter().max().unwrap();
                 assert!(mx - mn <= 1);
@@ -125,9 +126,18 @@ mod tests {
     fn segment_for_node_uses_ascending_position() {
         let file = NodeSet::from_iter([2usize, 5, 7]);
         let total = 10usize; // chunks 4,3,3
-        assert_eq!(segment_for_node(total, file, 2), SegmentSpan { offset: 0, len: 4 });
-        assert_eq!(segment_for_node(total, file, 5), SegmentSpan { offset: 4, len: 3 });
-        assert_eq!(segment_for_node(total, file, 7), SegmentSpan { offset: 7, len: 3 });
+        assert_eq!(
+            segment_for_node(total, file, 2),
+            SegmentSpan { offset: 0, len: 4 }
+        );
+        assert_eq!(
+            segment_for_node(total, file, 5),
+            SegmentSpan { offset: 4, len: 3 }
+        );
+        assert_eq!(
+            segment_for_node(total, file, 7),
+            SegmentSpan { offset: 7, len: 3 }
+        );
     }
 
     #[test]

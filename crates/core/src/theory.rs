@@ -39,7 +39,10 @@ pub fn coded_comm_load(r: usize, k: usize) -> f64 {
 /// # Panics
 /// Panics unless `r < g`, `g ≤ k`, and `g` divides `k`.
 pub fn pod_comm_load(r: usize, k: usize, g: usize) -> f64 {
-    assert!(g >= 1 && g <= k && k.is_multiple_of(g), "pod size must divide K");
+    assert!(
+        g >= 1 && g <= k && k.is_multiple_of(g),
+        "pod size must divide K"
+    );
     assert!((1..g).contains(&r) || (r == 1 && g == 1), "need 1 <= r < g");
     let in_pod = (g as f64 / k as f64) * (1.0 - r as f64 / g as f64) / r as f64;
     let cross = 1.0 - g as f64 / k as f64;
@@ -221,8 +224,14 @@ mod tests {
     fn storage_bound_footnote6() {
         // 16 workers with 32 GB SSDs and 12 GB of input: r ≤ 42 → clamped
         // to K. With 2 GB per node: r ≤ ⌊32/12⌋ = 2.
-        assert_eq!(max_r_for_storage(12_000_000_000, 32_000_000_000, 16), Some(16));
-        assert_eq!(max_r_for_storage(12_000_000_000, 2_000_000_000, 16), Some(2));
+        assert_eq!(
+            max_r_for_storage(12_000_000_000, 32_000_000_000, 16),
+            Some(16)
+        );
+        assert_eq!(
+            max_r_for_storage(12_000_000_000, 2_000_000_000, 16),
+            Some(2)
+        );
         // Input larger than the cluster's total storage: nothing fits.
         assert_eq!(max_r_for_storage(100, 5, 16), None);
         // Empty input always fits.

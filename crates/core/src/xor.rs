@@ -35,8 +35,8 @@ pub fn xor_into(dst: &mut [u8], src: &[u8]) {
     let mut dst_chunks = dst.chunks_exact_mut(8);
     let mut src_chunks = src.chunks_exact(8);
     for (d, s) in (&mut dst_chunks).zip(&mut src_chunks) {
-        let x = u64::from_ne_bytes(d.try_into().unwrap())
-            ^ u64::from_ne_bytes(s.try_into().unwrap());
+        let x =
+            u64::from_ne_bytes(d.try_into().unwrap()) ^ u64::from_ne_bytes(s.try_into().unwrap());
         d.copy_from_slice(&x.to_ne_bytes());
     }
     for (d, s) in dst_chunks

@@ -7,7 +7,7 @@ use cts_core::encode::Encoder;
 use cts_core::intermediate::MapOutputStore;
 use cts_core::packet::CodedPacket;
 use cts_core::placement::PlacementPlan;
-use cts_core::segment::{segment_span, max_segment_len};
+use cts_core::segment::{max_segment_len, segment_span};
 use cts_core::subset::NodeSet;
 use cts_core::theory;
 use cts_core::xor::{xor_into, xor_padded};

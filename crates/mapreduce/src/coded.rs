@@ -38,7 +38,11 @@ use crate::workload::Workload;
 /// # Errors
 /// `BadConfig` for invalid `(K, r)`; transport and protocol failures
 /// propagate.
-pub fn run_coded<W: Workload>(workload: &W, input: Bytes, cfg: &EngineConfig) -> Result<JobOutcome> {
+pub fn run_coded<W: Workload>(
+    workload: &W,
+    input: Bytes,
+    cfg: &EngineConfig,
+) -> Result<JobOutcome> {
     let (k, r) = (cfg.k, cfg.r);
     let plan = PlacementPlan::new(k, r).map_err(|e| EngineError::BadConfig {
         what: e.to_string(),
@@ -202,9 +206,7 @@ fn node_main<W: Workload>(
         let tag = group_tag(*gid);
         for &sender in member_list {
             if sender == me {
-                let (payload, header) = my_packets
-                    .remove(gid)
-                    .expect("one packet per owned group");
+                let (payload, header) = my_packets.remove(gid).expect("one packet per owned group");
                 stats.sent_bytes += payload.len() as u64;
                 comm.broadcast_with_overhead(me, member_list, tag, Some(payload), header)?;
             } else {
@@ -414,8 +416,19 @@ mod tests {
             staged.stats.total(|n| n.decode_work_bytes),
             pipelined.stats.total(|n| n.decode_work_bytes)
         );
-        assert_eq!(staged.stats.shuffle_bytes(), pipelined.stats.shuffle_bytes());
-        assert!(pipelined.wall.max.unpack_decode < staged.wall.max.unpack_decode.max(std::time::Duration::from_micros(1)) * 50);
+        assert_eq!(
+            staged.stats.shuffle_bytes(),
+            pipelined.stats.shuffle_bytes()
+        );
+        assert!(
+            pipelined.wall.max.unpack_decode
+                < staged
+                    .wall
+                    .max
+                    .unpack_decode
+                    .max(std::time::Duration::from_micros(1))
+                    * 50
+        );
     }
 
     #[test]

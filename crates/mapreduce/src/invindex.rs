@@ -86,7 +86,10 @@ impl Workload for InvertedIndex {
     fn reduce(&self, _partition: usize, data: &[u8]) -> Vec<u8> {
         let mut postings: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = BTreeMap::new();
         for (word, doc) in parse_entries(data) {
-            postings.entry(word.to_vec()).or_default().push(doc.to_vec());
+            postings
+                .entry(word.to_vec())
+                .or_default()
+                .push(doc.to_vec());
         }
         let mut out = Vec::new();
         for (word, mut docs) in postings {
@@ -147,7 +150,10 @@ mod tests {
         let got: Vec<(&[u8], &[u8])> = parse_entries(&buf).collect();
         assert_eq!(
             got,
-            vec![(b"word".as_ref(), b"doc-42".as_ref()), (b"w2".as_ref(), b"d".as_ref())]
+            vec![
+                (b"word".as_ref(), b"doc-42".as_ref()),
+                (b"w2".as_ref(), b"d".as_ref())
+            ]
         );
     }
 

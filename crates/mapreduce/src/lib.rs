@@ -45,8 +45,8 @@ pub mod wordcount;
 pub mod workload;
 
 pub use coded::run_coded;
-pub use pods::run_coded_pods;
 pub use error::{EngineError, Result};
+pub use pods::run_coded_pods;
 pub use stage::{EngineConfig, NodeWall, WallTimes};
 pub use uncoded::{run_uncoded, JobOutcome};
 pub use verify::{diff_outputs, run_sequential};

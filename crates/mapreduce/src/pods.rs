@@ -189,8 +189,11 @@ fn pod_node_main<W: Workload>(
     // ---- Encode (in-pod packets) -----------------------------------------
     comm.set_stage(stages::PACK_ENCODE);
     let timer = StageTimer::start();
-    stats.pack_bytes =
-        store.total_bytes() + cross_outbox.iter().map(|(_, _, d)| d.len() as u64).sum::<u64>();
+    stats.pack_bytes = store.total_bytes()
+        + cross_outbox
+            .iter()
+            .map(|(_, _, d)| d.len() as u64)
+            .sum::<u64>();
     // The encoder works over local ids; adapt the store view.
     let local_store = LocalView {
         inner: &store,
@@ -231,8 +234,7 @@ fn pod_node_main<W: Workload>(
         }
         for &sender in member_list {
             if sender == me {
-                let (payload, header) =
-                    my_packets.remove(gid).expect("one packet per owned group");
+                let (payload, header) = my_packets.remove(gid).expect("one packet per owned group");
                 stats.sent_bytes += payload.len() as u64;
                 comm.broadcast_with_overhead(me, member_list, tag, Some(payload), header)?;
             } else {
@@ -282,8 +284,7 @@ fn pod_node_main<W: Workload>(
     let mut recovered: Vec<(u64, Bytes)> = Vec::new(); // (global file bits, data)
     for raw in &received_packets {
         let packet = CodedPacket::from_bytes(raw)?;
-        stats.decode_work_bytes +=
-            packet.seg_lens.iter().map(|(_, l)| *l as u64).sum::<u64>();
+        stats.decode_work_bytes += packet.seg_lens.iter().map(|(_, l)| *l as u64).sum::<u64>();
         if let Some((local_file, data)) = pipeline.accept(&packet, &local_store)? {
             recovered.push((globalize(local_file, my_pod, g).bits(), Bytes::from(data)));
         }
@@ -379,13 +380,23 @@ mod tests {
     }
 
     fn sample_input(len: usize) -> Bytes {
-        Bytes::from((0..len).map(|i| ((i * 193 + 7) % 233) as u8).collect::<Vec<u8>>())
+        Bytes::from(
+            (0..len)
+                .map(|i| ((i * 193 + 7) % 233) as u8)
+                .collect::<Vec<u8>>(),
+        )
     }
 
     #[test]
     fn pods_match_uncoded_output() {
         let input = sample_input(4_000);
-        for (k, r, g) in [(4usize, 1usize, 2usize), (6, 2, 3), (8, 1, 4), (8, 3, 4), (9, 2, 3)] {
+        for (k, r, g) in [
+            (4usize, 1usize, 2usize),
+            (6, 2, 3),
+            (8, 1, 4),
+            (8, 3, 4),
+            (9, 2, 3),
+        ] {
             let pods =
                 run_coded_pods(&ByteSort, input.clone(), &EngineConfig::local(k, r), g).unwrap();
             let unc = run_uncoded(&ByteSort, input.clone(), &EngineConfig::local(k, 1)).unwrap();
@@ -398,8 +409,7 @@ mod tests {
         // g = K degenerates... g must exceed r, and with one pod the
         // cross-pod phase is empty: identical to flat coded output.
         let input = sample_input(2_000);
-        let pods =
-            run_coded_pods(&ByteSort, input.clone(), &EngineConfig::local(5, 2), 5).unwrap();
+        let pods = run_coded_pods(&ByteSort, input.clone(), &EngineConfig::local(5, 2), 5).unwrap();
         let flat = crate::coded::run_coded(&ByteSort, input, &EngineConfig::local(5, 2)).unwrap();
         assert_eq!(pods.outputs, flat.outputs);
         assert_eq!(pods.stats.num_groups, flat.stats.num_groups);
@@ -408,8 +418,7 @@ mod tests {
     #[test]
     fn group_count_shrinks() {
         let input = sample_input(3_000);
-        let pods =
-            run_coded_pods(&ByteSort, input.clone(), &EngineConfig::local(8, 2), 4).unwrap();
+        let pods = run_coded_pods(&ByteSort, input.clone(), &EngineConfig::local(8, 2), 4).unwrap();
         // 2 pods × C(4,3) = 8 groups, vs flat C(8,3) = 56.
         assert_eq!(pods.stats.num_groups, 8);
         let flat = crate::coded::run_coded(&ByteSort, input, &EngineConfig::local(8, 2)).unwrap();
@@ -420,8 +429,7 @@ mod tests {
     fn comm_load_matches_pod_theory() {
         let input = sample_input(120_000);
         let (k, r, g) = (8usize, 2usize, 4usize);
-        let pods =
-            run_coded_pods(&ByteSort, input.clone(), &EngineConfig::local(k, r), g).unwrap();
+        let pods = run_coded_pods(&ByteSort, input.clone(), &EngineConfig::local(k, r), g).unwrap();
         let load = pods.stats.comm_load(input.len() as u64);
         let expected = cts_core::theory::pod_comm_load(r, k, g);
         assert!(

@@ -142,9 +142,8 @@ fn node_main<W: Workload>(
     comm.set_stage(stages::UNPACK_DECODE);
     let timer = StageTimer::start();
     let own = packed[me].take().expect("own partition kept");
-    let mut partition_data = Vec::with_capacity(
-        own.len() + received.iter().map(|b| b.len()).sum::<usize>(),
-    );
+    let mut partition_data =
+        Vec::with_capacity(own.len() + received.iter().map(|b| b.len()).sum::<usize>());
     partition_data.extend_from_slice(&own);
     for buf in &received {
         stats.unpack_bytes += buf.len() as u64;

@@ -230,10 +230,7 @@ mod tests {
             format!("{}@{}", input, comm.rank())
         })
         .unwrap();
-        assert_eq!(
-            run.results,
-            vec!["input-0@0", "input-1@1", "input-2@2"]
-        );
+        assert_eq!(run.results, vec!["input-0@0", "input-1@1", "input-2@2"]);
     }
 
     #[test]
@@ -241,7 +238,8 @@ mod tests {
         let run = run_spmd(&ClusterConfig::local(2), |comm| {
             comm.set_stage("Shuffle");
             if comm.rank() == 0 {
-                comm.send(1, Tag::app(0), Bytes::from(vec![0u8; 42])).unwrap();
+                comm.send(1, Tag::app(0), Bytes::from(vec![0u8; 42]))
+                    .unwrap();
             } else {
                 comm.recv(0, Tag::app(0)).unwrap();
             }

@@ -199,11 +199,12 @@ impl Communicator {
                 what: "members must be non-empty, sorted, unique".into(),
             });
         }
-        let my_pos = members.binary_search(&self.rank()).map_err(|_| {
-            NetError::CollectiveMisuse {
-                what: format!("caller {} not in group", self.rank()),
-            }
-        })?;
+        let my_pos =
+            members
+                .binary_search(&self.rank())
+                .map_err(|_| NetError::CollectiveMisuse {
+                    what: format!("caller {} not in group", self.rank()),
+                })?;
         let root_pos = members
             .binary_search(&root)
             .map_err(|_| NetError::CollectiveMisuse {
@@ -263,7 +264,12 @@ impl Communicator {
                 mask >>= 1;
                 while mask > 0 {
                     if vrank + mask < m {
-                        self.send_internal_oh(actual(vrank + mask), tag, payload.clone(), overhead)?;
+                        self.send_internal_oh(
+                            actual(vrank + mask),
+                            tag,
+                            payload.clone(),
+                            overhead,
+                        )?;
                     }
                     mask >>= 1;
                 }
@@ -370,20 +376,12 @@ mod tests {
         let trace = Arc::new(TraceCollector::new(true));
         (0..k)
             .map(|r| {
-                Communicator::new(
-                    Arc::new(fabric.endpoint(r)),
-                    Arc::clone(&trace),
-                    None,
-                    algo,
-                )
+                Communicator::new(Arc::new(fabric.endpoint(r)), Arc::clone(&trace), None, algo)
             })
             .collect()
     }
 
-    fn run_spmd<R: Send>(
-        comms: &[Communicator],
-        f: impl Fn(&Communicator) -> R + Sync,
-    ) -> Vec<R> {
+    fn run_spmd<R: Send>(comms: &[Communicator], f: impl Fn(&Communicator) -> R + Sync) -> Vec<R> {
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms.iter().map(|c| scope.spawn(|| f(c))).collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -411,7 +409,10 @@ mod tests {
         let results = run_spmd(&comms, |c| {
             if members.contains(&c.rank()) {
                 let data = (c.rank() == 3).then(|| Bytes::from_static(b"tree!"));
-                Some(c.broadcast(3, &members, Tag::new(Tag::BCAST, 1), data).unwrap())
+                Some(
+                    c.broadcast(3, &members, Tag::new(Tag::BCAST, 1), data)
+                        .unwrap(),
+                )
             } else {
                 None
             }
@@ -432,7 +433,10 @@ mod tests {
         let results = run_spmd(&comms, |c| {
             if members.contains(&c.rank()) {
                 let data = (c.rank() == 1).then(|| Bytes::from_static(b"flat"));
-                Some(c.broadcast(1, &members, Tag::new(Tag::BCAST, 9), data).unwrap())
+                Some(
+                    c.broadcast(1, &members, Tag::new(Tag::BCAST, 9), data)
+                        .unwrap(),
+                )
             } else {
                 None
             }
@@ -458,7 +462,8 @@ mod tests {
         run_spmd(&comms, |c| {
             c.set_stage("Shuffle");
             let data = (c.rank() == 0).then(|| Bytes::from(vec![0u8; 100]));
-            c.broadcast(0, &[0, 1, 2], Tag::new(Tag::BCAST, 0), data).unwrap();
+            c.broadcast(0, &[0, 1, 2], Tag::new(Tag::BCAST, 0), data)
+                .unwrap();
         });
         let t = trace.snapshot();
         let multicasts: Vec<_> = t
@@ -529,7 +534,8 @@ mod tests {
                     Bytes::from_static(b"two"),
                 ]
             });
-            c.scatter(0, &members, Tag::new(Tag::SCATTER, 0), chunks).unwrap()
+            c.scatter(0, &members, Tag::new(Tag::SCATTER, 0), chunks)
+                .unwrap()
         });
         assert_eq!(results[0], "zero");
         assert_eq!(results[1], "one");
@@ -564,7 +570,12 @@ mod tests {
     fn single_member_broadcast_is_identity() {
         let comms = comms(2, BcastAlgorithm::default());
         let out = comms[0]
-            .broadcast(0, &[0], Tag::new(Tag::BCAST, 0), Some(Bytes::from_static(b"me")))
+            .broadcast(
+                0,
+                &[0],
+                Tag::new(Tag::BCAST, 0),
+                Some(Bytes::from_static(b"me")),
+            )
             .unwrap();
         assert_eq!(out, "me");
     }

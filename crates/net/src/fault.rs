@@ -118,7 +118,9 @@ mod tests {
             Arc::new(fabric.endpoint(0)),
             Box::new(|_, _, _, _| FaultAction::Deliver),
         );
-        faulty.send(1, Tag::app(0), Bytes::from_static(b"ok")).unwrap();
+        faulty
+            .send(1, Tag::app(0), Bytes::from_static(b"ok"))
+            .unwrap();
         assert_eq!(fabric.endpoint(1).recv(0, Tag::app(0)).unwrap(), "ok");
     }
 
@@ -135,8 +137,12 @@ mod tests {
                 }
             }),
         );
-        faulty.send(1, Tag::app(0), Bytes::from_static(b"lost")).unwrap();
-        faulty.send(1, Tag::app(0), Bytes::from_static(b"kept")).unwrap();
+        faulty
+            .send(1, Tag::app(0), Bytes::from_static(b"lost"))
+            .unwrap();
+        faulty
+            .send(1, Tag::app(0), Bytes::from_static(b"kept"))
+            .unwrap();
         assert_eq!(faulty.dropped(), 1);
         // The first message that arrives is the second one sent.
         assert_eq!(fabric.endpoint(1).recv(0, Tag::app(0)).unwrap(), "kept");
@@ -155,7 +161,9 @@ mod tests {
                 FaultAction::Corrupt(Bytes::from(bad))
             }),
         );
-        faulty.send(1, Tag::app(0), Bytes::from_static(b"abc")).unwrap();
+        faulty
+            .send(1, Tag::app(0), Bytes::from_static(b"abc"))
+            .unwrap();
         assert_eq!(faulty.corrupted(), 1);
         let got = fabric.endpoint(1).recv(0, Tag::app(0)).unwrap();
         assert_eq!(got[0], b'a' ^ 0xFF);

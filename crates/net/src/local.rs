@@ -24,7 +24,11 @@ pub struct LocalFabric {
 impl LocalFabric {
     /// Creates a fabric of `k` endpoints.
     pub fn new(k: usize) -> Self {
-        let mailboxes = Arc::new((0..k).map(|r| Arc::new(Mailbox::new(r))).collect::<Vec<_>>());
+        let mailboxes = Arc::new(
+            (0..k)
+                .map(|r| Arc::new(Mailbox::new(r)))
+                .collect::<Vec<_>>(),
+        );
         LocalFabric { mailboxes }
     }
 
@@ -140,7 +144,9 @@ mod tests {
             a.send(5, Tag::app(0), Bytes::new()),
             Err(NetError::InvalidRank { rank: 5, world: 2 })
         ));
-        assert!(a.recv_timeout(9, Tag::app(0), Duration::from_millis(1)).is_err());
+        assert!(a
+            .recv_timeout(9, Tag::app(0), Duration::from_millis(1))
+            .is_err());
     }
 
     #[test]

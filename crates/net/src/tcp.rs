@@ -256,7 +256,8 @@ mod tests {
     fn mesh_ping_pong() {
         let endpoints = build_tcp_fabric(2).unwrap();
         let (a, b) = (&endpoints[0], &endpoints[1]);
-        a.send(1, Tag::app(0), Bytes::from_static(b"over tcp")).unwrap();
+        a.send(1, Tag::app(0), Bytes::from_static(b"over tcp"))
+            .unwrap();
         assert_eq!(b.recv(0, Tag::app(0)).unwrap(), "over tcp");
         b.send(0, Tag::app(1), Bytes::from_static(b"back")).unwrap();
         assert_eq!(a.recv(1, Tag::app(1)).unwrap(), "back");
@@ -293,8 +294,12 @@ mod tests {
                 scope.spawn(move || {
                     let me = ep.rank();
                     for dst in (0..4).filter(|&d| d != me) {
-                        ep.send(dst, Tag::app(0), Bytes::copy_from_slice(&[me as u8, dst as u8]))
-                            .unwrap();
+                        ep.send(
+                            dst,
+                            Tag::app(0),
+                            Bytes::copy_from_slice(&[me as u8, dst as u8]),
+                        )
+                        .unwrap();
                     }
                     for src in (0..4).filter(|&s| s != me) {
                         let got = ep.recv(src, Tag::app(0)).unwrap();

@@ -73,9 +73,7 @@ impl Trace {
     /// Iterates events belonging to the named stage.
     pub fn stage_events<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a TraceEvent> {
         let idx = self.stage_index(name);
-        self.events
-            .iter()
-            .filter(move |e| Some(e.stage) == idx)
+        self.events.iter().filter(move |e| Some(e.stage) == idx)
     }
 
     /// Total payload bytes sent in the named stage, counting a multicast

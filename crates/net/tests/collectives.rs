@@ -156,7 +156,11 @@ fn overlapping_groups_over_tcp_stay_ordered() {
 
     for (rank, received) in run.results.iter().enumerate() {
         for (gi, root, got) in received {
-            assert_eq!(got, &payload(*root, *gi), "rank {rank} group {gi} root {root}");
+            assert_eq!(
+                got,
+                &payload(*root, *gi),
+                "rank {rank} group {gi} root {root}"
+            );
         }
     }
 }

@@ -66,7 +66,15 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
         "{:<24} {:>8} {:>8} {:>12} {:>9} {:>14} {:>8} {:>11} {:>9}\n",
-        "", "CodeGen", "Map", "Pack/Encode", "Shuffle", "Unpack/Decode", "Reduce", "Total", "Speedup"
+        "",
+        "CodeGen",
+        "Map",
+        "Pack/Encode",
+        "Shuffle",
+        "Unpack/Decode",
+        "Reduce",
+        "Total",
+        "Speedup"
     ));
     out.push_str(&format!(
         "{:<24} {:>8} {:>8} {:>12} {:>9} {:>14} {:>8} {:>11} {:>9}\n",
@@ -79,14 +87,18 @@ pub fn render_table(title: &str, rows: &[TableRow]) -> String {
         } else {
             format!("{:.2}", b.codegen_s)
         };
-        let speedup = row
-            .speedup
-            .map(|s| format!("{s:.2}x"))
-            .unwrap_or_default();
+        let speedup = row.speedup.map(|s| format!("{s:.2}x")).unwrap_or_default();
         out.push_str(&format!(
             "{:<24} {:>8} {:>8.2} {:>12.2} {:>9.2} {:>14.2} {:>8.2} {:>11.2} {:>9}\n",
-            row.label, codegen, b.map_s, b.pack_encode_s, b.shuffle_s, b.unpack_decode_s, b.reduce_s,
-            b.total_s(), speedup
+            row.label,
+            codegen,
+            b.map_s,
+            b.pack_encode_s,
+            b.shuffle_s,
+            b.unpack_decode_s,
+            b.reduce_s,
+            b.total_s(),
+            speedup
         ));
     }
     out

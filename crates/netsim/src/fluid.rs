@@ -49,7 +49,7 @@ struct ActiveFlow {
     queue_idx: usize, // index into the per-sender queue (for bookkeeping)
     src: usize,
     dsts: Vec<usize>,
-    remaining: f64,   // bytes left (inflated by multicast penalty)
+    remaining: f64, // bytes left (inflated by multicast penalty)
     latency_left: f64,
     start_s: f64,
     original_bytes: f64,
@@ -80,26 +80,24 @@ pub fn simulate_parallel(by_sender: &[Vec<TraceEvent>], net: &NetModelConfig) ->
     let mut finished: Vec<FluidFlow> = Vec::new();
     let mut clock = 0.0f64;
 
-    let start_next = |sender: usize,
-                      next_idx: &mut Vec<usize>,
-                      active: &mut Vec<ActiveFlow>,
-                      clock: f64| {
-        if let Some(ev) = by_sender[sender].get(next_idx[sender]) {
-            let dsts = mask_to_vec(ev.dsts);
-            let inflation = net.multicast_penalty(dsts.len() as u32);
-            active.push(ActiveFlow {
-                queue_idx: next_idx[sender],
-                src: sender,
-                remaining: ev.bytes as f64 * inflation,
-                latency_left: net.per_transfer_latency_s,
-                start_s: clock,
-                original_bytes: ev.bytes as f64,
-                dst_mask: ev.dsts,
-                dsts,
-            });
-            next_idx[sender] += 1;
-        }
-    };
+    let start_next =
+        |sender: usize, next_idx: &mut Vec<usize>, active: &mut Vec<ActiveFlow>, clock: f64| {
+            if let Some(ev) = by_sender[sender].get(next_idx[sender]) {
+                let dsts = mask_to_vec(ev.dsts);
+                let inflation = net.multicast_penalty(dsts.len() as u32);
+                active.push(ActiveFlow {
+                    queue_idx: next_idx[sender],
+                    src: sender,
+                    remaining: ev.bytes as f64 * inflation,
+                    latency_left: net.per_transfer_latency_s,
+                    start_s: clock,
+                    original_bytes: ev.bytes as f64,
+                    dst_mask: ev.dsts,
+                    dsts,
+                });
+                next_idx[sender] += 1;
+            }
+        };
 
     for sender in 0..by_sender.len() {
         start_next(sender, &mut next_idx, &mut active, clock);
@@ -172,12 +170,7 @@ fn mask_to_vec(mask: u64) -> Vec<usize> {
 /// Max-min fair rates via progressive filling over per-node egress and
 /// ingress links of capacity `cap`. Only `streaming` flows (past latency)
 /// get bandwidth; others get 0.
-fn maxmin_rates(
-    active: &[ActiveFlow],
-    streaming: &[usize],
-    nodes: usize,
-    cap: f64,
-) -> Vec<f64> {
+fn maxmin_rates(active: &[ActiveFlow], streaming: &[usize], nodes: usize, cap: f64) -> Vec<f64> {
     // Link ids: 0..nodes = egress, nodes..2*nodes = ingress.
     let num_links = 2 * nodes;
     let mut link_cap = vec![cap; num_links];

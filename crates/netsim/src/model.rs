@@ -90,8 +90,10 @@ impl PerfModel {
         stats
             .per_node
             .iter()
-            .map(|n| n.reduce_input_bytes as f64 * stats.scale * mem
-                / self.cfg.compute.sort_bytes_per_sec)
+            .map(|n| {
+                n.reduce_input_bytes as f64 * stats.scale * mem
+                    / self.cfg.compute.sort_bytes_per_sec
+            })
             .fold(0.0, f64::max)
     }
 
@@ -164,15 +166,27 @@ mod tests {
         let trace = terasort_k16_trace();
         let b = model.evaluate(&stats, &trace);
         assert!((b.map_s - 1.86).abs() < 0.1, "map {}", b.map_s);
-        assert!((b.pack_encode_s - 2.35).abs() < 0.3, "pack {}", b.pack_encode_s);
+        assert!(
+            (b.pack_encode_s - 2.35).abs() < 0.3,
+            "pack {}",
+            b.pack_encode_s
+        );
         assert!(
             (b.shuffle_s - 945.72).abs() / 945.72 < 0.01,
             "shuffle {}",
             b.shuffle_s
         );
-        assert!((b.unpack_decode_s - 0.85).abs() < 0.1, "unpack {}", b.unpack_decode_s);
+        assert!(
+            (b.unpack_decode_s - 0.85).abs() < 0.1,
+            "unpack {}",
+            b.unpack_decode_s
+        );
         assert!((b.reduce_s - 10.47).abs() < 0.3, "reduce {}", b.reduce_s);
-        assert!((b.total_s() - 961.25).abs() / 961.25 < 0.02, "total {}", b.total_s());
+        assert!(
+            (b.total_s() - 961.25).abs() / 961.25 < 0.02,
+            "total {}",
+            b.total_s()
+        );
         assert_eq!(b.codegen_s, 0.0);
     }
 
@@ -196,7 +210,13 @@ mod tests {
         let s = c.intern(SHUFFLE_STAGE);
         for src in 0..16usize {
             for dst in (0..16usize).filter(|&d2| d2 != src) {
-                c.record(s, src, 1 << dst, 12_000_000_000 / 16 / 16 / 100, EventKind::AppUnicast);
+                c.record(
+                    s,
+                    src,
+                    1 << dst,
+                    12_000_000_000 / 16 / 16 / 100,
+                    EventKind::AppUnicast,
+                );
             }
         }
         let scaled = model.evaluate(&stats, &c.snapshot());

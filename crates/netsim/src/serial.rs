@@ -53,12 +53,7 @@ impl Schedule {
 /// Transfers execute one after another in trace order — the order the
 /// engines produced them, which for both algorithms is the paper's
 /// node-by-node serial order.
-pub fn serial_schedule(
-    trace: &Trace,
-    stage: &str,
-    net: &NetModelConfig,
-    scale: f64,
-) -> Schedule {
+pub fn serial_schedule(trace: &Trace, stage: &str, net: &NetModelConfig, scale: f64) -> Schedule {
     let mut clock = 0.0f64;
     let mut transfers = Vec::new();
     for ev in trace.stage_events(stage) {
@@ -92,7 +87,10 @@ pub fn serial_makespan(trace: &Trace, stage: &str, net: &NetModelConfig, scale: 
     trace
         .stage_events(stage)
         .filter(|e| e.kind != EventKind::Internal)
-        .map(|e| net.per_transfer_latency_s + net.transfer_seconds(scaled_wire_bytes(e, scale), e.fanout()))
+        .map(|e| {
+            net.per_transfer_latency_s
+                + net.transfer_seconds(scaled_wire_bytes(e, scale), e.fanout())
+        })
         .sum()
 }
 
@@ -253,6 +251,9 @@ mod tests {
     fn empty_stage_is_zero() {
         let t = trace_with(&[]);
         assert_eq!(serial_makespan(&t, "Shuffle", &net(), 1.0), 0.0);
-        assert_eq!(serial_schedule(&t, "Shuffle", &net(), 1.0).makespan_s(), 0.0);
+        assert_eq!(
+            serial_schedule(&t, "Shuffle", &net(), 1.0).makespan_s(),
+            0.0
+        );
     }
 }

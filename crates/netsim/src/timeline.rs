@@ -92,7 +92,10 @@ pub fn render_gantt(schedule: &Schedule, width: usize) -> String {
         width = width.saturating_sub(3)
     ));
     for (node, lane) in lanes.iter().enumerate() {
-        out.push_str(&format!("  node {node:>2} |{}|\n", lane.iter().collect::<String>()));
+        out.push_str(&format!(
+            "  node {node:>2} |{}|\n",
+            lane.iter().collect::<String>()
+        ));
     }
     out
 }

@@ -146,8 +146,8 @@ mod tests {
         let input = generate(3000, 73);
         let plain = run_terasort(input.clone(), &SortJob::local(6, 1)).unwrap();
         let coded = run_coded_terasort(input, &SortJob::local(6, 3)).unwrap();
-        let gain = plain.outcome.stats.shuffle_bytes() as f64
-            / coded.outcome.stats.shuffle_bytes() as f64;
+        let gain =
+            plain.outcome.stats.shuffle_bytes() as f64 / coded.outcome.stats.shuffle_bytes() as f64;
         // Theory: uncoded (5/6) vs coded (1/6) → 5×; headers shave a bit.
         assert!(gain > 3.0, "gain {gain}");
     }
@@ -170,15 +170,24 @@ mod tests {
         // Range partitioning overloads one reducer …
         let ranged = run_coded_terasort(input.clone(), &SortJob::local(4, 2)).unwrap();
         ranged.validate().unwrap();
-        let ranged_max = ranged.outcome.outputs.iter().map(|o| o.len()).max().unwrap();
+        let ranged_max = ranged
+            .outcome
+            .outputs
+            .iter()
+            .map(|o| o.len())
+            .max()
+            .unwrap();
         // … sampling balances it, with identical global output.
-        let sampled = run_coded_terasort(
-            input.clone(),
-            &SortJob::local(4, 2).with_sampling(16),
-        )
-        .unwrap();
+        let sampled =
+            run_coded_terasort(input.clone(), &SortJob::local(4, 2).with_sampling(16)).unwrap();
         sampled.validate().unwrap();
-        let sampled_max = sampled.outcome.outputs.iter().map(|o| o.len()).max().unwrap();
+        let sampled_max = sampled
+            .outcome
+            .outputs
+            .iter()
+            .map(|o| o.len())
+            .max()
+            .unwrap();
         assert!(ranged_max > input.len() / 2);
         assert!(sampled_max < input.len() / 3, "max {sampled_max}");
         let a: Vec<u8> = ranged.outcome.outputs.into_iter().flatten().collect();

@@ -67,9 +67,7 @@ impl SampledPartitioner {
         assert!(!samples.is_empty(), "need at least one sample");
         samples.sort_unstable();
         let n = samples.len();
-        let boundaries = (1..k)
-            .map(|i| samples[(n * i / k).min(n - 1)])
-            .collect();
+        let boundaries = (1..k).map(|i| samples[(n * i / k).min(n - 1)]).collect();
         SampledPartitioner { boundaries }
     }
 
@@ -162,13 +160,15 @@ mod tests {
             s_counts[sampled.partition(key_of(rec))] += 1;
         }
         let max = *s_counts.iter().max().unwrap();
-        assert!(max < 8000 / 4, "sampled partitioner still skewed: {s_counts:?}");
+        assert!(
+            max < 8000 / 4,
+            "sampled partitioner still skewed: {s_counts:?}"
+        );
     }
 
     #[test]
     fn sampled_is_monotone_and_total() {
-        let samples: Vec<[u8; KEY_LEN]> =
-            (0..100u8).map(|i| key(&[i.wrapping_mul(37)])).collect();
+        let samples: Vec<[u8; KEY_LEN]> = (0..100u8).map(|i| key(&[i.wrapping_mul(37)])).collect();
         let p = SampledPartitioner::from_samples(samples, 5);
         assert_eq!(p.num_partitions(), 5);
         assert_eq!(p.boundaries().len(), 4);

@@ -45,7 +45,10 @@ impl std::fmt::Display for ValidationError {
                 write!(f, "partition {partition} is not sorted")
             }
             ValidationError::BoundaryDisorder { partition } => {
-                write!(f, "partition {partition} starts before its predecessor ends")
+                write!(
+                    f,
+                    "partition {partition} starts before its predecessor ends"
+                )
             }
             ValidationError::CountMismatch { expected, actual } => {
                 write!(f, "expected {expected} records, found {actual}")
@@ -160,7 +163,10 @@ mod tests {
         // Flip a value byte — order still fine, checksum not.
         let len = outputs[0].len();
         outputs[0][len - 1] ^= 0xFF;
-        assert_eq!(validate(&data, &outputs), Err(ValidationError::ChecksumMismatch));
+        assert_eq!(
+            validate(&data, &outputs),
+            Err(ValidationError::ChecksumMismatch)
+        );
     }
 
     #[test]

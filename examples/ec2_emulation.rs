@@ -28,7 +28,10 @@ fn main() {
     let rows = paper_comparison(k, &[3, 5]);
     println!(
         "{}",
-        render_table("TABLE II — modeled at paper scale (this reproduction)", &rows)
+        render_table(
+            "TABLE II — modeled at paper scale (this reproduction)",
+            &rows
+        )
     );
 
     println!("Side-by-side with the paper's measurements:\n");

@@ -49,8 +49,8 @@ fn main() {
     let mut transfers_r2 = 0;
     for node in 0..k {
         let have: Vec<u64> = plan.files_of_node(node).map(|f| f.0).collect();
-        transfers_r2 += (0..plan.num_files()).filter(|f| !have.contains(f)).count()
-            * units_per_file;
+        transfers_r2 +=
+            (0..plan.num_files()).filter(|f| !have.contains(f)).count() * units_per_file;
     }
     println!("with every file on r = 2 nodes, each node misses 2 values;");
     println!("unicast transfers required: {transfers_r2}  (paper: 6)\n");
@@ -87,7 +87,10 @@ fn main() {
             packets.push(pkt);
         }
     }
-    println!("\ncoded multicasts required: {}  (paper: 3)\n", packets.len());
+    println!(
+        "\ncoded multicasts required: {}  (paper: 3)\n",
+        packets.len()
+    );
     assert_eq!(packets.len() as u64, groups.num_groups() * 3);
     assert_eq!(packets.len(), 3);
 
@@ -111,7 +114,11 @@ fn main() {
                 file.display_one_based()
             );
         }
-        assert_eq!(got.len(), 1, "each node misses exactly one whole value here");
+        assert_eq!(
+            got.len(),
+            1,
+            "each node misses exactly one whole value here"
+        );
     }
 
     println!("\ncommunication loads (normalized):");

@@ -54,8 +54,14 @@ fn main() {
 
     let w = run.outcome.wall.max;
     println!("\nWall-clock stages (slowest node):");
-    println!("  CodeGen {:>9.2?}   Map    {:>9.2?}   Encode {:>9.2?}", w.codegen, w.map, w.pack_encode);
-    println!("  Shuffle {:>9.2?}   Decode {:>9.2?}   Reduce {:>9.2?}", w.shuffle, w.unpack_decode, w.reduce);
+    println!(
+        "  CodeGen {:>9.2?}   Map    {:>9.2?}   Encode {:>9.2?}",
+        w.codegen, w.map, w.pack_encode
+    );
+    println!(
+        "  Shuffle {:>9.2?}   Decode {:>9.2?}   Reduce {:>9.2?}",
+        w.shuffle, w.unpack_decode, w.reduce
+    );
 
     // Compare against the uncoded engine over the same fabric.
     let mut plain_job = SortJob {

@@ -20,12 +20,14 @@ fn main() {
     println!("Paper Table I baseline: Map {t_map} s, Shuffle {t_shuffle} s, Reduce {t_reduce} s\n");
 
     let root = theory::optimal_r_real(t_map, t_shuffle);
-    println!("eq. (4) idealized rule: r* = ⌈√(Ts/Tm)⌉ = ⌈{root:.2}⌉ = {}", root.ceil());
+    println!(
+        "eq. (4) idealized rule: r* = ⌈√(Ts/Tm)⌉ = ⌈{root:.2}⌉ = {}",
+        root.ceil()
+    );
     println!(
         "eq. (5) idealized optimal total: {:.1} s  ({:.1}× vs {:.1} s)\n",
         theory::predicted_optimal_time(t_map, t_shuffle, t_reduce),
-        (t_map + t_shuffle + t_reduce)
-            / theory::predicted_optimal_time(t_map, t_shuffle, t_reduce),
+        (t_map + t_shuffle + t_reduce) / theory::predicted_optimal_time(t_map, t_shuffle, t_reduce),
         t_map + t_shuffle + t_reduce
     );
 

@@ -61,7 +61,12 @@ fn main() {
     let mut lines: Vec<String> = coded
         .outputs
         .iter()
-        .flat_map(|o| String::from_utf8_lossy(o).lines().map(String::from).collect::<Vec<_>>())
+        .flat_map(|o| {
+            String::from_utf8_lossy(o)
+                .lines()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        })
         .collect();
     lines.sort_by_key(|l| {
         std::cmp::Reverse(

@@ -1,0 +1,317 @@
+//! Minimal, API-compatible stand-in for `criterion`.
+//!
+//! The offline build cannot fetch the real crate, so this shim provides
+//! the subset the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! wall-clock measurement loop (median of timed batches) instead of
+//! criterion's statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, reported in decimal multiples.
+    BytesDecimal(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    elapsed_per_iter_ns: f64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one measurement batch is ~10ms.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+
+        let mut samples = Vec::new();
+        let deadline = Instant::now() + self.measurement_time;
+        // Always take at least one sample so a zero time budget cannot
+        // leave the median lookup with an empty vec.
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            if Instant::now() >= deadline || samples.len() >= 64 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.elapsed_per_iter_ns = samples[samples.len() / 2];
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn human_rate(bytes_per_sec: f64) -> String {
+    if bytes_per_sec >= 1e9 {
+        format!("{:.2} GiB/s", bytes_per_sec / (1u64 << 30) as f64)
+    } else if bytes_per_sec >= 1e6 {
+        format!("{:.2} MiB/s", bytes_per_sec / (1u64 << 20) as f64)
+    } else {
+        format!("{:.2} KiB/s", bytes_per_sec / 1024.0)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Accepted for compatibility; the shim sizes samples by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            elapsed_per_iter_ns: 0.0,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        self.report(&id.into_id(), bencher.elapsed_per_iter_ns);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            elapsed_per_iter_ns: 0.0,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher, input);
+        self.report(&id.into_id(), bencher.elapsed_per_iter_ns);
+        self
+    }
+
+    /// Ends the group (no-op beyond reporting symmetry with criterion).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, per_iter_ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) | Some(Throughput::BytesDecimal(b)) => {
+                format!("  ({})", human_rate(b as f64 / (per_iter_ns / 1e9)))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.0} elem/s)", n as f64 / (per_iter_ns / 1e9))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{:<40} time: [{}]{}",
+            format!("{}/{}", self.name, id),
+            human_ns(per_iter_ns),
+            rate
+        );
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(
+                std::env::var("CTS_BENCH_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(300),
+            ),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Accepted for compatibility; the shim sizes samples by time budget.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility with `criterion_main!`-style drivers.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            measurement_time: self.measurement_time,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+
+    /// Final reporting hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_without_panicking() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn zero_measurement_budget_still_samples() {
+        let mut c = Criterion::default().measurement_time(Duration::ZERO);
+        c.benchmark_group("shim")
+            .bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

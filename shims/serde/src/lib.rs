@@ -1,0 +1,28 @@
+//! Minimal stand-in for `serde` used by the offline build.
+//!
+//! Exposes the `Serialize` / `Deserialize` names both as (empty) traits and
+//! as no-op derive macros, which is all the workspace currently relies on.
+//! Swap this shim for the real crate by dropping the `[patch.crates-io]`
+//! entry once the build environment has registry access.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors `serde::ser` far enough for `use serde::ser::Serialize`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Mirrors `serde::de` far enough for `use serde::de::Deserialize`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde` shim.
+//!
+//! The workspace only uses the derives as annotations (no code calls
+//! `serialize`/`deserialize` yet), so emitting an empty token stream keeps
+//! every `#[derive(Serialize, Deserialize)]` compiling without pulling in
+//! syn/quote, which the offline environment cannot fetch.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -62,8 +62,7 @@ pub mod prelude {
         CodedPacket, Decoder, Encoder, MapOutputStore, MulticastGroups, NodeSet, PlacementPlan,
     };
     pub use cts_mapreduce::{
-        run_coded, run_coded_pods, run_sequential, run_uncoded, EngineConfig, InputFormat,
-        Workload,
+        run_coded, run_coded_pods, run_sequential, run_uncoded, EngineConfig, InputFormat, Workload,
     };
     pub use cts_net::{run_spmd, BcastAlgorithm, ClusterConfig, Communicator, Tag};
     pub use cts_netsim::{render_table, PerfModel, PerfModelConfig, RunStats, StageBreakdown};

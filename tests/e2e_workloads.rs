@@ -52,7 +52,12 @@ fn wordcount_totals_conserved() {
     let total: u64 = coded
         .outputs
         .iter()
-        .flat_map(|o| String::from_utf8_lossy(o).lines().map(String::from).collect::<Vec<_>>())
+        .flat_map(|o| {
+            String::from_utf8_lossy(o)
+                .lines()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        })
         .map(|l| l.rsplit('\t').next().unwrap().parse::<u64>().unwrap())
         .sum();
     let words = input

@@ -25,8 +25,7 @@ fn stores(k: usize, r: usize) -> Vec<MapOutputStore> {
                 let f = plan.nodes_of_file(fid);
                 for t in 0..k {
                     if plan.keeps_intermediate(node, f, t) {
-                        let data: Vec<u8> =
-                            (0..20 + t * 3).map(|i| (t * 41 + i) as u8).collect();
+                        let data: Vec<u8> = (0..20 + t * 3).map(|i| (t * 41 + i) as u8).collect();
                         st.insert(t, f, Bytes::from(data));
                     }
                 }

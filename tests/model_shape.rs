@@ -110,7 +110,12 @@ fn scaled_runs_are_scale_invariant() {
     let a = small.run_coded(3).breakdown;
     let b = large.run_coded(3).breakdown;
     let rel = |x: f64, y: f64| (x - y).abs() / y.max(1e-9);
-    assert!(rel(a.total_s(), b.total_s()) < 0.05, "{} vs {}", a.total_s(), b.total_s());
+    assert!(
+        rel(a.total_s(), b.total_s()) < 0.05,
+        "{} vs {}",
+        a.total_s(),
+        b.total_s()
+    );
     assert!(rel(a.shuffle_s, b.shuffle_s) < 0.05);
     assert!(rel(a.map_s, b.map_s) < 0.05);
 }
