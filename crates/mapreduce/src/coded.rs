@@ -10,7 +10,10 @@
 //!    intermediates per the §IV-B rule.
 //! 3. **Encode**: Algorithm 1 — one coded packet per group membership.
 //! 4. **Multicast Shuffling**: serial multicast (Fig. 9(b)) — groups in
-//!    global id order; within a group, members broadcast in rank order.
+//!    global id order; within a group, members multicast in rank order over
+//!    the configured [`ShuffleFabric`](cts_net::fabric::ShuffleFabric):
+//!    true one-to-many sends by default, serial-unicast or fanout emulation
+//!    for the ablation baselines.
 //! 5. **Decode**: Algorithm 2 — received packets are cancelled against
 //!    local intermediates and merged.
 //! 6. **Reduce**: identical to the uncoded engine's.
@@ -208,9 +211,9 @@ fn node_main<W: Workload>(
             if sender == me {
                 let (payload, header) = my_packets.remove(gid).expect("one packet per owned group");
                 stats.sent_bytes += payload.len() as u64;
-                comm.broadcast_with_overhead(me, member_list, tag, Some(payload), header)?;
+                comm.multicast_with_overhead(me, member_list, tag, Some(payload), header)?;
             } else {
-                let payload = comm.broadcast(sender, member_list, tag, None)?;
+                let payload = comm.multicast(sender, member_list, tag, None)?;
                 stats.recv_bytes += payload.len() as u64;
                 if cfg.pipelined_decode {
                     decode_one(&payload, &mut pipeline, &store, &mut stats, &mut recovered)?;

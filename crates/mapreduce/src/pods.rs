@@ -236,9 +236,9 @@ fn pod_node_main<W: Workload>(
             if sender == me {
                 let (payload, header) = my_packets.remove(gid).expect("one packet per owned group");
                 stats.sent_bytes += payload.len() as u64;
-                comm.broadcast_with_overhead(me, member_list, tag, Some(payload), header)?;
+                comm.multicast_with_overhead(me, member_list, tag, Some(payload), header)?;
             } else {
-                let payload = comm.broadcast(sender, member_list, tag, None)?;
+                let payload = comm.multicast(sender, member_list, tag, None)?;
                 stats.recv_bytes += payload.len() as u64;
                 received_packets.push(payload);
             }

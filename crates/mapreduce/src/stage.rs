@@ -3,6 +3,8 @@
 use std::time::{Duration, Instant};
 
 use cts_net::cluster::ClusterConfig;
+use cts_net::fabric::ShuffleFabric;
+use cts_net::rate::NicProfile;
 
 /// Canonical stage labels (also used as trace stage names).
 pub mod stages {
@@ -138,6 +140,21 @@ impl EngineConfig {
     /// Enables pipelined (asynchronous) decode.
     pub fn with_pipelined_decode(mut self) -> Self {
         self.pipelined_decode = true;
+        self
+    }
+
+    /// Selects how the coded shuffle's group sends hit the wire
+    /// (serial-unicast, fanout, or native multicast).
+    pub fn with_fabric(mut self, fabric: ShuffleFabric) -> Self {
+        self.cluster = self.cluster.with_fabric(fabric);
+        self
+    }
+
+    /// Installs an emulated NIC on every node (egress rate, per-transfer
+    /// latency, multicast `α`) so shuffle wall-clock is *measured* under
+    /// the paper's network conditions instead of at memory speed.
+    pub fn with_nic(mut self, nic: NicProfile) -> Self {
+        self.cluster = self.cluster.with_nic(nic);
         self
     }
 }

@@ -5,7 +5,24 @@
 //! the user's closure against its own [`Communicator`]; the harness thread
 //! plays the coordinator (it stages per-node inputs before the run and
 //! collects results and the transfer trace after). Workers communicate only
-//! through the fabric — in-memory channels or real TCP sockets.
+//! through the fabric — in-memory channels or real TCP sockets — and
+//! worlds of up to `K = 128` ranks are supported on one host.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use cts_net::cluster::{run_spmd, ClusterConfig};
+//! use cts_net::message::Tag;
+//!
+//! // A 3-rank ring exchange over the in-memory fabric.
+//! let run = run_spmd(&ClusterConfig::local(3), |comm| {
+//!     let next = (comm.rank() + 1) % 3;
+//!     comm.send(next, Tag::app(0), Bytes::copy_from_slice(&[comm.rank() as u8]))
+//!         .unwrap();
+//!     comm.recv((comm.rank() + 2) % 3, Tag::app(0)).unwrap()[0]
+//! })
+//! .unwrap();
+//! assert_eq!(run.results, vec![2, 0, 1]);
+//! ```
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -14,8 +31,9 @@ use parking_lot::Mutex;
 
 use crate::comm::{BcastAlgorithm, Communicator};
 use crate::error::Result;
+use crate::fabric::ShuffleFabric;
 use crate::local::LocalFabric;
-use crate::rate::TokenBucket;
+use crate::rate::{Nic, NicProfile};
 use crate::tcp::build_tcp_fabric;
 use crate::trace::{Trace, TraceCollector};
 use crate::transport::Transport;
@@ -33,15 +51,18 @@ pub enum TransportKind {
 /// Cluster construction parameters.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
-    /// Number of worker nodes `K`.
+    /// Number of worker nodes `K` (up to
+    /// [`registry::MAX_WORLD`](crate::registry::MAX_WORLD) = 128).
     pub k: usize,
     /// Fabric type.
     pub transport: TransportKind,
-    /// Optional per-node egress cap in bytes/second (the paper's 100 Mbps
-    /// `tc` limit ≈ `12.5e6`). `None` runs at memory/loopback speed.
-    pub rate_limit_bps: Option<f64>,
-    /// Multicast algorithm.
+    /// Optional per-node emulated NIC (egress rate cap, per-transfer
+    /// latency, multicast penalty). `None` runs at memory/loopback speed.
+    pub nic: Option<NicProfile>,
+    /// Legacy broadcast algorithm (the [`Communicator::broadcast`] path).
     pub bcast: BcastAlgorithm,
+    /// How [`Communicator::multicast`] group sends hit the wire.
+    pub fabric: ShuffleFabric,
     /// Whether to record a transfer trace.
     pub trace_enabled: bool,
 }
@@ -52,8 +73,9 @@ impl ClusterConfig {
         ClusterConfig {
             k,
             transport: TransportKind::Local,
-            rate_limit_bps: None,
+            nic: None,
             bcast: BcastAlgorithm::default(),
+            fabric: ShuffleFabric::default(),
             trace_enabled: true,
         }
     }
@@ -66,15 +88,30 @@ impl ClusterConfig {
         }
     }
 
-    /// Sets the per-node egress rate limit (bytes/second).
+    /// Sets the per-node egress rate limit (bytes/second), keeping any
+    /// other NIC parameters already configured.
     pub fn with_rate_limit(mut self, bps: f64) -> Self {
-        self.rate_limit_bps = Some(bps);
+        let mut nic = self.nic.unwrap_or_default();
+        nic.rate_bytes_per_sec = Some(bps);
+        self.nic = Some(nic);
         self
     }
 
-    /// Selects the multicast algorithm.
+    /// Installs a full emulated-NIC profile on every node.
+    pub fn with_nic(mut self, nic: NicProfile) -> Self {
+        self.nic = Some(nic);
+        self
+    }
+
+    /// Selects the legacy broadcast algorithm.
     pub fn with_bcast(mut self, algo: BcastAlgorithm) -> Self {
         self.bcast = algo;
+        self
+    }
+
+    /// Selects the shuffle fabric.
+    pub fn with_fabric(mut self, fabric: ShuffleFabric) -> Self {
+        self.fabric = fabric;
         self
     }
 
@@ -122,6 +159,12 @@ where
     F: Fn(&Communicator, I) -> R + Send + Sync,
 {
     assert_eq!(inputs.len(), config.k, "need exactly one input per node");
+    assert!(
+        (1..=crate::registry::MAX_WORLD).contains(&config.k),
+        "world size {} outside 1..={} (trace masks are 128-bit)",
+        config.k,
+        crate::registry::MAX_WORLD
+    );
     let k = config.k;
     let trace = Arc::new(TraceCollector::new(config.trace_enabled));
 
@@ -147,16 +190,15 @@ where
             let transport = Arc::clone(&transports[rank]);
             let all_transports = &transports;
             let trace = Arc::clone(&trace);
-            let rate = config
-                .rate_limit_bps
-                .map(|bps| Arc::new(TokenBucket::new(bps, (64 * 1024) as f64)));
+            let nic = config.nic.map(|profile| Arc::new(Nic::new(profile)));
             let bcast = config.bcast;
+            let fabric = config.fabric;
             let slots = &slots;
             let results = &results;
             let panics = &panics;
             let f = &f;
             scope.spawn(move || {
-                let comm = Communicator::new(transport, trace, rate, bcast);
+                let comm = Communicator::new(transport, trace, nic, bcast).with_fabric(fabric);
                 let input = slots[rank].lock().take().expect("input taken once");
                 match catch_unwind(AssertUnwindSafe(|| f(&comm, input))) {
                     Ok(r) => {

@@ -1,12 +1,39 @@
 //! The per-node communicator: point-to-point sends plus MPI-style
-//! collectives (barrier, broadcast, gather, scatter) with transfer tracing
-//! and optional egress rate limiting.
+//! collectives (barrier, broadcast, multicast, gather, scatter) with
+//! transfer tracing and optional NIC emulation.
 //!
 //! One `Communicator` is handed to each SPMD node closure by the
 //! [`cluster`](crate::cluster) runner. It mirrors the Open MPI surface the
-//! paper's C++ implementation uses: `MPI_Send`/`MPI_Recv`,
-//! `MPI_Bcast` within a multicast group (binomial tree, like Open MPI's
-//! default for small groups), and `MPI_Barrier` between stages.
+//! paper's C++ implementation uses: `MPI_Send`/`MPI_Recv`, `MPI_Bcast`
+//! within a multicast group, and `MPI_Barrier` between stages. Two
+//! group-cast paths exist:
+//!
+//! * [`broadcast`](Communicator::broadcast) — the legacy software
+//!   collective (flat or binomial tree over point-to-point hops), kept for
+//!   the tree-cost ablation;
+//! * [`multicast`](Communicator::multicast) — the fabric-aware path the
+//!   coded shuffle uses: dispatching on the configured
+//!   [`ShuffleFabric`], it sends serial unicasts, overlapped fanout
+//!   copies, or one native multicast, charges the emulated NIC
+//!   accordingly, and records the per-fabric egress count in the trace.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use cts_net::cluster::{run_spmd, ClusterConfig};
+//! use cts_net::fabric::ShuffleFabric;
+//! use cts_net::message::Tag;
+//!
+//! let cfg = ClusterConfig::local(3).with_fabric(ShuffleFabric::Multicast);
+//! let run = run_spmd(&cfg, |comm| {
+//!     comm.set_stage("Shuffle");
+//!     let data = (comm.rank() == 1).then(|| Bytes::from_static(b"pkt"));
+//!     comm.multicast(1, &[0, 1, 2], Tag::new(Tag::BCAST, 0), data).unwrap()
+//! })
+//! .unwrap();
+//! assert!(run.results.iter().all(|r| r == "pkt"));
+//! // Native multicast: the packet crossed the sender's egress once.
+//! assert_eq!(run.trace.stage_wire_sends("Shuffle"), 1);
+//! ```
 
 use std::sync::atomic::{AtomicU16, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -15,8 +42,9 @@ use std::time::Duration;
 use bytes::Bytes;
 
 use crate::error::{NetError, Result};
+use crate::fabric::ShuffleFabric;
 use crate::message::Tag;
-use crate::rate::TokenBucket;
+use crate::rate::Nic;
 use crate::trace::{EventKind, TraceCollector};
 use crate::transport::Transport;
 
@@ -31,12 +59,21 @@ pub enum BcastAlgorithm {
     BinomialTree,
 }
 
+/// The receiver bitmask of a group cast: every member except the root.
+fn group_mask(members: &[usize], root: usize) -> u128 {
+    members
+        .iter()
+        .filter(|&&n| n != root)
+        .fold(0u128, |acc, &n| acc | (1u128 << n))
+}
+
 /// Per-node handle for all communication.
 pub struct Communicator {
     transport: Arc<dyn Transport>,
     trace: Arc<TraceCollector>,
-    rate: Option<Arc<TokenBucket>>,
+    nic: Option<Arc<Nic>>,
     bcast_algo: BcastAlgorithm,
+    fabric: ShuffleFabric,
     stage: AtomicU16,
     barrier_epoch: AtomicU32,
     bcast_epoch: AtomicU32,
@@ -44,23 +81,37 @@ pub struct Communicator {
 
 impl Communicator {
     /// Wires a communicator over `transport`, recording into `trace`,
-    /// optionally shaping egress with `rate`.
+    /// optionally pacing egress through an emulated `nic`. The shuffle
+    /// fabric defaults to [`ShuffleFabric::Multicast`]; override it with
+    /// [`with_fabric`](Self::with_fabric).
     pub fn new(
         transport: Arc<dyn Transport>,
         trace: Arc<TraceCollector>,
-        rate: Option<Arc<TokenBucket>>,
+        nic: Option<Arc<Nic>>,
         bcast_algo: BcastAlgorithm,
     ) -> Self {
         let stage = trace.intern("init");
         Communicator {
             transport,
             trace,
-            rate,
+            nic,
             bcast_algo,
+            fabric: ShuffleFabric::default(),
             stage: AtomicU16::new(stage),
             barrier_epoch: AtomicU32::new(0),
             bcast_epoch: AtomicU32::new(0),
         }
+    }
+
+    /// Selects how [`multicast`](Self::multicast) realizes group sends.
+    pub fn with_fabric(mut self, fabric: ShuffleFabric) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// The shuffle fabric in effect.
+    pub fn fabric(&self) -> ShuffleFabric {
+        self.fabric
     }
 
     /// This node's rank.
@@ -84,26 +135,53 @@ impl Communicator {
     }
 
     fn shape(&self, bytes: usize) {
-        if let Some(rate) = &self.rate {
-            rate.acquire(bytes as u64);
+        if let Some(nic) = &self.nic {
+            nic.charge(bytes as u64);
         }
     }
 
     /// Application point-to-point send (recorded as shuffle traffic).
+    ///
+    /// NIC emulation is *asynchronous with backpressure*: the payload is
+    /// handed to the fabric immediately and the sender then blocks for the
+    /// transfer's setup latency plus the payload's egress drain time, so a
+    /// node's shuffle wall-clock reflects exactly how long its emulated NIC
+    /// was occupied — the quantity the shuffle fabrics differ in.
     pub fn send(&self, dst: usize, tag: Tag, payload: Bytes) -> Result<()> {
+        // Bound-check before the trace mask shift (`1u128 << dst`) so an
+        // out-of-range destination errors instead of overflowing.
+        if dst >= self.world_size() {
+            return Err(NetError::InvalidRank {
+                rank: dst,
+                world: self.world_size(),
+            });
+        }
+        let bytes = payload.len() as u64;
+        self.transport.send(dst, tag, payload)?;
+        // Recorded only after the fabric accepted the payload, so a failed
+        // send leaves no phantom traffic in the trace (the multicast path
+        // keeps the same invariant).
         self.trace.record(
             self.stage.load(Ordering::Relaxed),
             self.rank(),
-            1u64 << dst,
-            payload.len() as u64,
+            1u128 << dst,
+            bytes,
             EventKind::AppUnicast,
         );
-        self.shape(payload.len());
-        self.transport.send(dst, tag, payload)
+        if let Some(nic) = &self.nic {
+            nic.pace_transfer();
+            nic.charge(bytes);
+        }
+        Ok(())
     }
 
     /// Substrate-internal send (control traffic, tree relays) — excluded
-    /// from communication-load accounting.
+    /// from communication-load accounting. Deliberately pays egress bytes
+    /// but *not* the per-transfer NIC latency: barrier/collective control
+    /// messages would otherwise distort strict-serial schedules, and the
+    /// legacy tree-broadcast path keeps its pre-NIC-emulation timing. The
+    /// fabric-aware [`multicast`](Self::multicast) is the path whose
+    /// wall-clock mirrors the model.
     fn send_internal(&self, dst: usize, tag: Tag, payload: Bytes) -> Result<()> {
         self.send_internal_oh(dst, tag, payload, 0)
     }
@@ -114,7 +192,7 @@ impl Communicator {
         self.trace.record_with_overhead(
             self.stage.load(Ordering::Relaxed),
             self.rank(),
-            1u64 << dst,
+            1u128 << dst,
             payload.len() as u64,
             overhead,
             EventKind::Internal,
@@ -194,40 +272,20 @@ impl Communicator {
         overhead: u64,
     ) -> Result<Bytes> {
         let m = members.len();
-        if m == 0 || members.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(NetError::CollectiveMisuse {
-                what: "members must be non-empty, sorted, unique".into(),
-            });
-        }
-        let my_pos =
-            members
-                .binary_search(&self.rank())
-                .map_err(|_| NetError::CollectiveMisuse {
-                    what: format!("caller {} not in group", self.rank()),
-                })?;
-        let root_pos = members
-            .binary_search(&root)
-            .map_err(|_| NetError::CollectiveMisuse {
-                what: format!("root {root} not in group"),
-            })?;
+        let (my_pos, root_pos) = self.validate_group(root, members, &data)?;
         let is_root = self.rank() == root;
-        if is_root && data.is_none() {
-            return Err(NetError::CollectiveMisuse {
-                what: "root must supply the payload".into(),
-            });
-        }
 
         if is_root {
-            let dsts = members
-                .iter()
-                .filter(|&&n| n != root)
-                .fold(0u64, |acc, &n| acc | (1u64 << n));
-            self.trace.record_with_overhead(
+            // A *logical* multicast record: bytes counted once, and zero
+            // wire copies of its own — the constituent hops are traced as
+            // `Internal` events below (the tree-cost ablation reads them).
+            self.trace.record_transfer(
                 self.stage.load(Ordering::Relaxed),
                 self.rank(),
-                dsts,
+                group_mask(members, root),
                 data.as_ref().map(|d| d.len()).unwrap_or(0) as u64,
                 overhead,
+                0,
                 EventKind::Multicast,
             );
         }
@@ -293,6 +351,151 @@ impl Communicator {
         self.broadcast(root, members, tag, data)
     }
 
+    /// Shared SPMD group validation: members sorted/unique, caller and root
+    /// both present, root supplies the payload. Returns the caller's and
+    /// the root's positions in `members`.
+    fn validate_group(
+        &self,
+        root: usize,
+        members: &[usize],
+        data: &Option<Bytes>,
+    ) -> Result<(usize, usize)> {
+        if members.is_empty() || members.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(NetError::CollectiveMisuse {
+                what: "members must be non-empty, sorted, unique".into(),
+            });
+        }
+        // Sorted, so the last member bounds them all — keeps the trace
+        // mask shifts (`1u128 << rank`) in range.
+        let highest = *members.last().expect("non-empty");
+        if highest >= self.world_size() {
+            return Err(NetError::InvalidRank {
+                rank: highest,
+                world: self.world_size(),
+            });
+        }
+        let my_pos =
+            members
+                .binary_search(&self.rank())
+                .map_err(|_| NetError::CollectiveMisuse {
+                    what: format!("caller {} not in group", self.rank()),
+                })?;
+        let root_pos = members
+            .binary_search(&root)
+            .map_err(|_| NetError::CollectiveMisuse {
+                what: format!("root {root} not in group"),
+            })?;
+        if self.rank() == root && data.is_none() {
+            return Err(NetError::CollectiveMisuse {
+                what: "root must supply the payload".into(),
+            });
+        }
+        Ok((my_pos, root_pos))
+    }
+
+    /// Multicast within a member group over the configured
+    /// [`ShuffleFabric`] — the path the coded shuffle takes.
+    ///
+    /// Same SPMD contract as [`broadcast`](Self::broadcast): `members`
+    /// sorted and containing both `root` and the caller, every member
+    /// calling with the same arguments, the root passing `Some(payload)`.
+    /// All receivers get the payload directly from the root (no relaying),
+    /// so the receive path is fabric-independent; what changes per fabric
+    /// is how the root's copies leave the machine:
+    ///
+    /// * `SerialUnicast` — one blocking unicast per receiver, each paying
+    ///   its own NIC latency and egress bytes;
+    /// * `Fanout` — one paced transfer whose `m` copies stream through
+    ///   [`Transport::multicast`] concurrently (egress still moves
+    ///   `m × bytes`);
+    /// * `Multicast` — one paced transfer charged `bytes × (1 + α·log2 m)`
+    ///   once: genuine one-to-many.
+    ///
+    /// The trace records **one** `Multicast` event (bytes counted once —
+    /// the paper's communication-load convention) whose
+    /// [`wire_copies`](crate::trace::TraceEvent::wire_copies) is the
+    /// fabric's egress frame count.
+    pub fn multicast(
+        &self,
+        root: usize,
+        members: &[usize],
+        tag: Tag,
+        data: Option<Bytes>,
+    ) -> Result<Bytes> {
+        self.multicast_with_overhead(root, members, tag, data, 0)
+    }
+
+    /// [`multicast`](Self::multicast) with an explicit protocol-overhead
+    /// byte count recorded on the trace event (coded-packet headers).
+    pub fn multicast_with_overhead(
+        &self,
+        root: usize,
+        members: &[usize],
+        tag: Tag,
+        data: Option<Bytes>,
+        overhead: u64,
+    ) -> Result<Bytes> {
+        self.validate_group(root, members, &data)?;
+        if self.rank() != root {
+            return self.transport.recv(root, tag);
+        }
+        let payload = data.expect("validated: root supplies payload");
+        let dsts: Vec<usize> = members.iter().copied().filter(|&n| n != root).collect();
+        let fanout = dsts.len();
+        // The trace event is recorded only after the fabric accepted every
+        // copy, so a failed dispatch leaves no phantom traffic behind for
+        // the accounting and the netsim oracle.
+        let record = |comm: &Self| {
+            comm.trace.record_transfer(
+                comm.stage.load(Ordering::Relaxed),
+                comm.rank(),
+                group_mask(members, root),
+                payload.len() as u64,
+                overhead,
+                comm.fabric.wire_copies(fanout) as u16,
+                EventKind::Multicast,
+            );
+        };
+        if fanout == 0 {
+            record(self);
+            return Ok(payload);
+        }
+        // NIC pacing is asynchronous-with-backpressure (see `send`): copies
+        // reach the fabric first, then the sender blocks for as long as its
+        // emulated NIC stays occupied under this fabric —
+        // `m·(L + B/rate)` serial, `L + m·B/rate` fanout,
+        // `L + B·(1 + α·log2 m)/rate` native multicast — mirroring
+        // `cts-netsim`'s per-fabric model term for term.
+        let bytes = payload.len() as u64;
+        match self.fabric {
+            ShuffleFabric::SerialUnicast => {
+                for &dst in &dsts {
+                    self.transport.send(dst, tag, payload.clone())?;
+                    if let Some(nic) = &self.nic {
+                        nic.pace_transfer();
+                        nic.charge(bytes);
+                    }
+                }
+            }
+            ShuffleFabric::Fanout => {
+                self.transport.multicast(&dsts, tag, payload.clone())?;
+                if let Some(nic) = &self.nic {
+                    nic.pace_transfer();
+                    nic.charge(bytes.saturating_mul(fanout as u64));
+                }
+            }
+            ShuffleFabric::Multicast => {
+                self.transport.multicast(&dsts, tag, payload.clone())?;
+                if let Some(nic) = &self.nic {
+                    nic.pace_transfer();
+                    nic.charge_scaled(bytes, nic.profile().multicast_penalty(fanout as u32));
+                }
+            }
+        }
+        record(self);
+        Ok(payload)
+    }
+
     /// Gathers one payload from every member at `root` (member order).
     /// Returns `Some(payloads)` at the root, `None` elsewhere. Recorded as
     /// internal control traffic.
@@ -306,6 +509,12 @@ impl Communicator {
         if !members.contains(&self.rank()) || !members.contains(&root) {
             return Err(NetError::CollectiveMisuse {
                 what: "gather: caller and root must both be members".into(),
+            });
+        }
+        if let Some(&bad) = members.iter().find(|&&m| m >= self.world_size()) {
+            return Err(NetError::InvalidRank {
+                rank: bad,
+                world: self.world_size(),
             });
         }
         if self.rank() == root {
@@ -336,6 +545,12 @@ impl Communicator {
         if !members.contains(&self.rank()) || !members.contains(&root) {
             return Err(NetError::CollectiveMisuse {
                 what: "scatter: caller and root must both be members".into(),
+            });
+        }
+        if let Some(&bad) = members.iter().find(|&&m| m >= self.world_size()) {
+            return Err(NetError::InvalidRank {
+                rank: bad,
+                world: self.world_size(),
             });
         }
         if self.rank() == root {
@@ -477,6 +692,143 @@ mod tests {
         // Bytes counted once despite 2 receivers.
         assert_eq!(t.stage_bytes("Shuffle"), 100);
         assert_eq!(t.stage_bytes_unicast_equivalent("Shuffle"), 200);
+    }
+
+    fn fabric_comms(k: usize, fabric: ShuffleFabric) -> (Vec<Communicator>, Arc<TraceCollector>) {
+        let fab = LocalFabric::new(k);
+        let trace = Arc::new(TraceCollector::new(true));
+        let comms = (0..k)
+            .map(|r| {
+                Communicator::new(
+                    Arc::new(fab.endpoint(r)),
+                    Arc::clone(&trace),
+                    None,
+                    BcastAlgorithm::default(),
+                )
+                .with_fabric(fabric)
+            })
+            .collect();
+        (comms, trace)
+    }
+
+    #[test]
+    fn multicast_delivers_on_every_fabric() {
+        for fabric in ShuffleFabric::ALL {
+            let (comms, _) = fabric_comms(5, fabric);
+            let members = [0usize, 2, 3, 4];
+            let results = run_spmd(&comms, |c| {
+                if !members.contains(&c.rank()) {
+                    return None;
+                }
+                let data = (c.rank() == 2).then(|| Bytes::from_static(b"fabric!"));
+                Some(
+                    c.multicast(2, &members, Tag::new(Tag::BCAST, 4), data)
+                        .unwrap(),
+                )
+            });
+            for (rank, res) in results.iter().enumerate() {
+                if members.contains(&rank) {
+                    assert_eq!(res.as_ref().unwrap(), "fabric!", "{fabric} rank {rank}");
+                } else {
+                    assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multicast_trace_counts_wire_copies_per_fabric() {
+        for (fabric, expected_copies) in [
+            (ShuffleFabric::SerialUnicast, 3u64),
+            (ShuffleFabric::Fanout, 3),
+            (ShuffleFabric::Multicast, 1),
+        ] {
+            let (comms, trace) = fabric_comms(4, fabric);
+            run_spmd(&comms, |c| {
+                c.set_stage("Shuffle");
+                let data = (c.rank() == 0).then(|| Bytes::from(vec![1u8; 200]));
+                c.multicast(0, &[0, 1, 2, 3], Tag::new(Tag::BCAST, 0), data)
+                    .unwrap();
+            });
+            let t = trace.snapshot();
+            let events: Vec<_> = t
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::Multicast)
+                .collect();
+            assert_eq!(events.len(), 1, "{fabric}");
+            assert_eq!(events[0].fanout(), 3, "{fabric}");
+            // Bytes counted once regardless of fabric; copies differ.
+            assert_eq!(t.stage_bytes("Shuffle"), 200, "{fabric}");
+            assert_eq!(t.stage_wire_sends("Shuffle"), expected_copies, "{fabric}");
+            // No internal relay traffic on the fabric path.
+            assert_eq!(
+                t.stage_events("Shuffle")
+                    .filter(|e| e.kind == EventKind::Internal)
+                    .count(),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn multicast_validates_like_broadcast() {
+        let (comms, _) = fabric_comms(3, ShuffleFabric::Multicast);
+        assert!(matches!(
+            comms[2].multicast(0, &[0, 1], Tag::new(Tag::BCAST, 0), None),
+            Err(NetError::CollectiveMisuse { .. })
+        ));
+        assert!(matches!(
+            comms[0].multicast(0, &[0, 1], Tag::new(Tag::BCAST, 0), None),
+            Err(NetError::CollectiveMisuse { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_ranks_error_instead_of_overflowing_masks() {
+        // Ranks ≥ world (even ≥ 128, past the u128 trace-mask width) must
+        // surface InvalidRank, not a shift overflow.
+        let (comms, _) = fabric_comms(3, ShuffleFabric::Multicast);
+        assert!(matches!(
+            comms[0].send(200, Tag::app(0), Bytes::new()),
+            Err(NetError::InvalidRank { rank: 200, .. })
+        ));
+        assert!(matches!(
+            comms[0].multicast(
+                0,
+                &[0, 200],
+                Tag::new(Tag::BCAST, 0),
+                Some(Bytes::from_static(b"x"))
+            ),
+            Err(NetError::InvalidRank { rank: 200, .. })
+        ));
+        assert!(matches!(
+            comms[0].broadcast(
+                0,
+                &[0, 200],
+                Tag::new(Tag::BCAST, 0),
+                Some(Bytes::from_static(b"x"))
+            ),
+            Err(NetError::InvalidRank { rank: 200, .. })
+        ));
+        assert!(matches!(
+            comms[0].gather(0, &[0, 200], Tag::new(Tag::GATHER, 0), Bytes::new()),
+            Err(NetError::InvalidRank { rank: 200, .. })
+        ));
+    }
+
+    #[test]
+    fn single_member_multicast_is_identity() {
+        let (comms, _) = fabric_comms(2, ShuffleFabric::Multicast);
+        let out = comms[0]
+            .multicast(
+                0,
+                &[0],
+                Tag::new(Tag::BCAST, 0),
+                Some(Bytes::from_static(b"me")),
+            )
+            .unwrap();
+        assert_eq!(out, "me");
     }
 
     #[test]

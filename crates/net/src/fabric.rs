@@ -1,0 +1,133 @@
+//! Shuffle-fabric selection: how one logical multicast becomes wire traffic.
+//!
+//! The paper's `MPI_Bcast` runs on EC2, which offers no network-layer
+//! multicast (§I), so every coded packet is really pushed point-to-point.
+//! This module names the three ways the substrate can realize a
+//! one-to-many transfer, so engines, benches, and the performance model
+//! can compare them under one vocabulary:
+//!
+//! | fabric | egress frames per group send | copies overlap? | emulates |
+//! |---|---|---|---|
+//! | [`SerialUnicast`](ShuffleFabric::SerialUnicast) | `m` (receiver count) | no — back-to-back blocking sends | the pre-async `tcp.rs` behavior; worst case |
+//! | [`Fanout`](ShuffleFabric::Fanout) | `m` | yes — non-blocking writes interleave across sockets | `MPI_Bcast` over unicast links (what the paper ran) |
+//! | [`Multicast`](ShuffleFabric::Multicast) | 1 | n/a — one transmission serves all receivers | network-layer multicast (UDP multicast / in-memory shared buffer) |
+//!
+//! [`ShuffleFabric::wire_copies`] is the per-fabric egress frame count the
+//! trace records and the rate emulation charges; the netsim oracle
+//! (`cts-netsim::serial::serial_fabric_makespan` and
+//! `cts-netsim::fluid::predict_fabric_shuffle_s`) predicts shuffle time
+//! from exactly the same quantity.
+//!
+//! ```
+//! use cts_net::fabric::ShuffleFabric;
+//!
+//! // A multicast group of 4 members has fanout 3 at each sender's turn.
+//! assert_eq!(ShuffleFabric::SerialUnicast.wire_copies(3), 3);
+//! assert_eq!(ShuffleFabric::Fanout.wire_copies(3), 3);
+//! assert_eq!(ShuffleFabric::Multicast.wire_copies(3), 1);
+//! // Fabrics parse from CLI / env spellings.
+//! assert_eq!("serial-unicast".parse(), Ok(ShuffleFabric::SerialUnicast));
+//! assert_eq!("multicast".parse(), Ok(ShuffleFabric::Multicast));
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How the communicator realizes a one-to-many (multicast group) transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ShuffleFabric {
+    /// One blocking unicast per receiver, back to back. The payload crosses
+    /// the sender's egress `m` times and nothing overlaps — the behavior of
+    /// the original thread-per-rank fabric, kept as the ablation baseline.
+    SerialUnicast,
+    /// One copy per receiver, but the copies are written concurrently:
+    /// non-blocking sends interleave chunks across destination sockets, so
+    /// per-transfer setup overheads and receiver-side drains overlap. Still
+    /// `m` egress crossings.
+    Fanout,
+    /// A genuine one-to-many primitive: the payload leaves the sender once
+    /// and every receiver gets it. The in-memory fabric delivers one shared
+    /// buffer (zero-copy); the TCP fabric approximates it with overlapped
+    /// writes while the trace and the NIC emulation charge the single
+    /// crossing that a network-layer multicast would cost.
+    #[default]
+    Multicast,
+}
+
+impl ShuffleFabric {
+    /// All fabrics, in the fixed comparison order benches and tests use.
+    pub const ALL: [ShuffleFabric; 3] = [
+        ShuffleFabric::SerialUnicast,
+        ShuffleFabric::Fanout,
+        ShuffleFabric::Multicast,
+    ];
+
+    /// How many times a payload multicast to `fanout` receivers crosses the
+    /// sender's egress under this fabric.
+    pub fn wire_copies(self, fanout: usize) -> usize {
+        match self {
+            ShuffleFabric::SerialUnicast | ShuffleFabric::Fanout => fanout,
+            ShuffleFabric::Multicast => 1.min(fanout),
+        }
+    }
+
+    /// The canonical CLI / display spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShuffleFabric::SerialUnicast => "serial-unicast",
+            ShuffleFabric::Fanout => "fanout",
+            ShuffleFabric::Multicast => "multicast",
+        }
+    }
+}
+
+impl fmt::Display for ShuffleFabric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ShuffleFabric {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "serial-unicast" | "serial" | "unicast" => Ok(ShuffleFabric::SerialUnicast),
+            "fanout" => Ok(ShuffleFabric::Fanout),
+            "multicast" | "mcast" => Ok(ShuffleFabric::Multicast),
+            other => Err(format!(
+                "unknown fabric {other:?} (expected serial-unicast | fanout | multicast)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_copies_match_the_decision_table() {
+        assert_eq!(ShuffleFabric::SerialUnicast.wire_copies(5), 5);
+        assert_eq!(ShuffleFabric::Fanout.wire_copies(5), 5);
+        assert_eq!(ShuffleFabric::Multicast.wire_copies(5), 1);
+        // Degenerate empty group costs nothing anywhere.
+        for f in ShuffleFabric::ALL {
+            assert_eq!(f.wire_copies(0), 0);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_labels() {
+        for f in ShuffleFabric::ALL {
+            assert_eq!(f.label().parse::<ShuffleFabric>(), Ok(f));
+            assert_eq!(f.to_string(), f.label());
+        }
+        assert!("tachyon".parse::<ShuffleFabric>().is_err());
+    }
+
+    #[test]
+    fn default_is_multicast() {
+        assert_eq!(ShuffleFabric::default(), ShuffleFabric::Multicast);
+    }
+}

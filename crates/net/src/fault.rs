@@ -4,6 +4,28 @@
 //! message: deliver, drop, corrupt, or fail the send. Tests use this to
 //! verify that the engines and the packet parser surface transport
 //! misbehaviour as errors instead of silently producing wrong output.
+//! Multicasts decompose into per-destination sends inside the wrapper, so
+//! a rule sees (and can fault) each copy individually.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use bytes::Bytes;
+//! use cts_net::fault::{FaultAction, FaultyTransport};
+//! use cts_net::local::LocalFabric;
+//! use cts_net::message::Tag;
+//! use cts_net::transport::Transport;
+//!
+//! let fabric = LocalFabric::new(2);
+//! // Drop every first send, deliver the rest.
+//! let faulty = FaultyTransport::new(
+//!     Arc::new(fabric.endpoint(0)),
+//!     Box::new(|_, _, _, idx| if idx == 0 { FaultAction::Drop } else { FaultAction::Deliver }),
+//! );
+//! faulty.send(1, Tag::app(0), Bytes::from_static(b"lost")).unwrap();
+//! faulty.send(1, Tag::app(0), Bytes::from_static(b"kept")).unwrap();
+//! assert_eq!(faulty.dropped(), 1);
+//! assert_eq!(fabric.endpoint(1).recv(0, Tag::app(0)).unwrap(), "kept");
+//! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

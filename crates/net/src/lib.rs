@@ -7,17 +7,25 @@
 //! * [`mailbox`] — blocking, `(source, tag)`-matched message queues with
 //!   MPI receive semantics;
 //! * [`local`] — an in-process fabric (threads + shared mailboxes) that
-//!   moves real bytes at memory speed;
+//!   moves real bytes at memory speed, with zero-copy native multicast;
+//! * [`nio`] — the non-blocking I/O core: incremental framed reads/writes,
+//!   the round-robin write executor, adaptive backoff;
+//! * [`registry`] — the rank → address registry and deterministic mesh
+//!   bring-up, scaling single-host emulation to `K = 128`;
 //! * [`tcp`] — a real-socket fabric (full TCP mesh over loopback,
-//!   length-prefixed frames, one reader thread per peer);
+//!   length-prefixed frames, one event-driven reactor thread per endpoint,
+//!   overlapped multicast writes);
+//! * [`fabric`] — the [`ShuffleFabric`] selector: serial-unicast vs fanout
+//!   vs native multicast realizations of a group send;
 //! * [`comm`] — the per-node [`Communicator`]:
-//!   send/recv, barrier, binomial-tree or flat broadcast (the `MPI_Bcast`
-//!   of the paper's Multicast Shuffling), gather, scatter;
-//! * [`rate`] — token-bucket egress shaping (the paper's 100 Mbps `tc` cap)
-//!   for real-time demos;
+//!   send/recv, barrier, legacy tree/flat broadcast, fabric-aware
+//!   [`Communicator::multicast`] (the `MPI_Bcast` of the paper's Multicast
+//!   Shuffling), gather, scatter;
+//! * [`rate`] — emulated-NIC pacing: token-bucket egress shaping (the
+//!   paper's 100 Mbps `tc` cap), per-transfer latency, multicast `α`;
 //! * [`trace`] — transfer tracing: every unicast and multicast with stage
-//!   labels and byte counts, consumed by `cts-netsim`'s calibrated network
-//!   model;
+//!   labels, byte counts, and per-fabric egress frame counts, consumed by
+//!   `cts-netsim`'s calibrated network model;
 //! * [`cluster`] — SPMD runners ([`run_spmd`]) spawning
 //!   one thread per rank over either fabric, with panic-safe teardown;
 //! * [`fault`] — transport-level fault injection for failure testing.
@@ -39,18 +47,21 @@
 //! assert_eq!(run.trace.stage_bytes("Shuffle"), 12);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod comm;
 pub mod error;
+pub mod fabric;
 pub mod fault;
 pub mod local;
 pub mod mailbox;
 pub mod message;
+pub mod nio;
 pub mod rate;
+pub mod registry;
 pub mod tcp;
 pub mod trace;
 pub mod transport;
@@ -58,6 +69,9 @@ pub mod transport;
 pub use cluster::{run_spmd, run_spmd_with_inputs, ClusterConfig, ClusterRun, TransportKind};
 pub use comm::{BcastAlgorithm, Communicator};
 pub use error::{NetError, Result};
+pub use fabric::ShuffleFabric;
 pub use message::{Message, Tag};
+pub use rate::{Nic, NicProfile};
+pub use registry::RankRegistry;
 pub use trace::{EventKind, Trace, TraceCollector, TraceEvent};
 pub use transport::Transport;

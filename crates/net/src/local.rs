@@ -1,10 +1,24 @@
 //! In-process transport: one mailbox per node, delivery is a queue push.
 //!
 //! This is the default substrate for experiments — it moves real bytes
-//! between real per-node state with MPI matching semantics, at memory speed.
-//! Wall-clock realism comes either from a
-//! [`RateLimiter`](crate::rate::TokenBucket) or from replaying the recorded
-//! trace through `cts-netsim`.
+//! between real per-node state with MPI matching semantics, at memory
+//! speed, and its native [`Transport::multicast`] delivers one shared
+//! reference-counted buffer to every destination (zero-copy one-to-many).
+//! Wall-clock realism comes either from an emulated
+//! [`Nic`](crate::rate::Nic) or from replaying the recorded trace through
+//! `cts-netsim`.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use cts_net::local::LocalFabric;
+//! use cts_net::message::Tag;
+//! use cts_net::transport::Transport;
+//!
+//! let fabric = LocalFabric::new(2);
+//! let (a, b) = (fabric.endpoint(0), fabric.endpoint(1));
+//! a.send(1, Tag::app(0), Bytes::from_static(b"ping")).unwrap();
+//! assert_eq!(b.recv(0, Tag::app(0)).unwrap(), "ping");
+//! ```
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -101,6 +115,28 @@ impl Transport for LocalEndpoint {
         Ok(())
     }
 
+    /// Native one-to-many: every distinct destination mailbox receives a
+    /// handle to the *same* buffer (`Bytes` is reference-counted), which is
+    /// the in-memory analog of network-layer multicast — the payload exists
+    /// once no matter how many nodes hear it.
+    fn multicast(&self, dsts: &[usize], tag: Tag, payload: Bytes) -> Result<()> {
+        for &dst in dsts {
+            self.check(dst)?;
+        }
+        let mut seen = vec![false; self.mailboxes.len()];
+        for &dst in dsts {
+            if std::mem::replace(&mut seen[dst], true) {
+                continue;
+            }
+            self.mailboxes[dst].deliver(Message {
+                src: self.rank,
+                tag,
+                payload: payload.clone(),
+            });
+        }
+        Ok(())
+    }
+
     fn recv(&self, src: usize, tag: Tag) -> Result<Bytes> {
         self.check(src)?;
         self.mailboxes[self.rank].recv(src, tag)
@@ -192,6 +228,17 @@ mod tests {
             handle.join().unwrap(),
             Err(NetError::Disconnected { .. })
         ));
+    }
+
+    #[test]
+    fn multicast_duplicates_deliver_once() {
+        let fabric = LocalFabric::new(3);
+        let a = fabric.endpoint(0);
+        a.multicast(&[1, 2, 1], Tag::app(0), Bytes::from_static(b"set"))
+            .unwrap();
+        let b = fabric.endpoint(1);
+        assert_eq!(b.recv(0, Tag::app(0)).unwrap(), "set");
+        assert_eq!(b.try_recv(0, Tag::app(0)).unwrap(), None);
     }
 
     #[test]

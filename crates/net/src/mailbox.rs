@@ -4,6 +4,18 @@
 //! `(source, tag)`; `recv(src, tag)` blocks until a matching message is
 //! available, preserving FIFO order per `(source, tag)` pair — the same
 //! matching semantics as MPI's `MPI_Recv` with an explicit source and tag.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use cts_net::mailbox::Mailbox;
+//! use cts_net::message::{Message, Tag};
+//!
+//! let mb = Mailbox::new(0);
+//! mb.deliver(Message { src: 2, tag: Tag::app(7), payload: Bytes::from_static(b"hi") });
+//! // Matching is on exact (source, tag); other keys stay queued.
+//! assert_eq!(mb.try_recv(1, Tag::app(7)), None);
+//! assert_eq!(mb.recv(2, Tag::app(7)).unwrap(), "hi");
+//! ```
 
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;

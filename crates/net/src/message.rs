@@ -3,6 +3,15 @@
 //! Every transfer carries a 32-bit [`Tag`] that receivers match on, exactly
 //! like MPI's `tag` argument. The high byte is a *purpose* namespace so that
 //! application traffic, collectives, and control messages never collide.
+//!
+//! ```
+//! use cts_net::message::Tag;
+//!
+//! let tag = Tag::new(Tag::BCAST, 1234); // multicast-group 1234's payloads
+//! assert_eq!(tag.purpose(), Tag::BCAST);
+//! assert_eq!(tag.seq(), 1234);
+//! assert_ne!(tag, Tag::app(1234)); // purposes never collide
+//! ```
 
 use bytes::Bytes;
 

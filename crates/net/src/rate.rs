@@ -1,11 +1,30 @@
-//! Token-bucket egress rate limiting.
+//! Real-time NIC emulation: token-bucket egress shaping plus per-transfer
+//! pacing.
 //!
 //! The paper caps every EC2 instance at 100 Mbps with `tc` (§V-B, footnote
 //! 5). [`TokenBucket`] reproduces that in *real time*: a transport wrapped
 //! with a bucket sleeps long enough that sustained egress never exceeds the
-//! configured rate. Used by the real-time demo modes; the table benchmarks
-//! use the virtual-time model in `cts-netsim` instead, which is exact and
-//! doesn't burn wall-clock seconds.
+//! configured rate. [`NicProfile`] extends the emulation with the other two
+//! parameters of the netsim network model — a fixed per-transfer setup
+//! latency and the logarithmic software-multicast penalty `α` — so
+//! *measured* shuffle wall-clock under a rate-limited run can be compared
+//! against the *modeled* time from `cts-netsim` for the same trace: the
+//! fabric-ablation bench's validation oracle. The table benchmarks still
+//! use the virtual-time model, which is exact and doesn't burn wall-clock
+//! seconds.
+//!
+//! ```
+//! use cts_net::rate::{Nic, NicProfile};
+//!
+//! // 1 MB/s egress, 0.1 ms per transfer, α = 0.3 — an emulated paper NIC.
+//! let profile = NicProfile::rate_limited(8e6)
+//!     .with_latency_s(1e-4)
+//!     .with_multicast_alpha(0.3);
+//! let nic = Nic::new(profile);
+//! nic.pace_transfer(); // one transfer's setup cost (~0.1 ms)
+//! nic.charge(512);     // 512 payload bytes through the shaped egress
+//! assert!(profile.multicast_penalty(4) > 1.0);
+//! ```
 
 use std::time::{Duration, Instant};
 
@@ -79,6 +98,144 @@ impl TokenBucket {
     }
 }
 
+/// Parameters of one emulated NIC, mirroring the netsim network model
+/// (`rate`, per-transfer latency, multicast penalty `α`) so measured and
+/// modeled shuffle times describe the same machine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NicProfile {
+    /// Sustained egress rate in bytes/second; `None` leaves egress
+    /// unshaped (memory/loopback speed).
+    pub rate_bytes_per_sec: Option<f64>,
+    /// Token-bucket burst allowance in bytes.
+    pub burst_bytes: f64,
+    /// Fixed setup cost per transfer, seconds (connection/envelope
+    /// overhead — the model's `per_transfer_latency_s`).
+    pub latency_s: f64,
+    /// Software-multicast penalty coefficient: one native multicast to `m`
+    /// receivers occupies the egress for `1 + α·log2(m)` times the unicast
+    /// duration of the same bytes.
+    pub multicast_alpha: f64,
+}
+
+impl Default for NicProfile {
+    fn default() -> Self {
+        NicProfile::unlimited()
+    }
+}
+
+impl NicProfile {
+    /// No shaping at all: memory/loopback speed, zero latency.
+    pub fn unlimited() -> Self {
+        NicProfile {
+            rate_bytes_per_sec: None,
+            burst_bytes: 64.0 * 1024.0,
+            latency_s: 0.0,
+            multicast_alpha: 0.0,
+        }
+    }
+
+    /// Egress capped at `rate_bytes_per_sec` with a 64 KiB burst.
+    pub fn rate_limited(rate_bytes_per_sec: f64) -> Self {
+        NicProfile {
+            rate_bytes_per_sec: Some(rate_bytes_per_sec),
+            ..NicProfile::unlimited()
+        }
+    }
+
+    /// The paper's emulated NIC: 100 Mbps `tc` cap, 0.1 ms per transfer,
+    /// `α = 0.30` — the same constants the calibrated netsim model uses.
+    pub fn paper_100mbps() -> Self {
+        NicProfile::rate_limited(100e6 / 8.0)
+            .with_latency_s(1e-4)
+            .with_multicast_alpha(0.30)
+    }
+
+    /// Sets the per-transfer setup latency.
+    pub fn with_latency_s(mut self, latency_s: f64) -> Self {
+        self.latency_s = latency_s;
+        self
+    }
+
+    /// Sets the software-multicast penalty coefficient.
+    pub fn with_multicast_alpha(mut self, alpha: f64) -> Self {
+        self.multicast_alpha = alpha;
+        self
+    }
+
+    /// The multicast slowdown factor for `fanout` receivers
+    /// (`1 + α·log2(fanout)`), matching the netsim model's formula.
+    pub fn multicast_penalty(&self, fanout: u32) -> f64 {
+        if fanout <= 1 {
+            1.0
+        } else {
+            1.0 + self.multicast_alpha * (fanout as f64).log2()
+        }
+    }
+}
+
+/// A live emulated NIC built from a [`NicProfile`]: one per rank, shared by
+/// that rank's communicator.
+pub struct Nic {
+    profile: NicProfile,
+    bucket: Option<TokenBucket>,
+}
+
+impl Nic {
+    /// Instantiates the NIC (allocating the token bucket if shaped).
+    pub fn new(profile: NicProfile) -> Self {
+        Nic {
+            bucket: profile
+                .rate_bytes_per_sec
+                .map(|rate| TokenBucket::new(rate, profile.burst_bytes)),
+            profile,
+        }
+    }
+
+    /// The profile this NIC was built from.
+    pub fn profile(&self) -> &NicProfile {
+        &self.profile
+    }
+
+    /// Pays one transfer's fixed setup latency (no-op at zero latency).
+    /// Short waits are spun for accuracy; longer ones sleep.
+    pub fn pace_transfer(&self) {
+        let latency = self.profile.latency_s;
+        if latency <= 0.0 {
+            return;
+        }
+        precise_wait(Duration::from_secs_f64(latency));
+    }
+
+    /// Pushes `bytes` through the shaped egress (blocking as needed).
+    pub fn charge(&self, bytes: u64) {
+        if let Some(bucket) = &self.bucket {
+            bucket.acquire(bytes);
+        }
+    }
+
+    /// Pushes `bytes × factor` through the shaped egress — the multicast
+    /// penalty path (`factor = multicast_penalty(fanout)`).
+    pub fn charge_scaled(&self, bytes: u64, factor: f64) {
+        if let Some(bucket) = &self.bucket {
+            bucket.acquire((bytes as f64 * factor).round() as u64);
+        }
+    }
+}
+
+/// Waits `d` with much better accuracy than `thread::sleep` for
+/// sub-millisecond durations: spin below 200 µs (sleep granularity would
+/// otherwise inflate short NIC latencies several-fold), sleep above.
+fn precise_wait(d: Duration) {
+    if d >= Duration::from_micros(200) {
+        std::thread::sleep(d);
+        return;
+    }
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +301,57 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_rejected() {
         TokenBucket::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn unlimited_nic_is_free() {
+        let nic = Nic::new(NicProfile::unlimited());
+        let start = Instant::now();
+        nic.pace_transfer();
+        nic.charge(100_000_000);
+        nic.charge_scaled(100_000_000, 3.0);
+        assert!(start.elapsed() < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn nic_latency_paces_transfers() {
+        let nic = Nic::new(NicProfile::unlimited().with_latency_s(2e-3));
+        let start = Instant::now();
+        for _ in 0..5 {
+            nic.pace_transfer();
+        }
+        assert!(start.elapsed() >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn nic_charge_scaled_applies_penalty() {
+        // 1 MB/s, 1 KB burst: 100 KB at factor 2 ≈ 200 ms.
+        let nic = Nic::new(NicProfile {
+            rate_bytes_per_sec: Some(1_000_000.0),
+            burst_bytes: 1_000.0,
+            latency_s: 0.0,
+            multicast_alpha: 1.0,
+        });
+        let start = Instant::now();
+        nic.charge_scaled(100_000, 2.0);
+        nic.charge(1);
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(150), "{elapsed:?}");
+    }
+
+    #[test]
+    fn multicast_penalty_formula_matches_model() {
+        let p = NicProfile::unlimited().with_multicast_alpha(0.5);
+        assert_eq!(p.multicast_penalty(1), 1.0);
+        assert!((p.multicast_penalty(4) - 2.0).abs() < 1e-12);
+        assert_eq!(NicProfile::unlimited().multicast_penalty(8), 1.0);
+    }
+
+    #[test]
+    fn paper_profile_matches_calibration() {
+        let p = NicProfile::paper_100mbps();
+        assert_eq!(p.rate_bytes_per_sec, Some(12.5e6));
+        assert!((p.latency_s - 1e-4).abs() < 1e-12);
+        assert!((p.multicast_alpha - 0.30).abs() < 1e-12);
     }
 }

@@ -1,0 +1,159 @@
+//! The rank registry: who is rank `i` and how to reach them.
+//!
+//! The paper's deployment fixes a coordinator plus `K` workers whose MPI
+//! ranks are known up front (Fig. 8). [`RankRegistry`] is that membership
+//! map for the socket fabric: it binds one loopback listener per rank,
+//! records every rank's address, and [`connect_mesh`] turns it into a fully
+//! connected mesh with a deterministic dial direction (higher rank dials
+//! lower, introducing itself with a 4-byte hello), so `K(K−1)/2` sockets
+//! come up without races or deadlocks. With the single-reactor endpoints in
+//! [`tcp`](crate::tcp) this scales single-host emulation to `K = 128`
+//! (≈ 16 k file descriptors, two threads per rank).
+//!
+//! ```
+//! use cts_net::registry::RankRegistry;
+//!
+//! let (registry, listeners) = RankRegistry::bind_loopback(3).unwrap();
+//! assert_eq!(registry.world_size(), 3);
+//! assert_eq!(listeners.len(), 3);
+//! // Every rank has a distinct loopback address.
+//! assert_ne!(registry.addr(0).unwrap(), registry.addr(1).unwrap());
+//! assert!(registry.addr(7).is_none());
+//! ```
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use crate::error::{NetError, Result};
+
+/// Highest world size the fabrics support: receiver sets are traced as
+/// `u128` bitmasks.
+pub const MAX_WORLD: usize = 128;
+
+/// Rank → socket address membership for one fabric.
+#[derive(Clone, Debug)]
+pub struct RankRegistry {
+    addrs: Vec<SocketAddr>,
+}
+
+impl RankRegistry {
+    /// Binds `k` loopback listeners and records their addresses. Returns
+    /// the registry plus the listeners (in rank order) to pass to
+    /// [`connect_mesh`].
+    ///
+    /// # Errors
+    /// I/O errors from binding; `InvalidRank` if `k` is 0 or exceeds
+    /// [`MAX_WORLD`].
+    pub fn bind_loopback(k: usize) -> Result<(RankRegistry, Vec<TcpListener>)> {
+        if k == 0 || k > MAX_WORLD {
+            return Err(NetError::InvalidRank {
+                rank: k,
+                world: MAX_WORLD,
+            });
+        }
+        let mut listeners = Vec::with_capacity(k);
+        let mut addrs = Vec::with_capacity(k);
+        for _ in 0..k {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            listeners.push(listener);
+        }
+        Ok((RankRegistry { addrs }, listeners))
+    }
+
+    /// Number of registered ranks.
+    pub fn world_size(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The address of `rank`, if registered.
+    pub fn addr(&self, rank: usize) -> Option<SocketAddr> {
+        self.addrs.get(rank).copied()
+    }
+
+    /// All addresses, rank order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+}
+
+/// Establishes the full mesh over a freshly bound registry: rank `j` dials
+/// every lower rank `i < j` (loopback connects to a bound listener succeed
+/// from the backlog without a concurrent accept, so the serial sweep cannot
+/// deadlock) and introduces itself with a 4-byte little-endian hello.
+/// Returns, per rank, the map of peer rank → connected stream.
+///
+/// # Errors
+/// Propagates I/O failures; `Io` if a hello announces an out-of-range rank.
+pub fn connect_mesh(
+    registry: &RankRegistry,
+    listeners: Vec<TcpListener>,
+) -> Result<Vec<HashMap<usize, TcpStream>>> {
+    let k = registry.world_size();
+    assert_eq!(listeners.len(), k, "one listener per registered rank");
+    let mut streams: Vec<HashMap<usize, TcpStream>> = (0..k).map(|_| HashMap::new()).collect();
+
+    for i in 0..k {
+        for (j, peer_streams) in streams.iter_mut().enumerate().skip(i + 1) {
+            let stream = TcpStream::connect(registry.addrs[i])?;
+            stream.set_nodelay(true)?;
+            let mut s = stream.try_clone()?;
+            s.write_all(&(j as u32).to_le_bytes())?;
+            peer_streams.insert(i, stream);
+        }
+        // Accept the k-1-i inbound connections for listener i.
+        for _ in (i + 1)..k {
+            let (mut stream, _) = listeners[i].accept()?;
+            stream.set_nodelay(true)?;
+            let mut hello = [0u8; 4];
+            stream.read_exact(&mut hello)?;
+            let peer = u32::from_le_bytes(hello) as usize;
+            if peer <= i || peer >= k {
+                return Err(NetError::Io {
+                    what: format!("unexpected hello rank {peer} on listener {i}"),
+                });
+            }
+            streams[i].insert(peer, stream);
+        }
+    }
+    Ok(streams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_is_fully_connected() {
+        let (registry, listeners) = RankRegistry::bind_loopback(4).unwrap();
+        let meshes = connect_mesh(&registry, listeners).unwrap();
+        assert_eq!(meshes.len(), 4);
+        for (rank, peers) in meshes.iter().enumerate() {
+            assert_eq!(peers.len(), 3, "rank {rank}");
+            for peer in 0..4 {
+                assert_eq!(peers.contains_key(&peer), peer != rank);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_and_oversized_worlds_are_rejected() {
+        assert!(matches!(
+            RankRegistry::bind_loopback(0),
+            Err(NetError::InvalidRank { .. })
+        ));
+        assert!(matches!(
+            RankRegistry::bind_loopback(MAX_WORLD + 1),
+            Err(NetError::InvalidRank { .. })
+        ));
+    }
+
+    #[test]
+    fn single_rank_world_has_no_links() {
+        let (registry, listeners) = RankRegistry::bind_loopback(1).unwrap();
+        let meshes = connect_mesh(&registry, listeners).unwrap();
+        assert_eq!(meshes.len(), 1);
+        assert!(meshes[0].is_empty());
+    }
+}

@@ -1,19 +1,46 @@
-//! Real-socket transport: a full TCP mesh over localhost.
+//! Real-socket transport: an event-driven TCP mesh over localhost.
 //!
 //! This is the "custom networking" substrate replacing the paper's Open MPI
-//! deployment: each endpoint owns one TCP connection per peer, writes
-//! length-prefixed frames, and runs one reader thread per peer that feeds
-//! the tag-matched mailbox. Every byte the algorithms shuffle really crosses
-//! the kernel's TCP stack, so the TCP examples and tests exercise exactly
-//! the code path an EC2 deployment would.
+//! deployment. The original design ran one blocking reader thread per peer
+//! (`K−1` threads per endpoint, `O(K²)` for the fabric), which capped
+//! emulation around `K ≈ 20`. It is now event-driven: every socket is
+//! non-blocking, each endpoint runs a **single reactor thread** that polls
+//! all of its peer sockets through [`nio::FrameReader`](crate::nio), and
+//! sends go through resumable [`nio::FrameWrite`](crate::nio) state
+//! machines. Thread count is `O(K)` and — together with the
+//! [`registry`](crate::registry) mesh bring-up — single-host emulation
+//! scales to `K = 128`.
 //!
-//! Frame format per message: `[tag: u32 LE][len: u32 LE][payload]`.
-//! The peer's rank is implicit in the connection.
+//! The endpoint also implements a real one-to-many primitive:
+//! [`Transport::multicast`] interleaves chunked non-blocking writes across
+//! all destination sockets ([`nio::drive_writes`]), so the copies of one
+//! coded packet overlap on the wire instead of queueing behind each other —
+//! the fanout/multicast fabrics of [`fabric`](crate::fabric).
+//!
+//! Every byte the algorithms shuffle really crosses the kernel's TCP stack,
+//! so the TCP examples and tests exercise exactly the code path an EC2
+//! deployment would. Frame format per message:
+//! `[tag: u32 LE][len: u32 LE][payload]`. The peer's rank is implicit in
+//! the connection.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use cts_net::tcp::build_tcp_fabric;
+//! use cts_net::message::Tag;
+//! use cts_net::transport::Transport;
+//!
+//! let endpoints = build_tcp_fabric(3).unwrap();
+//! // One native multicast: rank 0 → ranks 1 and 2, overlapped writes.
+//! endpoints[0]
+//!     .multicast(&[1, 2], Tag::app(0), Bytes::from_static(b"coded"))
+//!     .unwrap();
+//! assert_eq!(endpoints[1].recv(0, Tag::app(0)).unwrap(), "coded");
+//! assert_eq!(endpoints[2].recv(0, Tag::app(0)).unwrap(), "coded");
+//! ```
 
 use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -24,94 +51,76 @@ use parking_lot::Mutex;
 use crate::error::{NetError, Result};
 use crate::mailbox::Mailbox;
 use crate::message::{Message, Tag};
+use crate::nio::{self, Backoff, FrameReader, FrameWrite, ReadStatus};
+use crate::registry::{connect_mesh, RankRegistry};
 use crate::transport::Transport;
-
-/// Upper bound on a single frame's payload (1 GiB) — a sanity check against
-/// corrupted length headers.
-const MAX_FRAME: u32 = 1 << 30;
 
 /// Builds a fully connected TCP fabric of `k` endpoints on loopback.
 ///
-/// All listeners are bound first, then the mesh is established pairwise
-/// (higher rank connects to lower rank's listener and introduces itself
-/// with a 4-byte hello). Returns the endpoints in rank order.
+/// Binds a [`RankRegistry`], establishes the mesh, switches every socket to
+/// non-blocking mode, and starts one reactor per endpoint. Returns the
+/// endpoints in rank order.
 pub fn build_tcp_fabric(k: usize) -> Result<Vec<TcpEndpoint>> {
-    assert!(k >= 1, "need at least one endpoint");
-    // Bind all listeners up front so connects cannot race binds.
-    let mut listeners = Vec::with_capacity(k);
-    let mut addrs: Vec<SocketAddr> = Vec::with_capacity(k);
-    for _ in 0..k {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        addrs.push(listener.local_addr()?);
-        listeners.push(listener);
-    }
-
-    // streams[i] holds i's socket to each peer.
-    let mut streams: Vec<HashMap<usize, TcpStream>> = (0..k).map(|_| HashMap::new()).collect();
-
-    // Higher rank j dials lower rank i. Loopback connects to a bound
-    // listener succeed without a concurrent accept (backlog), so a serial
-    // connect-then-accept sweep cannot deadlock.
-    for i in 0..k {
-        for (j, peer_streams) in streams.iter_mut().enumerate().skip(i + 1) {
-            let stream = TcpStream::connect(addrs[i])?;
-            stream.set_nodelay(true)?;
-            let mut s = stream.try_clone()?;
-            s.write_all(&(j as u32).to_le_bytes())?;
-            peer_streams.insert(i, stream);
-        }
-        // Accept the k-1-i inbound connections for listener i.
-        for _ in (i + 1)..k {
-            let (mut stream, _) = listeners[i].accept()?;
-            stream.set_nodelay(true)?;
-            let mut hello = [0u8; 4];
-            stream.read_exact(&mut hello)?;
-            let peer = u32::from_le_bytes(hello) as usize;
-            if peer <= i || peer >= k {
-                return Err(NetError::Io {
-                    what: format!("unexpected hello rank {peer} on listener {i}"),
-                });
-            }
-            streams[i].insert(peer, stream);
-        }
-    }
-
-    Ok(streams
+    let (registry, listeners) = RankRegistry::bind_loopback(k)?;
+    let meshes = connect_mesh(&registry, listeners)?;
+    meshes
         .into_iter()
         .enumerate()
         .map(|(rank, peers)| TcpEndpoint::start(rank, k, peers))
-        .collect())
+        .collect()
+}
+
+/// Rejects payloads the `u32` frame-length field (and the reader's
+/// [`nio::MAX_FRAME`] guard) cannot represent, before any byte is written.
+fn check_frame_size(payload: &Bytes) -> Result<()> {
+    if payload.len() > nio::MAX_FRAME as usize {
+        return Err(NetError::Io {
+            what: format!(
+                "payload of {} bytes exceeds the {} byte frame limit",
+                payload.len(),
+                nio::MAX_FRAME
+            ),
+        });
+    }
+    Ok(())
 }
 
 struct PeerLink {
+    /// Write half: a lock serializes frame writes from this endpoint's
+    /// threads; the stream itself is non-blocking, so writers resume
+    /// through `nio` instead of blocking in the kernel.
     writer: Mutex<TcpStream>,
-    // Kept so shutdown() can force reader threads out of blocking reads.
+    /// Kept so `shutdown()` can force the reactor out of its polling loop
+    /// and wake the peer's reactor with an EOF.
     raw: TcpStream,
 }
 
 /// One endpoint of a TCP fabric.
 ///
-/// Reader threads (one per peer) parse frames and deliver them into the
-/// endpoint's [`Mailbox`]; `send` frames the payload onto the peer's socket
-/// under a per-peer write lock. Dropping the endpoint shuts the sockets down
-/// and joins the readers.
+/// A single reactor thread polls all peer sockets, parses frames, and
+/// delivers them into the endpoint's [`Mailbox`]; `send` and `multicast`
+/// drive non-blocking writes under a per-peer lock. Dropping the endpoint
+/// shuts the sockets down and joins the reactor.
 pub struct TcpEndpoint {
     rank: usize,
     world: usize,
     mailbox: Arc<Mailbox>,
     peers: HashMap<usize, PeerLink>,
-    readers: Mutex<Vec<JoinHandle<()>>>,
+    stop: Arc<AtomicBool>,
+    reactor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl TcpEndpoint {
-    fn start(rank: usize, world: usize, peers: HashMap<usize, TcpStream>) -> TcpEndpoint {
+    fn start(rank: usize, world: usize, peers: HashMap<usize, TcpStream>) -> Result<TcpEndpoint> {
         let mailbox = Arc::new(Mailbox::new(rank));
-        let live_readers = Arc::new(AtomicUsize::new(peers.len()));
+        let stop = Arc::new(AtomicBool::new(false));
         let mut links = HashMap::with_capacity(peers.len());
-        let mut readers = Vec::with_capacity(peers.len());
+        let mut read_half = Vec::with_capacity(peers.len());
         for (peer, stream) in peers {
-            let reader_stream = stream.try_clone().expect("clone tcp stream");
-            let raw = stream.try_clone().expect("clone tcp stream");
+            stream.set_nonblocking(true)?;
+            let reader_stream = stream.try_clone()?;
+            let raw = stream.try_clone()?;
+            read_half.push((peer, reader_stream));
             links.insert(
                 peer,
                 PeerLink {
@@ -119,57 +128,94 @@ impl TcpEndpoint {
                     raw,
                 },
             );
-            let mb = Arc::clone(&mailbox);
-            let live = Arc::clone(&live_readers);
-            readers.push(std::thread::spawn(move || {
-                read_loop(reader_stream, peer, &mb);
-                // Last reader out closes the mailbox so pending recvs see
-                // Disconnected instead of hanging.
-                if live.fetch_sub(1, Ordering::AcqRel) == 1 {
-                    mb.close();
-                }
-            }));
         }
-        TcpEndpoint {
+        let reactor = {
+            let mailbox = Arc::clone(&mailbox);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("cts-net-reactor-{rank}"))
+                .spawn(move || reactor_loop(read_half, &mailbox, &stop))
+                .expect("spawn reactor thread")
+        };
+        Ok(TcpEndpoint {
             rank,
             world,
             mailbox,
             peers: links,
-            readers: Mutex::new(readers),
-        }
+            stop,
+            reactor: Mutex::new(Some(reactor)),
+        })
     }
 
-    /// Joins all reader threads after shutting the sockets down.
+    /// Joins the reactor after shutting the sockets down.
     fn teardown(&self) {
         self.shutdown();
-        let mut readers = self.readers.lock();
-        for handle in readers.drain(..) {
+        if let Some(handle) = self.reactor.lock().take() {
+            handle.thread().unpark();
             let _ = handle.join();
         }
     }
 }
 
-fn read_loop(mut stream: TcpStream, peer: usize, mailbox: &Mailbox) {
-    let mut header = [0u8; 8];
-    loop {
-        if stream.read_exact(&mut header).is_err() {
-            return; // EOF or shutdown
-        }
-        let tag = u32::from_le_bytes(header[0..4].try_into().unwrap());
-        let len = u32::from_le_bytes(header[4..8].try_into().unwrap());
-        if len > MAX_FRAME {
-            return; // corrupted header; treat as disconnect
-        }
-        let mut payload = vec![0u8; len as usize];
-        if stream.read_exact(&mut payload).is_err() {
-            return;
-        }
-        mailbox.deliver(Message {
-            src: peer,
-            tag: Tag(tag),
-            payload: Bytes::from(payload),
-        });
+/// The per-endpoint event loop: round-robins every peer socket, feeding
+/// parsed frames into the mailbox, with adaptive backoff while idle. Exits
+/// when asked to stop or when every link has closed (at which point pending
+/// receivers are woken with `Disconnected`).
+fn reactor_loop(links: Vec<(usize, TcpStream)>, mailbox: &Mailbox, stop: &AtomicBool) {
+    struct Link {
+        peer: usize,
+        stream: TcpStream,
+        reader: FrameReader,
+        open: bool,
     }
+    let had_links = !links.is_empty();
+    let mut links: Vec<Link> = links
+        .into_iter()
+        .map(|(peer, stream)| Link {
+            peer,
+            stream,
+            reader: FrameReader::new(),
+            open: true,
+        })
+        .collect();
+    let mut frames: Vec<(u32, Bytes)> = Vec::new();
+    // Reactors may sit idle through whole compute stages; a higher park cap
+    // keeps K idle endpoints from re-polling K−1 sockets every millisecond.
+    let mut backoff = Backoff::with_max_park_us(5_000);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let mut progressed = false;
+        let mut live = 0usize;
+        for link in links.iter_mut().filter(|l| l.open) {
+            match link.reader.poll(&link.stream, &mut frames) {
+                ReadStatus::Progress => {
+                    progressed = true;
+                    live += 1;
+                }
+                ReadStatus::WouldBlock => live += 1,
+                ReadStatus::Closed => link.open = false,
+            }
+            for (tag, payload) in frames.drain(..) {
+                mailbox.deliver(Message {
+                    src: link.peer,
+                    tag: Tag(tag),
+                    payload,
+                });
+            }
+        }
+        if had_links && live == 0 {
+            break;
+        }
+        if progressed {
+            backoff.reset();
+        } else {
+            backoff.wait();
+        }
+    }
+    // Wake pending receivers: no further messages will arrive.
+    mailbox.close();
 }
 
 impl Transport for TcpEndpoint {
@@ -182,6 +228,7 @@ impl Transport for TcpEndpoint {
     }
 
     fn send(&self, dst: usize, tag: Tag, payload: Bytes) -> Result<()> {
+        check_frame_size(&payload)?;
         if dst == self.rank {
             // Loopback without touching the wire, like MPI self-sends.
             self.mailbox.deliver(Message {
@@ -195,12 +242,48 @@ impl Transport for TcpEndpoint {
             rank: dst,
             world: self.world,
         })?;
-        let mut header = [0u8; 8];
-        header[0..4].copy_from_slice(&tag.0.to_le_bytes());
-        header[4..8].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        let mut writer = link.writer.lock();
-        writer.write_all(&header)?;
-        writer.write_all(&payload)?;
+        let writer = link.writer.lock();
+        nio::write_frame(&*writer, tag.0, &payload)?;
+        Ok(())
+    }
+
+    fn multicast(&self, dsts: &[usize], tag: Tag, payload: Bytes) -> Result<()> {
+        check_frame_size(&payload)?;
+        // Validate first so no copy is sent on a bad destination list.
+        for &dst in dsts {
+            if dst != self.rank && !self.peers.contains_key(&dst) {
+                return Err(NetError::InvalidRank {
+                    rank: dst,
+                    world: self.world,
+                });
+            }
+        }
+        // `dsts` is a set (trait contract): dedupe — a duplicate would
+        // re-lock a peer's non-reentrant writer mutex — and sort, so
+        // concurrent multicasts on one endpoint acquire the per-peer locks
+        // in one global order (no lock-ordering deadlock).
+        let mut distinct: Vec<usize> = dsts.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut guards = Vec::with_capacity(distinct.len());
+        for &dst in &distinct {
+            if dst == self.rank {
+                self.mailbox.deliver(Message {
+                    src: self.rank,
+                    tag,
+                    payload: payload.clone(),
+                });
+            } else {
+                guards.push(self.peers[&dst].writer.lock());
+            }
+        }
+        // One resumable frame writer per destination, driven round-robin so
+        // the copies overlap on the wire.
+        let mut ops: Vec<FrameWrite<'_, &TcpStream>> = guards
+            .iter()
+            .map(|guard| FrameWrite::new(&**guard, tag.0, &payload))
+            .collect();
+        nio::drive_writes(&mut ops)?;
         Ok(())
     }
 
@@ -235,8 +318,12 @@ impl Transport for TcpEndpoint {
     }
 
     fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
         for link in self.peers.values() {
             let _ = link.raw.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(handle) = self.reactor.lock().as_ref() {
+            handle.thread().unpark();
         }
         self.mailbox.close();
     }
@@ -325,12 +412,56 @@ mod tests {
     }
 
     #[test]
+    fn multicast_reaches_every_destination() {
+        let endpoints = build_tcp_fabric(4).unwrap();
+        let payload: Vec<u8> = (0..500_000u32).map(|i| (i % 251) as u8).collect();
+        endpoints[1]
+            .multicast(&[0, 2, 3], Tag::app(9), Bytes::from(payload.clone()))
+            .unwrap();
+        for dst in [0usize, 2, 3] {
+            let got = endpoints[dst].recv(1, Tag::app(9)).unwrap();
+            assert_eq!(&got[..], &payload[..], "dst {dst}");
+        }
+    }
+
+    #[test]
+    fn multicast_including_self_delivers_locally() {
+        let endpoints = build_tcp_fabric(2).unwrap();
+        endpoints[0]
+            .multicast(&[0, 1], Tag::app(2), Bytes::from_static(b"both"))
+            .unwrap();
+        assert_eq!(endpoints[0].recv(0, Tag::app(2)).unwrap(), "both");
+        assert_eq!(endpoints[1].recv(0, Tag::app(2)).unwrap(), "both");
+    }
+
+    #[test]
+    fn multicast_duplicate_destinations_deliver_once_without_deadlock() {
+        let endpoints = build_tcp_fabric(2).unwrap();
+        endpoints[0]
+            .multicast(&[1, 1], Tag::app(0), Bytes::from_static(b"dup"))
+            .unwrap();
+        assert_eq!(endpoints[1].recv(0, Tag::app(0)).unwrap(), "dup");
+        assert!(endpoints[1].try_recv(0, Tag::app(0)).unwrap().is_none());
+    }
+
+    #[test]
+    fn multicast_rejects_invalid_rank_before_sending() {
+        let endpoints = build_tcp_fabric(2).unwrap();
+        let err = endpoints[0]
+            .multicast(&[1, 9], Tag::app(0), Bytes::from_static(b"x"))
+            .unwrap_err();
+        assert!(matches!(err, NetError::InvalidRank { rank: 9, .. }));
+        // Nothing was sent to the valid destination either.
+        assert!(endpoints[1].try_recv(0, Tag::app(0)).unwrap().is_none());
+    }
+
+    #[test]
     fn shutdown_unblocks_peers() {
         let mut endpoints = build_tcp_fabric(2).unwrap();
         let b = endpoints.pop().unwrap();
         let handle = std::thread::spawn(move || b.recv(0, Tag::app(0)));
         std::thread::sleep(Duration::from_millis(20));
-        drop(endpoints); // drops endpoint 0 → socket shutdown → b's reader EOFs
+        drop(endpoints); // drops endpoint 0 → socket shutdown → b's reactor EOFs
         let result = handle.join().unwrap();
         assert!(matches!(result, Err(NetError::Disconnected { .. })));
     }
@@ -342,5 +473,26 @@ mod tests {
             endpoints[0].send(7, Tag::app(0), Bytes::new()),
             Err(NetError::InvalidRank { .. })
         ));
+    }
+
+    #[test]
+    fn bidirectional_bulk_exchange_cannot_deadlock() {
+        // Both sides write 2 MB at each other before either reads: blocking
+        // writes would deadlock once the socket buffers fill; the
+        // non-blocking writers plus the always-draining reactors must not.
+        let endpoints = build_tcp_fabric(2).unwrap();
+        let big = vec![0xABu8; 2_000_000];
+        std::thread::scope(|scope| {
+            for ep in &endpoints {
+                let big = &big;
+                scope.spawn(move || {
+                    let other = 1 - ep.rank();
+                    ep.send(other, Tag::app(0), Bytes::from(big.clone()))
+                        .unwrap();
+                    let got = ep.recv(other, Tag::app(0)).unwrap();
+                    assert_eq!(got.len(), big.len());
+                });
+            }
+        });
     }
 }

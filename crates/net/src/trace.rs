@@ -5,6 +5,26 @@
 //! global order — is what `cts-netsim` replays under a network model to
 //! produce the paper's stage timings, and what the Fig. 9 timeline renderer
 //! draws.
+//!
+//! Since the async-fabric refactor every event also carries
+//! [`wire_copies`](TraceEvent::wire_copies): how many separate egress
+//! transmissions the payload made at the sender under the shuffle fabric in
+//! effect. [`Trace::stage_wire_sends`] sums them, which is how the
+//! fabric-equivalence tests check that a native multicast really sends
+//! `r×` fewer frames than serial-unicast emulation.
+//!
+//! ```
+//! use cts_net::trace::{EventKind, TraceCollector};
+//!
+//! let collector = TraceCollector::new(true);
+//! let stage = collector.intern("Shuffle");
+//! // One unicast, then one native multicast to ranks 1 and 2.
+//! collector.record(stage, 0, 0b010, 64, EventKind::AppUnicast);
+//! collector.record_transfer(stage, 0, 0b110, 100, 0, 1, EventKind::Multicast);
+//! let trace = collector.snapshot();
+//! assert_eq!(trace.stage_bytes("Shuffle"), 164);
+//! assert_eq!(trace.stage_wire_sends("Shuffle"), 2); // 1 unicast + 1 native multicast
+//! ```
 
 use std::collections::HashMap;
 
@@ -36,14 +56,21 @@ pub struct TraceEvent {
     pub stage: u16,
     /// Sender rank.
     pub src: u16,
-    /// Receiver set as a bitmask (single bit for unicasts).
-    pub dsts: u64,
+    /// Receiver set as a bitmask (single bit for unicasts). `u128` so
+    /// fabrics can address worlds of up to 128 ranks.
+    pub dsts: u128,
     /// Total bytes on the wire (payload + protocol overhead).
     pub bytes: u64,
     /// The fixed protocol-overhead portion of `bytes` (coded-packet
     /// headers). When a scaled run is projected to a larger input, only
     /// `bytes - overhead` scales — headers are per-packet constants.
     pub overhead: u64,
+    /// How many separate egress transmissions this payload made at the
+    /// sender: 1 for unicasts and native multicasts, the fanout for
+    /// serial-unicast / fanout multicast emulation, and 0 for *logical*
+    /// multicast records whose constituent hops are traced separately as
+    /// [`EventKind::Internal`] events (the legacy tree-broadcast path).
+    pub wire_copies: u16,
     /// Transfer kind.
     pub kind: EventKind,
 }
@@ -102,6 +129,18 @@ impl Trace {
             .count()
     }
 
+    /// Data-plane egress transmissions in the named stage: the sum of
+    /// [`TraceEvent::wire_copies`] over non-internal events. A serial or
+    /// fanout shuffle sends `fanout` frames per multicast group turn; a
+    /// native multicast sends one — this is the per-fabric send count the
+    /// equivalence tests assert on.
+    pub fn stage_wire_sends(&self, name: &str) -> u64 {
+        self.stage_events(name)
+            .filter(|e| e.kind != EventKind::Internal)
+            .map(|e| e.wire_copies as u64)
+            .sum()
+    }
+
     /// Total non-internal bytes across all stages.
     pub fn total_bytes(&self) -> u64 {
         self.events
@@ -153,19 +192,38 @@ impl TraceCollector {
         idx
     }
 
-    /// Records one event (no-op when disabled).
-    pub fn record(&self, stage: u16, src: usize, dsts: u64, bytes: u64, kind: EventKind) {
-        self.record_with_overhead(stage, src, dsts, bytes, 0, kind);
+    /// Records one event with one egress transmission (no-op when disabled).
+    pub fn record(&self, stage: u16, src: usize, dsts: u128, bytes: u64, kind: EventKind) {
+        self.record_transfer(stage, src, dsts, bytes, 0, 1, kind);
     }
 
-    /// Records one event with an explicit protocol-overhead byte count.
+    /// Records one single-transmission event with an explicit
+    /// protocol-overhead byte count.
     pub fn record_with_overhead(
         &self,
         stage: u16,
         src: usize,
-        dsts: u64,
+        dsts: u128,
         bytes: u64,
         overhead: u64,
+        kind: EventKind,
+    ) {
+        self.record_transfer(stage, src, dsts, bytes, overhead, 1, kind);
+    }
+
+    /// Records one event with an explicit egress-transmission count (see
+    /// [`TraceEvent::wire_copies`]).
+    // One flat call per recorded field keeps the hot recording path free of
+    // intermediate structs; the argument list mirrors `TraceEvent` exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_transfer(
+        &self,
+        stage: u16,
+        src: usize,
+        dsts: u128,
+        bytes: u64,
+        overhead: u64,
+        wire_copies: u16,
         kind: EventKind,
     ) {
         if !self.enabled {
@@ -182,6 +240,7 @@ impl TraceCollector {
             dsts,
             bytes,
             overhead,
+            wire_copies,
             kind,
         });
     }
@@ -242,6 +301,20 @@ mod tests {
         let s = c.intern("Map");
         c.record(s, 0, 1, 10, EventKind::AppUnicast);
         assert!(c.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn wire_sends_count_per_fabric_copies() {
+        let c = TraceCollector::new(true);
+        let s = c.intern("Shuffle");
+        // Serial-unicast emulation: 3 copies; native multicast: 1.
+        c.record_transfer(s, 0, 0b1110, 50, 0, 3, EventKind::Multicast);
+        c.record_transfer(s, 1, 0b1101, 50, 0, 1, EventKind::Multicast);
+        c.record(s, 2, 0b0001, 9, EventKind::AppUnicast);
+        // Internal control traffic never counts.
+        c.record(s, 0, 0b0010, 1, EventKind::Internal);
+        let t = c.snapshot();
+        assert_eq!(t.stage_wire_sends("Shuffle"), 3 + 1 + 1);
     }
 
     #[test]

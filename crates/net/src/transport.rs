@@ -1,4 +1,20 @@
-//! The point-to-point transport abstraction.
+//! The transport abstraction: point-to-point sends plus native multicast.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use cts_net::local::LocalFabric;
+//! use cts_net::message::Tag;
+//! use cts_net::transport::Transport;
+//!
+//! let fabric = LocalFabric::new(3);
+//! let sender = fabric.endpoint(0);
+//! // One native multicast serves both receivers from a single buffer.
+//! sender
+//!     .multicast(&[1, 2], Tag::app(0), Bytes::from_static(b"pkt"))
+//!     .unwrap();
+//! assert_eq!(fabric.endpoint(1).recv(0, Tag::app(0)).unwrap(), "pkt");
+//! assert_eq!(fabric.endpoint(2).recv(0, Tag::app(0)).unwrap(), "pkt");
+//! ```
 
 use std::time::Duration;
 
@@ -7,7 +23,7 @@ use bytes::Bytes;
 use crate::error::Result;
 use crate::message::Tag;
 
-/// A point-to-point message transport for one endpoint of a fabric.
+/// A message transport for one endpoint of a fabric.
 ///
 /// Implementations: [`local::LocalEndpoint`](crate::local::LocalEndpoint)
 /// (in-process, channel-backed), [`tcp::TcpEndpoint`](crate::tcp::TcpEndpoint)
@@ -17,7 +33,10 @@ use crate::message::Tag;
 /// Semantics mirror MPI's point-to-point layer:
 /// * `send` is asynchronous and never blocks on the receiver (buffered);
 /// * `recv(src, tag)` matches on exact source *and* tag;
-/// * messages between one `(src, dst, tag)` triple arrive in send order.
+/// * messages between one `(src, dst, tag)` triple arrive in send order;
+/// * `multicast` delivers one payload to a destination set, overlapping the
+///   copies where the fabric can (shared buffer in memory, interleaved
+///   non-blocking writes on TCP).
 pub trait Transport: Send + Sync {
     /// This endpoint's rank in `0..world_size`.
     fn rank(&self) -> usize;
@@ -27,6 +46,30 @@ pub trait Transport: Send + Sync {
 
     /// Sends `payload` to `dst` under `tag`.
     fn send(&self, dst: usize, tag: Tag, payload: Bytes) -> Result<()>;
+
+    /// Delivers `payload` to every rank in `dsts` under `tag` — the
+    /// one-to-many primitive of the coded shuffle.
+    ///
+    /// `dsts` is a destination *set*: duplicate entries receive a single
+    /// copy. The default implementation is serial-unicast emulation (one
+    /// `send` per distinct destination, back to back); fabrics with a
+    /// genuine concurrent path override it:
+    /// [`LocalEndpoint`](crate::local::LocalEndpoint) delivers one shared
+    /// buffer, [`TcpEndpoint`](crate::tcp::TcpEndpoint) interleaves
+    /// non-blocking writes across the destination sockets.
+    fn multicast(&self, dsts: &[usize], tag: Tag, payload: Bytes) -> Result<()> {
+        let mut seen = vec![false; self.world_size()];
+        for &dst in dsts {
+            if let Some(flag) = seen.get_mut(dst) {
+                if std::mem::replace(flag, true) {
+                    continue;
+                }
+            }
+            // Out-of-range destinations fall through for `send` to reject.
+            self.send(dst, tag, payload.clone())?;
+        }
+        Ok(())
+    }
 
     /// Blocks until a message from `(src, tag)` arrives.
     fn recv(&self, src: usize, tag: Tag) -> Result<Bytes>;

@@ -120,6 +120,75 @@ proptest! {
     }
 }
 
+/// K = 64 on one host — far beyond the old thread-per-rank fabric's
+/// comfort zone: every rank multicasts to a sliding group of 4 over the
+/// in-memory fabric, with per-fabric egress accounting checked end to end.
+#[test]
+fn k64_multicast_groups_scale_on_local_fabric() {
+    use cts_net::fabric::ShuffleFabric;
+    let k = 64usize;
+    for (fabric, copies_per_send) in [
+        (ShuffleFabric::SerialUnicast, 3u64),
+        (ShuffleFabric::Multicast, 1),
+    ] {
+        let cfg = ClusterConfig::local(k).with_fabric(fabric);
+        let run = run_spmd(&cfg, move |comm| {
+            comm.set_stage("Shuffle");
+            let mut heard = 0usize;
+            for root in 0..k {
+                let mut members: Vec<usize> = (0..4).map(|i| (root + i) % k).collect();
+                members.sort_unstable();
+                if !members.contains(&comm.rank()) {
+                    continue;
+                }
+                let data = (comm.rank() == root).then(|| Bytes::copy_from_slice(&[root as u8; 32]));
+                let got = comm
+                    .multicast(root, &members, Tag::new(Tag::BCAST, root as u32), data)
+                    .unwrap();
+                assert_eq!(got[0] as usize, root);
+                heard += 1;
+            }
+            heard
+        })
+        .unwrap();
+        // Every rank participates in exactly 4 sliding groups.
+        assert!(run.results.iter().all(|&h| h == 4));
+        // 64 group sends; per-fabric egress frames.
+        assert_eq!(
+            run.trace.stage_wire_sends("Shuffle"),
+            64 * copies_per_send,
+            "{fabric}"
+        );
+        // Masks above rank 63 exercise the u128 receiver sets.
+        assert!(run
+            .trace
+            .events
+            .iter()
+            .any(|e| e.dsts >= (1u128 << 62) && e.kind == EventKind::Multicast));
+    }
+}
+
+/// The registry + single-reactor TCP fabric sustains a K = 32 mesh (496
+/// sockets, 32 reactor threads) through a barrier and a multicast round.
+#[test]
+fn k32_tcp_mesh_barrier_and_multicast() {
+    use cts_net::fabric::ShuffleFabric;
+    let k = 32usize;
+    let cfg = ClusterConfig::tcp(k).with_fabric(ShuffleFabric::Multicast);
+    let run = run_spmd(&cfg, move |comm| {
+        comm.barrier().unwrap();
+        let members: Vec<usize> = (0..k).collect();
+        let data = (comm.rank() == 5).then(|| Bytes::from_static(b"wide"));
+        let got = comm
+            .multicast(5, &members, Tag::new(Tag::BCAST, 0), data)
+            .unwrap();
+        comm.barrier().unwrap();
+        got
+    })
+    .unwrap();
+    assert!(run.results.iter().all(|r| r == "wide"));
+}
+
 /// A deterministic stress test: many interleaved broadcasts in overlapping
 /// groups over TCP, exercising the FIFO-per-channel relay ordering the
 /// coded shuffle depends on.

@@ -15,11 +15,39 @@
 //! advantage shrinks from `r×` to roughly `(1−1/K)/(1−r/K)⁻¹` — evidence
 //! for why the serial schedule is where coding shines, and why the paper
 //! flags the asynchronous setting as open.
+//!
+//! Since the async-fabric refactor this module is also the *validation
+//! oracle* for measured runs: [`fabric_queues`] decomposes a trace into
+//! per-fabric flow schedules and [`predict_fabric_shuffle_s`] replays them
+//! here, giving the concurrent lower bound that brackets a NIC-emulated
+//! run's measured shuffle wall-clock from below (the serial closed form in
+//! [`serial`](crate::serial) brackets it from above).
+//!
+//! ```
+//! use cts_net::fabric::ShuffleFabric;
+//! use cts_net::trace::{EventKind, TraceCollector};
+//! use cts_netsim::config::NetModelConfig;
+//! use cts_netsim::fluid::predict_fabric_shuffle_s;
+//!
+//! let c = TraceCollector::new(true);
+//! let stage = c.intern("Shuffle");
+//! c.record_transfer(stage, 0, 0b0110, 1_000_000, 0, 1, EventKind::Multicast);
+//! c.record_transfer(stage, 3, 0b11000, 1_000_000, 0, 1, EventKind::Multicast);
+//! let trace = c.snapshot();
+//!
+//! let net = NetModelConfig::ec2_100mbps();
+//! let fanout = predict_fabric_shuffle_s(&trace, "Shuffle", ShuffleFabric::Fanout, &net, 1.0);
+//! let mcast = predict_fabric_shuffle_s(&trace, "Shuffle", ShuffleFabric::Multicast, &net, 1.0);
+//! // Disjoint receiver sets: the native multicast finishes first.
+//! assert!(mcast < fanout);
+//! ```
 
-use cts_net::trace::TraceEvent;
+use cts_net::fabric::ShuffleFabric;
+use cts_net::trace::{Trace, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 use crate::config::NetModelConfig;
+use crate::serial::transfers_by_sender;
 
 /// One flow scheduled by the fluid simulator.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -27,7 +55,7 @@ pub struct FluidFlow {
     /// Sender rank.
     pub src: u16,
     /// Receiver bitmask.
-    pub dsts: u64,
+    pub dsts: u128,
     /// Payload bytes (after scaling; before multicast inflation).
     pub bytes: f64,
     /// Virtual start time (seconds).
@@ -46,30 +74,38 @@ pub struct FluidOutcome {
 }
 
 struct ActiveFlow {
-    queue_idx: usize, // index into the per-sender queue (for bookkeeping)
+    /// Which queue this flow came from (refilled on completion). Queues
+    /// usually map 1:1 to senders, but fabric decompositions
+    /// ([`fabric_queues`]) may run several queues for one sender.
+    queue: usize,
+    queue_idx: usize, // index into the queue (for bookkeeping)
+    /// The sending *rank* — the egress link this flow occupies.
     src: usize,
     dsts: Vec<usize>,
     remaining: f64, // bytes left (inflated by multicast penalty)
     latency_left: f64,
     start_s: f64,
     original_bytes: f64,
-    dst_mask: u64,
+    dst_mask: u128,
 }
 
 /// Simulates the parallel shuffle of `by_sender` transfer queues (as
-/// produced by [`transfers_by_sender`](crate::serial::transfers_by_sender)).
+/// produced by [`transfers_by_sender`] or, per fabric, by
+/// [`fabric_queues`]).
 ///
-/// Each sender executes its queue in order with one outstanding transfer;
-/// all senders run concurrently. A transfer first pays the per-transfer
-/// latency (consuming no bandwidth), then streams `bytes × multicast
-/// penalty` through the sender's egress and every receiver's ingress, at
-/// the max-min fair rate.
+/// Each queue executes in order with one outstanding transfer; all queues
+/// run concurrently. A transfer first pays the per-transfer latency
+/// (consuming no bandwidth), then streams `bytes × multicast penalty`
+/// through the *recorded sender's* egress and every receiver's ingress, at
+/// the max-min fair rate. Several queues may carry the same sender rank
+/// (the fanout decomposition), in which case their flows share that
+/// sender's egress link.
 pub fn simulate_parallel(by_sender: &[Vec<TraceEvent>], net: &NetModelConfig) -> FluidOutcome {
     let nodes = by_sender.len().max(
         by_sender
             .iter()
             .flatten()
-            .flat_map(|e| mask_to_vec(e.dsts))
+            .flat_map(|e| mask_to_vec(e.dsts).into_iter().chain([e.src as usize]))
             .max()
             .map(|m| m + 1)
             .unwrap_or(0),
@@ -81,13 +117,14 @@ pub fn simulate_parallel(by_sender: &[Vec<TraceEvent>], net: &NetModelConfig) ->
     let mut clock = 0.0f64;
 
     let start_next =
-        |sender: usize, next_idx: &mut Vec<usize>, active: &mut Vec<ActiveFlow>, clock: f64| {
-            if let Some(ev) = by_sender[sender].get(next_idx[sender]) {
+        |queue: usize, next_idx: &mut Vec<usize>, active: &mut Vec<ActiveFlow>, clock: f64| {
+            if let Some(ev) = by_sender[queue].get(next_idx[queue]) {
                 let dsts = mask_to_vec(ev.dsts);
                 let inflation = net.multicast_penalty(dsts.len() as u32);
                 active.push(ActiveFlow {
-                    queue_idx: next_idx[sender],
-                    src: sender,
+                    queue,
+                    queue_idx: next_idx[queue],
+                    src: ev.src as usize,
                     remaining: ev.bytes as f64 * inflation,
                     latency_left: net.per_transfer_latency_s,
                     start_s: clock,
@@ -95,7 +132,7 @@ pub fn simulate_parallel(by_sender: &[Vec<TraceEvent>], net: &NetModelConfig) ->
                     dst_mask: ev.dsts,
                     dsts,
                 });
-                next_idx[sender] += 1;
+                next_idx[queue] += 1;
             }
         };
 
@@ -146,7 +183,7 @@ pub fn simulate_parallel(by_sender: &[Vec<TraceEvent>], net: &NetModelConfig) ->
                 end_s: clock,
             });
             let _ = f.queue_idx;
-            start_next(f.src, &mut next_idx, &mut active, clock);
+            start_next(f.queue, &mut next_idx, &mut active, clock);
         }
     }
 
@@ -157,7 +194,84 @@ pub fn simulate_parallel(by_sender: &[Vec<TraceEvent>], net: &NetModelConfig) ->
     }
 }
 
-fn mask_to_vec(mask: u64) -> Vec<usize> {
+/// Decomposes a stage's traced transfers into per-queue flow lists that
+/// express how the given [`ShuffleFabric`] actually puts copies on the
+/// wire, for replay through [`simulate_parallel`]:
+///
+/// * `SerialUnicast` — each multicast becomes `m` single-destination flows
+///   *in the same sender queue* (copies serialize behind each other);
+/// * `Fanout` — each multicast becomes `m` single-destination flows spread
+///   over `m` parallel queues per sender (copies stream concurrently but
+///   share the sender's egress link, which the simulator enforces because
+///   all copies keep the same `src`);
+/// * `Multicast` — events pass through unchanged: one flow that loads the
+///   egress once (times the α-penalty) and every receiver's ingress.
+pub fn fabric_queues(
+    trace: &Trace,
+    stage: &str,
+    fabric: ShuffleFabric,
+    scale: f64,
+) -> Vec<Vec<TraceEvent>> {
+    let base = transfers_by_sender(trace, stage, scale);
+    match fabric {
+        ShuffleFabric::Multicast => base,
+        ShuffleFabric::SerialUnicast => base
+            .into_iter()
+            .map(|queue| {
+                queue
+                    .iter()
+                    .flat_map(|e| {
+                        mask_to_vec(e.dsts).into_iter().map(move |d| {
+                            let mut copy = *e;
+                            copy.dsts = 1u128 << d;
+                            copy
+                        })
+                    })
+                    .collect()
+            })
+            .collect(),
+        ShuffleFabric::Fanout => {
+            let senders = base.len();
+            let width = base
+                .iter()
+                .flatten()
+                .map(|e| e.fanout() as usize)
+                .max()
+                .unwrap_or(1)
+                .max(1);
+            let mut queues: Vec<Vec<TraceEvent>> = vec![Vec::new(); senders * width];
+            for (s, queue) in base.iter().enumerate() {
+                for e in queue {
+                    for (j, d) in mask_to_vec(e.dsts).into_iter().enumerate() {
+                        let mut copy = *e;
+                        copy.dsts = 1u128 << d;
+                        queues[s * width + j].push(copy);
+                    }
+                }
+            }
+            queues
+        }
+    }
+}
+
+/// The fluid half of the fabric validation oracle: the modeled shuffle
+/// makespan when flows overlap as much as the fabric permits. Together
+/// with the serial upper bound
+/// ([`serial_fabric_makespan`](crate::serial::serial_fabric_makespan))
+/// this sandwiches the *measured* wall-clock of a NIC-emulated run: the
+/// real engine's turn-taking inside multicast groups serializes more than
+/// this bound but never less than the serial one.
+pub fn predict_fabric_shuffle_s(
+    trace: &Trace,
+    stage: &str,
+    fabric: ShuffleFabric,
+    net: &NetModelConfig,
+    scale: f64,
+) -> f64 {
+    simulate_parallel(&fabric_queues(trace, stage, fabric, scale), net).makespan_s
+}
+
+fn mask_to_vec(mask: u128) -> Vec<usize> {
     let mut out = Vec::with_capacity(mask.count_ones() as usize);
     let mut m = mask;
     while m != 0 {
@@ -246,7 +360,7 @@ mod tests {
         }
     }
 
-    fn ev(src: usize, dsts: u64, bytes: u64) -> TraceEvent {
+    fn ev(src: usize, dsts: u128, bytes: u64) -> TraceEvent {
         TraceEvent {
             seq: 0,
             stage: 0,
@@ -254,6 +368,7 @@ mod tests {
             dsts,
             bytes,
             overhead: 0,
+            wire_copies: 1,
             kind: EventKind::AppUnicast,
         }
     }
@@ -375,5 +490,83 @@ mod tests {
         let out = simulate_parallel(&[vec![], vec![]], &net_10mbs());
         assert_eq!(out.makespan_s, 0.0);
         assert!(out.flows.is_empty());
+    }
+
+    fn multicast_trace() -> Trace {
+        use cts_net::trace::TraceCollector;
+        let c = TraceCollector::new(true);
+        let s = c.intern("Shuffle");
+        // Two senders, each multicasting 10 MB to the two other ranks.
+        c.record_transfer(s, 0, 0b0110, 10_000_000, 0, 1, EventKind::Multicast);
+        c.record_transfer(s, 3, 0b0011, 10_000_000, 0, 1, EventKind::Multicast);
+        c.snapshot()
+    }
+
+    #[test]
+    fn fabric_queues_decompose_per_fabric() {
+        let t = multicast_trace();
+        let mc = fabric_queues(&t, "Shuffle", ShuffleFabric::Multicast, 1.0);
+        assert_eq!(mc.iter().flatten().count(), 2);
+        assert!(mc.iter().flatten().all(|e| e.fanout() == 2));
+
+        let serial = fabric_queues(&t, "Shuffle", ShuffleFabric::SerialUnicast, 1.0);
+        // Copies serialize within the sender's own queue.
+        assert_eq!(serial[0].len(), 2);
+        assert!(serial.iter().flatten().all(|e| e.fanout() == 1));
+
+        let fanout = fabric_queues(&t, "Shuffle", ShuffleFabric::Fanout, 1.0);
+        // Copies land in distinct queues but keep their sender for egress.
+        assert_eq!(fanout.iter().flatten().count(), 4);
+        let nonempty: Vec<_> = fanout.iter().filter(|q| !q.is_empty()).collect();
+        assert_eq!(nonempty.len(), 4);
+        assert!(fanout.iter().flatten().all(|e| e.src == 0 || e.src == 3));
+    }
+
+    #[test]
+    fn fabric_predictions_order_on_disjoint_receivers() {
+        use cts_net::trace::TraceCollector;
+        // Receiver-disjoint groups so sender egress is the only bottleneck.
+        let c = TraceCollector::new(true);
+        let s = c.intern("Shuffle");
+        c.record_transfer(s, 0, 0b0000110, 10_000_000, 0, 1, EventKind::Multicast);
+        c.record_transfer(s, 3, 0b0110000, 10_000_000, 0, 1, EventKind::Multicast);
+        let t = c.snapshot();
+        let net = NetModelConfig {
+            per_transfer_latency_s: 0.05,
+            multicast_alpha: 0.3,
+            ..net_10mbs()
+        };
+        let serial =
+            predict_fabric_shuffle_s(&t, "Shuffle", ShuffleFabric::SerialUnicast, &net, 1.0);
+        let fanout = predict_fabric_shuffle_s(&t, "Shuffle", ShuffleFabric::Fanout, &net, 1.0);
+        let mcast = predict_fabric_shuffle_s(&t, "Shuffle", ShuffleFabric::Multicast, &net, 1.0);
+        // serial: 2·(0.05 + 1) = 2.1; fanout: 0.05 + 2; mcast: 0.05 + 1.3.
+        assert!((serial - 2.1).abs() < 1e-6, "serial {serial}");
+        assert!((fanout - 2.05).abs() < 1e-6, "fanout {fanout}");
+        assert!((mcast - 1.35).abs() < 1e-6, "mcast {mcast}");
+        assert!(mcast < fanout && fanout < serial);
+    }
+
+    #[test]
+    fn fluid_prediction_never_exceeds_serial_bound() {
+        // Per fabric, the concurrent (fluid) prediction is a lower bound on
+        // the strictly serial closed form — even with receiver contention,
+        // where native multicast can lose its cross-fabric edge (the §VI
+        // receiver-bottleneck effect).
+        use crate::serial::serial_fabric_makespan;
+        let t = multicast_trace();
+        let net = NetModelConfig {
+            per_transfer_latency_s: 0.05,
+            multicast_alpha: 0.3,
+            ..net_10mbs()
+        };
+        for fabric in ShuffleFabric::ALL {
+            let fluid = predict_fabric_shuffle_s(&t, "Shuffle", fabric, &net, 1.0);
+            let serial = serial_fabric_makespan(&t, "Shuffle", fabric, &net, 1.0);
+            assert!(
+                fluid <= serial + 1e-9,
+                "{fabric}: fluid {fluid} > serial {serial}"
+            );
+        }
     }
 }

@@ -37,7 +37,9 @@ pub mod timeline;
 
 pub use breakdown::{render_table, StageBreakdown, TableRow};
 pub use config::{ComputeModelConfig, NetModelConfig, PerfModelConfig};
-pub use fluid::{simulate_parallel, FluidOutcome};
+pub use fluid::{fabric_queues, predict_fabric_shuffle_s, simulate_parallel, FluidOutcome};
 pub use model::{PerfModel, SHUFFLE_STAGE};
-pub use serial::{serial_makespan, serial_schedule, transfers_by_sender, Schedule};
+pub use serial::{
+    serial_fabric_makespan, serial_makespan, serial_schedule, transfers_by_sender, Schedule,
+};
 pub use stats::{NodeStats, RunStats};

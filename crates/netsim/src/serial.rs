@@ -6,8 +6,30 @@
 //! schedule the stage time is simply the sum of individual transfer times —
 //! which the model computes from the traced byte counts, the calibrated
 //! link rate, the per-transfer latency, and the logarithmic multicast
-//! penalty.
+//! penalty. [`serial_fabric_makespan`] extends the same sum to the three
+//! shuffle fabrics, as the upper-bound half of the measured-vs-modeled
+//! validation oracle.
+//!
+//! ```
+//! use cts_net::fabric::ShuffleFabric;
+//! use cts_net::trace::{EventKind, TraceCollector};
+//! use cts_netsim::config::NetModelConfig;
+//! use cts_netsim::serial::serial_fabric_makespan;
+//!
+//! // One traced multicast: 1 MB to 3 receivers.
+//! let c = TraceCollector::new(true);
+//! let stage = c.intern("Shuffle");
+//! c.record_transfer(stage, 0, 0b1110, 1_000_000, 0, 1, EventKind::Multicast);
+//! let trace = c.snapshot();
+//!
+//! let net = NetModelConfig::ec2_100mbps();
+//! let serial = serial_fabric_makespan(&trace, "Shuffle", ShuffleFabric::SerialUnicast, &net, 1.0);
+//! let mcast = serial_fabric_makespan(&trace, "Shuffle", ShuffleFabric::Multicast, &net, 1.0);
+//! // Serial-unicast emulation pays ~3× the native multicast time.
+//! assert!(serial > 2.0 * mcast);
+//! ```
 
+use cts_net::fabric::ShuffleFabric;
 use cts_net::trace::{EventKind, Trace, TraceEvent};
 use serde::{Deserialize, Serialize};
 
@@ -23,7 +45,7 @@ pub struct ScheduledTransfer {
     /// Sender rank.
     pub src: u16,
     /// Receiver bitmask.
-    pub dsts: u64,
+    pub dsts: u128,
     /// Payload bytes (already scaled).
     pub bytes: f64,
 }
@@ -94,6 +116,47 @@ pub fn serial_makespan(trace: &Trace, stage: &str, net: &NetModelConfig, scale: 
         .sum()
 }
 
+/// Models the makespan of a strictly serial schedule under each
+/// [`ShuffleFabric`] — the closed-form upper-bound half of the
+/// measured-vs-modeled validation oracle (the fluid simulator's
+/// [`predict_fabric_shuffle_s`](crate::fluid::predict_fabric_shuffle_s)
+/// is the concurrent lower bound). Per non-internal event with fanout `m`
+/// and scaled bytes `B`:
+///
+/// * `SerialUnicast` — `m` back-to-back unicasts: `m·(L + B/rate)`;
+/// * `Fanout` — one setup, copies overlap but share egress:
+///   `L + m·B/rate`;
+/// * `Multicast` — one transmission with the software-multicast penalty:
+///   `L + B·(1 + α·log2 m)/rate`.
+///
+/// This mirrors, term for term, what the real-time NIC emulation in
+/// `cts-net::rate` charges, so a rate-limited run's measured shuffle
+/// wall-clock should land between this bound and the fluid prediction.
+pub fn serial_fabric_makespan(
+    trace: &Trace,
+    stage: &str,
+    fabric: ShuffleFabric,
+    net: &NetModelConfig,
+    scale: f64,
+) -> f64 {
+    trace
+        .stage_events(stage)
+        .filter(|e| e.kind != EventKind::Internal)
+        .map(|e| {
+            let bytes = scaled_wire_bytes(e, scale);
+            let m = e.fanout().max(1);
+            let latency = net.per_transfer_latency_s;
+            match fabric {
+                ShuffleFabric::SerialUnicast => {
+                    m as f64 * (latency + net.transfer_seconds(bytes, 1))
+                }
+                ShuffleFabric::Fanout => latency + m as f64 * net.transfer_seconds(bytes, 1),
+                ShuffleFabric::Multicast => latency + net.transfer_seconds(bytes, m),
+            }
+        })
+        .sum()
+}
+
 /// Evaluates the *tree-decomposed* cost of multicasts: instead of the
 /// `1 + α·log2(m)` penalty on one transfer, each multicast to `m` receivers
 /// is charged as `m` serial unicasts of the same payload (a binomial tree
@@ -151,7 +214,7 @@ mod tests {
     use super::*;
     use cts_net::trace::TraceCollector;
 
-    fn trace_with(events: &[(usize, u64, u64, EventKind)]) -> Trace {
+    fn trace_with(events: &[(usize, u128, u64, EventKind)]) -> Trace {
         let c = TraceCollector::new(true);
         let s = c.intern("Shuffle");
         for &(src, dsts, bytes, kind) in events {
@@ -255,5 +318,39 @@ mod tests {
             serial_schedule(&t, "Shuffle", &net(), 1.0).makespan_s(),
             0.0
         );
+    }
+
+    #[test]
+    fn fabric_makespans_order_correctly() {
+        // One multicast to 3 receivers of 10 MB at 10 MB/s, L = 1 ms.
+        let t = trace_with(&[(0, 0b1110, 10_000_000, EventKind::Multicast)]);
+        let n = net();
+        let serial = serial_fabric_makespan(&t, "Shuffle", ShuffleFabric::SerialUnicast, &n, 1.0);
+        let fanout = serial_fabric_makespan(&t, "Shuffle", ShuffleFabric::Fanout, &n, 1.0);
+        let mcast = serial_fabric_makespan(&t, "Shuffle", ShuffleFabric::Multicast, &n, 1.0);
+        // serial: 3·(0.001 + 1) = 3.003; fanout: 0.001 + 3; mcast: 0.001 + 1.7925.
+        assert!((serial - 3.003).abs() < 1e-9, "{serial}");
+        assert!((fanout - 3.001).abs() < 1e-9, "{fanout}");
+        assert!(
+            (mcast - (0.001 + 1.0 + 0.5 * 3f64.log2())).abs() < 1e-9,
+            "{mcast}"
+        );
+        assert!(mcast < fanout && fanout < serial);
+    }
+
+    #[test]
+    fn fabric_makespans_coincide_for_unicasts() {
+        let t = trace_with(&[
+            (0, 0b10, 5_000_000, EventKind::AppUnicast),
+            (1, 0b01, 5_000_000, EventKind::AppUnicast),
+        ]);
+        let n = net();
+        let vals: Vec<f64> = ShuffleFabric::ALL
+            .iter()
+            .map(|&f| serial_fabric_makespan(&t, "Shuffle", f, &n, 1.0))
+            .collect();
+        assert!((vals[0] - vals[1]).abs() < 1e-12);
+        assert!((vals[1] - vals[2]).abs() < 1e-12);
+        assert!((vals[0] - serial_makespan(&t, "Shuffle", &n, 1.0)).abs() < 1e-12);
     }
 }

@@ -19,8 +19,8 @@ fn fmt_bytes(b: f64) -> String {
     }
 }
 
-fn fmt_dsts(mask: u64) -> String {
-    let members: Vec<String> = (0..64)
+fn fmt_dsts(mask: u128) -> String {
+    let members: Vec<String> = (0..128)
         .filter(|i| mask >> i & 1 == 1)
         .map(|i| i.to_string())
         .collect();
@@ -134,6 +134,32 @@ mod tests {
         let s = serial_4node();
         let text = render_listing(&s, 2);
         assert!(text.contains("2 more transfers"));
+    }
+
+    #[test]
+    fn listing_renders_ranks_above_64() {
+        // K > 64 worlds use the high half of the u128 receiver mask.
+        let s = Schedule {
+            transfers: vec![
+                ScheduledTransfer {
+                    start_s: 0.0,
+                    end_s: 1.0,
+                    src: 3,
+                    dsts: 1u128 << 100,
+                    bytes: 1e6,
+                },
+                ScheduledTransfer {
+                    start_s: 1.0,
+                    end_s: 2.0,
+                    src: 70,
+                    dsts: (1u128 << 65) | (1u128 << 127),
+                    bytes: 1e6,
+                },
+            ],
+        };
+        let text = render_listing(&s, 10);
+        assert!(text.contains("node 100"), "{text}");
+        assert!(text.contains("{65,127}"), "{text}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn net(cap_mbps: f64) -> NetModelConfig {
     }
 }
 
-fn ev(src: usize, dsts: u64, bytes: u64) -> TraceEvent {
+fn ev(src: usize, dsts: u128, bytes: u64) -> TraceEvent {
     TraceEvent {
         seq: 0,
         stage: 0,
@@ -24,6 +24,7 @@ fn ev(src: usize, dsts: u64, bytes: u64) -> TraceEvent {
         dsts,
         bytes,
         overhead: 0,
+        wire_copies: 1,
         kind: EventKind::AppUnicast,
     }
 }

@@ -68,6 +68,22 @@ impl SortJob {
         self
     }
 
+    /// Selects the shuffle fabric for the coded driver:
+    /// `serial-unicast` (the pre-async baseline), `fanout` (overlapped
+    /// copies), or `multicast` (true one-to-many, the default).
+    pub fn with_fabric(mut self, fabric: cts_net::fabric::ShuffleFabric) -> Self {
+        self.engine = self.engine.with_fabric(fabric);
+        self
+    }
+
+    /// Installs an emulated NIC (rate cap + per-transfer latency +
+    /// multicast `α`) on every node, so fabric choices show up in measured
+    /// shuffle wall-clock.
+    pub fn with_nic(mut self, nic: cts_net::rate::NicProfile) -> Self {
+        self.engine = self.engine.with_nic(nic);
+        self
+    }
+
     fn workload(&self, input: &Bytes) -> TeraSortWorkload {
         let w = match self.partitioner {
             PartitionerKind::Range => TeraSortWorkload::range(self.k),

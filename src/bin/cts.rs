@@ -3,7 +3,7 @@
 //! ```text
 //! cts gen    --records 100000 --out data.bin [--seed 7] [--skew 0.6]
 //! cts sort   --input data.bin --k 8 --r 3 [--pods 4] [--sampled 16]
-//!            [--tcp] [--radix]
+//!            [--tcp] [--radix] [--fabric multicast] [--paper-nic]
 //! cts model  --k 16 --r 3 [--records 120000] [--target-gb 12]
 //! cts theory --k 16 [--tmap 1.86 --tshuffle 945.72 --treduce 10.47]
 //! ```
@@ -58,8 +58,11 @@ USAGE:
                generate TeraGen records (100 B each; --skew hot-fraction)
   cts sort   --input FILE --k K [--r R] [--pods G] [--sampled STRIDE]
                [--tcp] [--radix] [--no-validate]
+               [--fabric serial-unicast|fanout|multicast] [--paper-nic]
                sort a file: r=1 → TeraSort, r>1 → CodedTeraSort,
-               --pods G → pod-partitioned coded engine
+               --pods G → pod-partitioned coded engine,
+               --fabric → how multicast groups hit the wire,
+               --paper-nic → emulate the paper's 100 Mbps NIC in real time
   cts model  --k K --r R [--records N] [--target-gb G]
                modeled paper-scale stage breakdown (EC2 calibration)
   cts theory --k K [--tmap S --tshuffle S --treduce S]
@@ -75,7 +78,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected a --flag, got `{arg}`"));
         };
         // Boolean flags take no value.
-        if matches!(name, "tcp" | "radix" | "no-validate") {
+        if matches!(name, "tcp" | "radix" | "no-validate" | "paper-nic") {
             out.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -131,6 +134,11 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
     let tcp = opts.contains_key("tcp");
     let radix = opts.contains_key("radix");
     let validate = !opts.contains_key("no-validate");
+    let paper_nic = opts.contains_key("paper-nic");
+    let fabric: cts_net::ShuffleFabric = match opts.get("fabric") {
+        None => cts_net::ShuffleFabric::default(),
+        Some(v) => v.parse()?,
+    };
 
     let raw = std::fs::read(&input_path).map_err(|e| format!("reading {input_path}: {e}"))?;
     let input = Bytes::from(raw);
@@ -162,6 +170,11 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
     }
     if sampled > 0 {
         job = job.with_sampling(sampled);
+    }
+    job = job.with_fabric(fabric);
+    if paper_nic {
+        job = job.with_nic(cts_net::NicProfile::paper_100mbps());
+        println!("emulating the paper's NIC: 100 Mbps egress, 0.1 ms/transfer, α = 0.30");
     }
 
     let started = std::time::Instant::now();

@@ -64,7 +64,9 @@ pub mod prelude {
     pub use cts_mapreduce::{
         run_coded, run_coded_pods, run_sequential, run_uncoded, EngineConfig, InputFormat, Workload,
     };
-    pub use cts_net::{run_spmd, BcastAlgorithm, ClusterConfig, Communicator, Tag};
+    pub use cts_net::{
+        run_spmd, BcastAlgorithm, ClusterConfig, Communicator, NicProfile, ShuffleFabric, Tag,
+    };
     pub use cts_netsim::{render_table, PerfModel, PerfModelConfig, RunStats, StageBreakdown};
     pub use cts_terasort::teragen;
     pub use cts_terasort::{
