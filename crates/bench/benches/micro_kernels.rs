@@ -10,14 +10,15 @@ use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cts_core::combinatorics::Combinations;
 use cts_core::decode::Decoder;
-use cts_core::encode::Encoder;
+use cts_core::encode::{EncodeScratch, Encoder};
 use cts_core::intermediate::MapOutputStore;
 use cts_core::packet::CodedPacket;
 use cts_core::placement::PlacementPlan;
 use cts_core::subset::NodeSet;
 use cts_core::xor::xor_into;
 use cts_mapreduce::workload::Workload;
-use cts_terasort::sort::{sort_records, SortKernel};
+use cts_terasort::record::checksum;
+use cts_terasort::sort::{sort_records_with, SortKernel, SortScratch};
 use cts_terasort::teragen;
 use cts_terasort::workload::TeraSortWorkload;
 
@@ -106,13 +107,87 @@ fn bench_packet_wire(c: &mut Criterion) {
     let enc = Encoder::new(k, r, 0).unwrap();
     let pkt = enc.encode_all(&stores[0]).unwrap().remove(0);
     let wire = pkt.to_bytes();
+    let wire_frame = Bytes::from(wire.clone());
     let mut group = c.benchmark_group("packet_wire");
     group.throughput(Throughput::Bytes(wire.len() as u64));
     group.bench_function("serialize", |b| {
         b.iter(|| std::hint::black_box(pkt.to_bytes()));
     });
+    group.bench_function("serialize_into_reused", |b| {
+        let mut out = Vec::with_capacity(wire.len());
+        b.iter(|| {
+            out.clear();
+            pkt.write_into(&mut out);
+            std::hint::black_box(out.len())
+        });
+    });
     group.bench_function("parse", |b| {
         b.iter(|| std::hint::black_box(CodedPacket::from_bytes(&wire).unwrap()));
+    });
+    group.bench_function("parse_zero_copy", |b| {
+        let mut shell = CodedPacket::empty();
+        b.iter(|| {
+            shell.read_wire(std::hint::black_box(&wire_frame)).unwrap();
+            std::hint::black_box(shell.payload.len())
+        });
+    });
+    group.bench_function("roundtrip_pooled", |b| {
+        // The full warm send/receive kernel: write_into a reused buffer,
+        // zero-copy parse into a reused shell.
+        let mut out = Vec::with_capacity(wire.len());
+        let mut shell = CodedPacket::empty();
+        b.iter(|| {
+            out.clear();
+            pkt.write_into(&mut out);
+            shell.read_wire(&wire_frame).unwrap();
+            std::hint::black_box(shell.seg_lens.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_encode_pooled_vs_fresh(c: &mut Criterion) {
+    let (k, r) = (8usize, 3usize);
+    let value_len = 64 * 1024;
+    let stores = stores_for(k, r, value_len);
+    let enc = Encoder::new(k, r, 0).unwrap();
+    let groups: Vec<NodeSet> = enc
+        .groups()
+        .groups_of_node(0)
+        .map(|(_, m)| m)
+        .take(8)
+        .collect();
+    let mut group = c.benchmark_group("encode_pooled_vs_fresh");
+    group.throughput(Throughput::Bytes((value_len * groups.len()) as u64));
+    group.bench_function("fresh_alloc", |b| {
+        b.iter(|| {
+            for m in &groups {
+                std::hint::black_box(enc.encode_group(*m, &stores[0]).unwrap());
+            }
+        });
+    });
+    group.bench_function("pooled_scratch", |b| {
+        let mut scratch = EncodeScratch::new();
+        b.iter(|| {
+            for m in &groups {
+                enc.encode_group_into(*m, &stores[0], &mut scratch).unwrap();
+                std::hint::black_box(scratch.payload.len());
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let records = 50_000;
+    let input = teragen::generate(records, 17);
+    let mut group = c.benchmark_group("checksum");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("word_at_a_time_5mb", |b| {
+        b.iter(|| std::hint::black_box(checksum(&input)));
+    });
+    group.bench_function("bytewise_reference_5mb", |b| {
+        b.iter(|| std::hint::black_box(cts_terasort::record::checksum_bytewise(&input)));
     });
     group.finish();
 }
@@ -134,12 +209,32 @@ fn bench_sort_kernels(c: &mut Criterion) {
     let input = teragen::generate(records, 13);
     let mut group = c.benchmark_group("reduce_sort");
     group.throughput(Throughput::Bytes(input.len() as u64));
-    group.bench_function("comparison_100k", |b| {
-        b.iter(|| std::hint::black_box(sort_records(&input, SortKernel::Comparison)));
-    });
-    group.bench_function("lsd_radix_100k", |b| {
-        b.iter(|| std::hint::black_box(sort_records(&input, SortKernel::LsdRadix)));
-    });
+    for kernel in SortKernel::ALL {
+        group.bench_function(format!("{kernel}_100k"), |b| {
+            let mut scratch = SortScratch::new();
+            b.iter(|| std::hint::black_box(sort_records_with(&input, kernel, &mut scratch)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sort_kernels_1m(c: &mut Criterion) {
+    // The acceptance-scale comparison: key-index entries vs whole-record
+    // radix at 1 M records (100 MB). Skippable quick mode: CTS_RECORDS_1M=0
+    // disables the group entirely.
+    let records = cts_bench::env_usize("CTS_RECORDS_1M", 1_000_000);
+    if records == 0 {
+        return;
+    }
+    let input = teragen::generate(records, 14);
+    let mut group = c.benchmark_group("reduce_sort_1m");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    for kernel in [SortKernel::LsdRadix, SortKernel::KeyIndex] {
+        group.bench_function(format!("{kernel}_{records}"), |b| {
+            let mut scratch = SortScratch::new();
+            b.iter(|| std::hint::black_box(sort_records_with(&input, kernel, &mut scratch)));
+        });
+    }
     group.finish();
 }
 
@@ -160,9 +255,12 @@ criterion_group!(
     benches,
     bench_xor,
     bench_encode_decode,
+    bench_encode_pooled_vs_fresh,
     bench_packet_wire,
+    bench_checksum,
     bench_map_hashing,
     bench_sort_kernels,
+    bench_sort_kernels_1m,
     bench_codegen_enumeration
 );
 criterion_main!(benches);

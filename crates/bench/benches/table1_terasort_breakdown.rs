@@ -43,5 +43,6 @@ fn main() {
         (result.breakdown.total_s() - 961.25).abs() / 961.25 < 0.05,
         "total within 5% of the paper"
     );
+    let _ = cts_bench::results::write_rows_json("table1_terasort_breakdown", &[result.row(None)]);
     println!("\nshape checks passed ✓");
 }

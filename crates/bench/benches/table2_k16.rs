@@ -39,6 +39,7 @@ fn main() {
     let s3 = rows[1].speedup.unwrap();
     let s5 = rows[2].speedup.unwrap();
     println!("speedups: r=3 {s3:.2}× (paper 2.16×), r=5 {s5:.2}× (paper 3.39×)");
+    let _ = cts_bench::results::write_rows_json("table2_k16", &rows);
 
     // Shape assertions: same winners, same ordering, same ballpark.
     assert!(s5 > s3 && s3 > 1.8, "ordering must match the paper");

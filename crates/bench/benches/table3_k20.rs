@@ -47,5 +47,6 @@ fn main() {
     assert!((s5 - 2.20).abs() < 0.4, "r=5 speedup {s5}");
     let cg = rows[2].breakdown.codegen_s;
     assert!((cg - 140.91).abs() / 140.91 < 0.2, "CodeGen {cg} vs 140.91");
+    let _ = cts_bench::results::write_rows_json("table3_k20", &rows);
     println!("\nshape checks passed ✓");
 }

@@ -162,6 +162,77 @@ pub fn env_f64(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+/// Machine-readable bench output: `BENCH_<target>.json` files written
+/// next to the console report (gated on `CTS_BENCH_JSON_DIR`, like the
+/// criterion shim's kernel-level results).
+pub mod results {
+    use cts_netsim::breakdown::TableRow;
+    use serde::json::Value;
+    use serde::Serialize;
+
+    /// Serializes experiment rows (per-stage breakdowns + speedups) and
+    /// writes them as `BENCH_<target>.json` inside `$CTS_BENCH_JSON_DIR`.
+    /// No-op (returning `None`) when the variable is unset, so plain
+    /// `cargo bench` runs leave no files behind.
+    pub fn write_rows_json(target: &str, rows: &[TableRow]) -> Option<std::path::PathBuf> {
+        let dir = std::env::var_os("CTS_BENCH_JSON_DIR")?;
+        let doc = Value::object([
+            ("target", Value::Str(target.to_string())),
+            ("rows", rows.to_json()),
+        ]);
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{target}.json"));
+        match std::fs::write(&path, doc.render()) {
+            Ok(()) => {
+                println!("results json: {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use cts_netsim::breakdown::StageBreakdown;
+
+        #[test]
+        fn rows_json_includes_every_stage() {
+            let dir = std::env::temp_dir().join(format!("cts-rows-json-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            std::env::set_var("CTS_BENCH_JSON_DIR", &dir);
+            let rows = vec![TableRow {
+                label: "TeraSort".into(),
+                breakdown: StageBreakdown {
+                    map_s: 1.86,
+                    shuffle_s: 945.72,
+                    ..Default::default()
+                },
+                speedup: None,
+            }];
+            let path = write_rows_json("selftest", &rows).expect("written");
+            let text = std::fs::read_to_string(&path).unwrap();
+            for field in [
+                "codegen_s",
+                "map_s",
+                "pack_encode_s",
+                "shuffle_s",
+                "unpack_decode_s",
+                "reduce_s",
+                "total_s",
+                "speedup",
+            ] {
+                assert!(text.contains(field), "missing {field}: {text}");
+            }
+            assert!(text.contains("945.72"), "{text}");
+            std::env::remove_var("CTS_BENCH_JSON_DIR");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
 /// The paper's reference numbers, used by benches to print side-by-side
 /// comparisons and by tests to check shape.
 pub mod reference {

@@ -18,6 +18,7 @@ use crate::error::{CodedError, Result};
 use crate::groups::MulticastGroups;
 use crate::intermediate::IntermediateSource;
 use crate::packet::CodedPacket;
+use crate::pool::BufPool;
 use crate::segment::{segment_slice, segment_span};
 use crate::subset::{NodeId, NodeSet};
 use crate::xor::xor_into;
@@ -34,6 +35,18 @@ pub struct DecodedSegment {
     pub position: usize,
     /// The recovered bytes, already trimmed to the original length.
     pub data: Vec<u8>,
+}
+
+/// The attribution of a recovered segment whose bytes live in a
+/// caller-provided buffer (see [`Decoder::decode_packet_into`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// The file label `F = M\{k}` the segment belongs to.
+    pub file: NodeSet,
+    /// The sender the segment is indexed by (`u` in eq. (10)).
+    pub sender: NodeId,
+    /// Zero-based position of this segment within the reassembled value.
+    pub position: usize,
 }
 
 /// Per-node decoder for the coded shuffle.
@@ -76,6 +89,30 @@ impl Decoder {
         packet: &CodedPacket,
         source: &S,
     ) -> Result<DecodedSegment> {
+        let mut data = Vec::new();
+        let info = self.decode_packet_into(packet, source, &mut data)?;
+        Ok(DecodedSegment {
+            file: info.file,
+            sender: info.sender,
+            position: info.position,
+            data,
+        })
+    }
+
+    /// Recovers this node's segment into a reusable accumulator — the
+    /// allocation-free hot path of Algorithm 2. `acc` is cleared, filled
+    /// with the recovered (already trimmed) bytes, and attributed by the
+    /// returned [`SegmentInfo`]; a warm `acc` (e.g. from a
+    /// [`BufPool`]) makes this heap-allocation-free.
+    ///
+    /// # Errors
+    /// Identical to [`decode_packet`](Decoder::decode_packet).
+    pub fn decode_packet_into<S: IntermediateSource>(
+        &self,
+        packet: &CodedPacket,
+        source: &S,
+        acc: &mut Vec<u8>,
+    ) -> Result<SegmentInfo> {
         let m = packet.group;
         if m.len() != self.groups.group_size() {
             return Err(CodedError::PlanMismatch {
@@ -109,7 +146,8 @@ impl Decoder {
         }
 
         // Cancel the locally known segments: t ∈ M \ {u, k}.
-        let mut acc = packet.payload.clone();
+        acc.clear();
+        acc.extend_from_slice(&packet.payload);
         for t in m.iter().filter(|&t| t != packet.sender && t != self.node) {
             let file = m.without(t);
             let data = source
@@ -125,7 +163,7 @@ impl Decoder {
                     ),
                 });
             }
-            xor_into(&mut acc, seg);
+            xor_into(acc, seg);
         }
 
         let file = m.without(self.node);
@@ -133,11 +171,10 @@ impl Decoder {
         let position = file
             .position_of(packet.sender)
             .expect("sender is in M\\{node} by construction");
-        Ok(DecodedSegment {
+        Ok(SegmentInfo {
             file,
             sender: packet.sender,
             position,
-            data: acc,
         })
     }
 
@@ -178,28 +215,46 @@ impl SegmentAssembler {
     /// `MalformedPacket` if the segment's file disagrees, the position is out
     /// of range, or the slot is already filled with different data.
     pub fn add(&mut self, seg: DecodedSegment) -> Result<()> {
-        if seg.file != self.file {
+        let info = SegmentInfo {
+            file: seg.file,
+            sender: seg.sender,
+            position: seg.position,
+        };
+        self.add_owned(info, seg.data).map(drop)
+    }
+
+    /// Adds an attributed, already-decoded buffer (the pooled form of
+    /// [`add`](SegmentAssembler::add)). A benign duplicate hands the
+    /// buffer back so the caller can recycle it.
+    ///
+    /// # Errors
+    /// As [`add`](SegmentAssembler::add).
+    pub fn add_owned(&mut self, info: SegmentInfo, buf: Vec<u8>) -> Result<Option<Vec<u8>>> {
+        if info.file != self.file {
             return Err(CodedError::MalformedPacket {
                 what: format!(
                     "segment for {} fed to assembler for {}",
-                    seg.file, self.file
+                    info.file, self.file
                 ),
             });
         }
-        if seg.position >= self.pieces.len() {
+        if info.position >= self.pieces.len() {
             return Err(CodedError::MalformedPacket {
-                what: format!("segment position {} out of range", seg.position),
+                what: format!("segment position {} out of range", info.position),
             });
         }
-        match &self.pieces[seg.position] {
-            Some(existing) if *existing != seg.data => Err(CodedError::MalformedPacket {
-                what: format!("conflicting duplicate segment at position {}", seg.position),
+        match &self.pieces[info.position] {
+            Some(existing) if *existing != buf => Err(CodedError::MalformedPacket {
+                what: format!(
+                    "conflicting duplicate segment at position {}",
+                    info.position
+                ),
             }),
-            Some(_) => Ok(()), // benign duplicate
+            Some(_) => Ok(Some(buf)), // benign duplicate
             None => {
-                self.pieces[seg.position] = Some(seg.data);
+                self.pieces[info.position] = Some(buf);
                 self.received += 1;
-                Ok(())
+                Ok(None)
             }
         }
     }
@@ -209,13 +264,32 @@ impl SegmentAssembler {
         self.received == self.pieces.len()
     }
 
+    /// Sum of the collected piece lengths so far.
+    pub fn total_len(&self) -> usize {
+        self.pieces.iter().flatten().map(Vec::len).sum()
+    }
+
     /// Concatenates the segments into the full intermediate value, verifying
     /// that each piece has the length the deterministic split implies.
     ///
     /// # Errors
     /// `MalformedPacket` if incomplete or if piece lengths are inconsistent
     /// with the split rule of eq. (7).
-    pub fn assemble(self) -> Result<Vec<u8>> {
+    pub fn assemble(mut self) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.total_len());
+        let discard = BufPool::new();
+        self.assemble_into(&mut out, &discard)?;
+        Ok(out)
+    }
+
+    /// Merge-in-place form of [`assemble`](SegmentAssembler::assemble):
+    /// appends the value to `out` and returns every drained piece buffer to
+    /// `recycle`.
+    ///
+    /// # Errors
+    /// As [`assemble`](SegmentAssembler::assemble); on error the pieces
+    /// validated so far are already recycled.
+    pub fn assemble_into(&mut self, out: &mut Vec<u8>, recycle: &BufPool) -> Result<()> {
         if !self.is_complete() {
             return Err(CodedError::MalformedPacket {
                 what: format!(
@@ -227,13 +301,14 @@ impl SegmentAssembler {
             });
         }
         let parts = self.pieces.len();
-        let total: usize = self.pieces.iter().map(|p| p.as_ref().unwrap().len()).sum();
-        let mut out = Vec::with_capacity(total);
-        for (i, piece) in self.pieces.into_iter().enumerate() {
-            let piece = piece.unwrap();
+        let total = self.total_len();
+        out.reserve(total);
+        let mut error = None;
+        for (i, piece) in self.pieces.iter_mut().enumerate() {
+            let piece = piece.take().expect("complete");
             let expected = segment_span(total, parts, i).len;
-            if piece.len() != expected {
-                return Err(CodedError::MalformedPacket {
+            if piece.len() != expected && error.is_none() {
+                error = Some(CodedError::MalformedPacket {
                     what: format!(
                         "segment {i} has {} bytes, split rule implies {expected}",
                         piece.len()
@@ -241,8 +316,13 @@ impl SegmentAssembler {
                 });
             }
             out.extend_from_slice(&piece);
+            recycle.put(piece);
         }
-        Ok(out)
+        self.received = 0;
+        match error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 }
 
@@ -253,10 +333,16 @@ impl SegmentAssembler {
 /// a node expects `r` packets per group for each of its `C(K-1, r)` groups
 /// and finishes with `C(K-1, r)` recovered intermediates — exactly the
 /// `{I^k_S : k ∉ S}` set of paper §IV-E.
+///
+/// Segment accumulators are drawn from an internal [`BufPool`] and merged
+/// in place into each completed value, so a warm pipeline's per-packet work
+/// allocates only when an intermediate completes (the returned value is
+/// owned by the caller).
 #[derive(Debug)]
 pub struct DecodePipeline {
     decoder: Decoder,
-    assemblers: HashMap<u64, SegmentAssembler>,
+    slots: HashMap<u64, SegmentAssembler>,
+    pool: BufPool,
 }
 
 impl DecodePipeline {
@@ -264,7 +350,8 @@ impl DecodePipeline {
     pub fn new(k: usize, r: usize, node: NodeId) -> Result<Self> {
         Ok(DecodePipeline {
             decoder: Decoder::new(k, r, node)?,
-            assemblers: HashMap::new(),
+            slots: HashMap::new(),
+            pool: BufPool::new(),
         })
     }
 
@@ -280,25 +367,74 @@ impl DecodePipeline {
         packet: &CodedPacket,
         source: &S,
     ) -> Result<Option<(NodeSet, Vec<u8>)>> {
-        let seg = self.decoder.decode_packet(packet, source)?;
-        let key = seg.file.bits();
+        let mut acc = self.pool.get();
+        let info = match self.decoder.decode_packet_into(packet, source, &mut acc) {
+            Ok(info) => info,
+            Err(e) => {
+                self.pool.put(acc);
+                return Err(e);
+            }
+        };
+        self.add_segment_buf(info, acc)
+    }
+
+    /// Feeds an already-decoded segment (e.g. produced by a parallel
+    /// [`Decoder::decode_packet`] fan-out) into the assembly state,
+    /// returning the completed `(file, value)` if it was the last one of
+    /// its group. The segment's buffer is absorbed into the pipeline's
+    /// pool.
+    pub fn accept_segment(&mut self, seg: DecodedSegment) -> Result<Option<(NodeSet, Vec<u8>)>> {
+        let info = SegmentInfo {
+            file: seg.file,
+            sender: seg.sender,
+            position: seg.position,
+        };
+        self.add_segment_buf(info, seg.data)
+    }
+
+    fn add_segment_buf(
+        &mut self,
+        info: SegmentInfo,
+        buf: Vec<u8>,
+    ) -> Result<Option<(NodeSet, Vec<u8>)>> {
+        let key = info.file.bits();
         let assembler = self
-            .assemblers
+            .slots
             .entry(key)
-            .or_insert_with(|| SegmentAssembler::new(seg.file));
-        assembler.add(seg)?;
-        if assembler.is_complete() {
-            let assembler = self.assemblers.remove(&key).unwrap();
-            let file = assembler.file();
-            Ok(Some((file, assembler.assemble()?)))
-        } else {
-            Ok(None)
+            .or_insert_with(|| SegmentAssembler::new(info.file));
+        if let Some(duplicate) = assembler.add_owned(info, buf)? {
+            self.pool.put(duplicate);
+            return Ok(None);
         }
+        if !assembler.is_complete() {
+            return Ok(None);
+        }
+        // Complete: merge the pooled pieces in place into the output value
+        // (the assembler validates each length against the split rule and
+        // recycles the piece buffers into our pool).
+        let mut assembler = self.slots.remove(&key).expect("slot just inserted");
+        let mut out = Vec::with_capacity(assembler.total_len());
+        assembler.assemble_into(&mut out, &self.pool)?;
+        Ok(Some((info.file, out)))
     }
 
     /// Number of partially assembled intermediates still in flight.
     pub fn in_flight(&self) -> usize {
-        self.assemblers.len()
+        self.slots.len()
+    }
+
+    /// The pipeline's internal buffer pool (exposed for reuse diagnostics
+    /// and so parallel decode fan-outs can draw accumulators from it).
+    pub fn buf_pool(&self) -> &BufPool {
+        &self.pool
+    }
+
+    /// The pipeline's decoder — lets callers fan
+    /// [`Decoder::decode_packet_into`] out over worker threads without
+    /// re-enumerating the `C(K-1, r)` multicast groups a fresh
+    /// [`Decoder::new`] would build.
+    pub fn decoder(&self) -> &Decoder {
+        &self.decoder
     }
 }
 
@@ -412,6 +548,84 @@ mod tests {
         // tail segments, exercising the padding paths.
         roundtrip(5, 3, 1);
         roundtrip(6, 4, 1);
+    }
+
+    #[test]
+    fn pipeline_recycles_segment_buffers() {
+        let (k, r) = (5, 2);
+        let stores = stores(k, r, 6);
+        let mut pipeline = DecodePipeline::new(k, r, 0).unwrap();
+        let mut done = 0u64;
+        for sender in 1..k {
+            let enc = Encoder::new(k, r, sender).unwrap();
+            for pkt in enc.encode_all(&stores[sender]).unwrap() {
+                if pkt.group.contains(0) && pipeline.accept(&pkt, &stores[0]).unwrap().is_some() {
+                    done += 1;
+                }
+            }
+        }
+        assert_eq!(done, pipeline.expected_total());
+        assert_eq!(pipeline.in_flight(), 0);
+        // Each completed group returned its r buffers to the pool, and
+        // later packets drew from it instead of allocating.
+        assert!(
+            pipeline.buf_pool().recycle_hits() > 0,
+            "pooled accumulators were never reused"
+        );
+        // Every piece buffer came back: the pool holds exactly the fresh
+        // allocations ever made.
+        assert_eq!(
+            pipeline.buf_pool().pooled() as u64,
+            pipeline.buf_pool().recycle_misses()
+        );
+    }
+
+    #[test]
+    fn accept_segment_matches_accept() {
+        let (k, r) = (4, 2);
+        let stores = stores(k, r, 5);
+        let dec = Decoder::new(k, r, 0).unwrap();
+        let mut via_accept = DecodePipeline::new(k, r, 0).unwrap();
+        let mut via_segments = DecodePipeline::new(k, r, 0).unwrap();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for sender in 1..k {
+            let enc = Encoder::new(k, r, sender).unwrap();
+            for pkt in enc.encode_all(&stores[sender]).unwrap() {
+                if !pkt.group.contains(0) {
+                    continue;
+                }
+                if let Some(done) = via_accept.accept(&pkt, &stores[0]).unwrap() {
+                    a.push(done);
+                }
+                let seg = dec.decode_packet(&pkt, &stores[0]).unwrap();
+                if let Some(done) = via_segments.accept_segment(seg).unwrap() {
+                    b.push(done);
+                }
+            }
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.len() as u64, via_accept.expected_total());
+    }
+
+    #[test]
+    fn decode_packet_into_reuses_accumulator() {
+        let (k, r) = (4, 2);
+        let stores = stores(k, r, 7);
+        let dec = Decoder::new(k, r, 0).unwrap();
+        let enc = Encoder::new(k, r, 1).unwrap();
+        let mut acc = Vec::new();
+        for pkt in enc.encode_all(&stores[1]).unwrap() {
+            if !pkt.group.contains(0) {
+                continue;
+            }
+            let reference = dec.decode_packet(&pkt, &stores[0]).unwrap();
+            let info = dec.decode_packet_into(&pkt, &stores[0], &mut acc).unwrap();
+            assert_eq!(info.file, reference.file);
+            assert_eq!(info.sender, reference.sender);
+            assert_eq!(info.position, reference.position);
+            assert_eq!(acc, reference.data);
+        }
     }
 
     #[test]

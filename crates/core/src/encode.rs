@@ -13,6 +13,8 @@
 //! `k ∈ M\{t}` means node `k` mapped file `F_{M\{t}}`, and `t ∉ M\{t}` means
 //! the keep rule retained `I^t_{M\{t}}`.
 
+use bytes::Bytes;
+
 use crate::error::{CodedError, Result};
 use crate::groups::MulticastGroups;
 use crate::intermediate::IntermediateSource;
@@ -20,6 +22,36 @@ use crate::packet::CodedPacket;
 use crate::segment::{segment_for_node, segment_slice};
 use crate::subset::{NodeId, NodeSet};
 use crate::xor::xor_into;
+
+/// Reusable buffers for the encode hot loop.
+///
+/// One scratch serves any number of [`Encoder::encode_group_into`] calls;
+/// the payload buffer grows to the largest segment ever encoded and is then
+/// reused without further allocation (grow-only). After a call, `payload`
+/// holds the XOR-folded packet body and `seg_lens` the per-receiver
+/// original segment lengths — exactly the parts
+/// [`CodedPacket::write_wire`] serializes.
+#[derive(Clone, Debug, Default)]
+pub struct EncodeScratch {
+    /// The zero-padded XOR accumulator (packet payload).
+    pub payload: Vec<u8>,
+    /// `(receiver, original segment length)` pairs in ascending receiver
+    /// order.
+    pub seg_lens: Vec<(NodeId, u32)>,
+}
+
+impl EncodeScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of the true (unpadded) segment lengths of the last encoded
+    /// packet — the scalable part of its wire bytes.
+    pub fn seg_len_sum(&self) -> u64 {
+        self.seg_lens.iter().map(|(_, l)| *l as u64).sum()
+    }
+}
 
 /// Per-node encoder for the coded shuffle.
 ///
@@ -83,14 +115,38 @@ impl Encoder {
         m: NodeSet,
         source: &S,
     ) -> Result<CodedPacket> {
+        let mut scratch = EncodeScratch::new();
+        self.encode_group_into(m, source, &mut scratch)?;
+        Ok(CodedPacket {
+            group: m,
+            sender: self.node,
+            seg_lens: scratch.seg_lens,
+            payload: Bytes::from(scratch.payload),
+        })
+    }
+
+    /// Builds `E_{M,node}` into reusable buffers — the allocation-free hot
+    /// path of the Encode stage. `scratch.payload`/`scratch.seg_lens` are
+    /// cleared and refilled; capacities persist across calls, so a warm
+    /// scratch makes this loop heap-allocation-free.
+    ///
+    /// # Errors
+    /// Identical to [`encode_group`](Encoder::encode_group).
+    pub fn encode_group_into<S: IntermediateSource>(
+        &self,
+        m: NodeSet,
+        source: &S,
+        scratch: &mut EncodeScratch,
+    ) -> Result<()> {
         self.groups.id_of(m)?; // validates size and universe
         if !m.contains(self.node) {
             return Err(CodedError::InvalidParameters {
                 what: format!("node {} not in multicast group {m}", self.node),
             });
         }
-        let mut seg_lens = Vec::with_capacity(self.groups.r());
-        let mut payload: Vec<u8> = Vec::new();
+        scratch.payload.clear();
+        scratch.seg_lens.clear();
+        let payload = &mut scratch.payload;
         for t in m.iter().filter(|&t| t != self.node) {
             let file = m.without(t);
             let data = source
@@ -102,15 +158,10 @@ impl Encoder {
             if seg.len() > payload.len() {
                 payload.resize(seg.len(), 0);
             }
-            xor_into(&mut payload, seg);
-            seg_lens.push((t, span.len as u32));
+            xor_into(payload, seg);
+            scratch.seg_lens.push((t, span.len as u32));
         }
-        Ok(CodedPacket {
-            group: m,
-            sender: self.node,
-            seg_lens,
-            payload,
-        })
+        Ok(())
     }
 
     /// Encodes the packets for *all* groups containing this node, in
@@ -244,6 +295,51 @@ mod tests {
         for w in packets.windows(2) {
             assert!(w[0].group < w[1].group);
         }
+    }
+
+    #[test]
+    fn encode_group_into_matches_encode_group_with_warm_scratch() {
+        let (k, r, node) = (6, 3, 2);
+        let store = full_store(k, r, node, |t, f| (t + 1) * 9 + f.len());
+        let enc = Encoder::new(k, r, node).unwrap();
+        let mut scratch = EncodeScratch::new();
+        // Two passes over all groups: the second runs against warm buffers
+        // and must produce identical packets.
+        for pass in 0..2 {
+            for (_, m) in enc.groups().groups_of_node(node) {
+                let reference = enc.encode_group(m, &store).unwrap();
+                enc.encode_group_into(m, &store, &mut scratch).unwrap();
+                assert_eq!(scratch.payload, reference.payload, "pass {pass} {m}");
+                assert_eq!(scratch.seg_lens, reference.seg_lens, "pass {pass} {m}");
+                assert_eq!(
+                    scratch.seg_len_sum(),
+                    reference
+                        .seg_lens
+                        .iter()
+                        .map(|(_, l)| *l as u64)
+                        .sum::<u64>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_payload_shrinks_correctly_between_groups() {
+        // A long encode followed by a short one must not leak stale tail
+        // bytes from the warm (larger-capacity) payload buffer.
+        let mut store = MapOutputStore::new();
+        store.insert(1, fs(&[0, 2]), Bytes::from(vec![0x11; 64]));
+        store.insert(2, fs(&[0, 1]), Bytes::from(vec![0x22; 64]));
+        let enc = Encoder::new(3, 2, 0).unwrap();
+        let mut scratch = EncodeScratch::new();
+        enc.encode_group_into(fs(&[0, 1, 2]), &store, &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.payload.len(), 32);
+        store.insert(1, fs(&[0, 2]), Bytes::from(vec![0x33; 4]));
+        store.insert(2, fs(&[0, 1]), Bytes::from(vec![0x44; 4]));
+        enc.encode_group_into(fs(&[0, 1, 2]), &store, &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.payload, vec![0x33 ^ 0x44, 0x33 ^ 0x44]);
     }
 
     #[test]

@@ -121,6 +121,12 @@ impl IntermediateSource for MapOutputStore {
     }
 }
 
+impl<S: IntermediateSource + ?Sized> IntermediateSource for &S {
+    fn intermediate(&self, target: NodeId, file: NodeSet) -> Option<&[u8]> {
+        (**self).intermediate(target, file)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

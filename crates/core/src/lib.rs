@@ -79,20 +79,24 @@ pub mod combinatorics;
 pub mod decode;
 pub mod encode;
 pub mod error;
+pub mod exec;
 pub mod groups;
 pub mod intermediate;
 pub mod packet;
 pub mod placement;
+pub mod pool;
 pub mod segment;
 pub mod subset;
 pub mod theory;
 pub mod xor;
 
-pub use decode::{DecodePipeline, DecodedSegment, Decoder, SegmentAssembler};
-pub use encode::Encoder;
+pub use decode::{DecodePipeline, DecodedSegment, Decoder, SegmentAssembler, SegmentInfo};
+pub use encode::{EncodeScratch, Encoder};
 pub use error::{CodedError, Result};
+pub use exec::WorkerPool;
 pub use groups::{GroupId, MulticastGroups, PodGroups};
 pub use intermediate::{IntermediateSource, MapOutputStore};
 pub use packet::CodedPacket;
 pub use placement::{FileId, PlacementPlan};
+pub use pool::{BufPool, Scratch};
 pub use subset::{NodeId, NodeSet};

@@ -6,6 +6,17 @@
 //! wire format is a compact little-endian layout with full structural
 //! validation on parse, so a corrupted or truncated packet is reported as a
 //! [`CodedError::MalformedPacket`] instead of garbage data.
+//!
+//! The hot-path APIs are allocation-aware:
+//!
+//! * [`CodedPacket::write_wire`] serializes straight from the encoder's
+//!   scratch buffers into a reusable output `Vec` — no `CodedPacket` is
+//!   ever materialized on the send side;
+//! * [`CodedPacket::read_wire`] parses *zero-copy*: the payload is a
+//!   [`Bytes`] slice borrowing the received frame's allocation, and the
+//!   header vector of a warm packet is reused across packets.
+
+use bytes::Bytes;
 
 use crate::error::{CodedError, Result};
 use crate::subset::{NodeId, NodeSet};
@@ -17,7 +28,7 @@ pub const WIRE_VERSION: u8 = 1;
 pub const WIRE_MAGIC: [u8; 2] = *b"CT";
 
 /// One coded multicast packet `E_{M,k}` (paper eq. (8)).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct CodedPacket {
     /// The multicast group `M` this packet belongs to.
     pub group: NodeSet,
@@ -28,13 +39,22 @@ pub struct CodedPacket {
     /// reads its own entry to strip zero padding from the recovered segment.
     pub seg_lens: Vec<(NodeId, u32)>,
     /// XOR of the `r` zero-padded segments; length = max original length.
-    pub payload: Vec<u8>,
+    /// A [`Bytes`] view so parsed packets can borrow the received frame
+    /// instead of copying it.
+    pub payload: Bytes,
 }
 
 impl CodedPacket {
+    /// An empty packet shell, ready to be filled by
+    /// [`read_wire`](CodedPacket::read_wire) — reuse one shell across a
+    /// receive loop to keep the parse allocation-free.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
     /// Total serialized size in bytes.
     pub fn wire_len(&self) -> usize {
-        2 + 1 + 2 + 8 + 2 + self.seg_lens.len() * 6 + 4 + self.payload.len()
+        wire_len_for(self.seg_lens.len(), self.payload.len())
     }
 
     /// The original segment length recorded for receiver `t`, if present.
@@ -45,27 +65,82 @@ impl CodedPacket {
             .map(|(_, len)| *len)
     }
 
-    /// Serializes to the wire format.
+    /// Serializes to the wire format (convenience wrapper over
+    /// [`write_into`](CodedPacket::write_into)).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_len());
+        self.write_into(&mut out);
+        out
+    }
+
+    /// Appends the wire format to `out`. Reusing one grow-only `out`
+    /// across packets keeps serialization allocation-free in steady state.
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        Self::write_wire(self.group, self.sender, &self.seg_lens, &self.payload, out);
+    }
+
+    /// Serializes a packet directly from its parts — the encoder hot path,
+    /// which writes from scratch buffers without building a `CodedPacket`.
+    /// Appends to `out`.
+    pub fn write_wire(
+        group: NodeSet,
+        sender: NodeId,
+        seg_lens: &[(NodeId, u32)],
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        out.reserve(wire_len_for(seg_lens.len(), payload.len()));
         out.extend_from_slice(&WIRE_MAGIC);
         out.push(WIRE_VERSION);
-        out.extend_from_slice(&(self.sender as u16).to_le_bytes());
-        out.extend_from_slice(&self.group.bits().to_le_bytes());
-        out.extend_from_slice(&(self.seg_lens.len() as u16).to_le_bytes());
-        for (t, len) in &self.seg_lens {
+        out.extend_from_slice(&(sender as u16).to_le_bytes());
+        out.extend_from_slice(&group.bits().to_le_bytes());
+        out.extend_from_slice(&(seg_lens.len() as u16).to_le_bytes());
+        for (t, len) in seg_lens {
             out.extend_from_slice(&(*t as u16).to_le_bytes());
             out.extend_from_slice(&len.to_le_bytes());
         }
-        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&self.payload);
-        out
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
     }
 
     /// Parses a packet from the wire format, validating structure:
     /// magic/version, sender membership, header/segment consistency, and
     /// that the payload length equals the longest recorded segment.
+    ///
+    /// This variant copies the payload out of `buf`; prefer
+    /// [`from_wire`](CodedPacket::from_wire) when the frame is already a
+    /// [`Bytes`] (as everything received from a fabric is).
     pub fn from_bytes(buf: &[u8]) -> Result<Self> {
+        let mut packet = CodedPacket::empty();
+        let (start, end) = packet.parse_header(buf)?;
+        packet.payload = Bytes::copy_from_slice(&buf[start..end]);
+        Ok(packet)
+    }
+
+    /// Zero-copy parse: identical validation to
+    /// [`from_bytes`](CodedPacket::from_bytes), but the payload *borrows*
+    /// `wire`'s allocation as a [`Bytes`] slice instead of copying.
+    pub fn from_wire(wire: &Bytes) -> Result<Self> {
+        let mut packet = CodedPacket::empty();
+        packet.read_wire(wire)?;
+        Ok(packet)
+    }
+
+    /// Zero-copy, zero-allocation parse into an existing packet shell: the
+    /// payload borrows `wire` and the warm `seg_lens` vector is reused.
+    ///
+    /// # Errors
+    /// `MalformedPacket` exactly as [`from_bytes`](CodedPacket::from_bytes);
+    /// on error the shell's contents are unspecified.
+    pub fn read_wire(&mut self, wire: &Bytes) -> Result<()> {
+        let (start, end) = self.parse_header(wire)?;
+        self.payload = wire.slice(start..end);
+        Ok(())
+    }
+
+    /// Parses and validates everything but the payload bytes into `self`,
+    /// returning the payload's `[start, end)` range within `buf`.
+    fn parse_header(&mut self, buf: &[u8]) -> Result<(usize, usize)> {
         let mut cursor = Cursor::new(buf);
         let magic = cursor.take(2)?;
         if magic != WIRE_MAGIC {
@@ -87,7 +162,8 @@ impl CodedPacket {
                 group.len()
             )));
         }
-        let mut seg_lens = Vec::with_capacity(nseg);
+        self.seg_lens.clear();
+        self.seg_lens.reserve(nseg);
         let mut prev: Option<NodeId> = None;
         for _ in 0..nseg {
             let t = cursor.u16()? as NodeId;
@@ -101,29 +177,31 @@ impl CodedPacket {
                 }
             }
             prev = Some(t);
-            seg_lens.push((t, len));
+            self.seg_lens.push((t, len));
         }
         let payload_len = cursor.u32()? as usize;
-        let payload = cursor.take(payload_len)?.to_vec();
+        let start = cursor.pos;
+        cursor.take(payload_len)?;
         if cursor.remaining() != 0 {
             return Err(malformed(format!("{} trailing bytes", cursor.remaining())));
         }
         // Payload must be padded to exactly the longest segment.
-        let max_seg = seg_lens.iter().map(|(_, l)| *l).max().unwrap_or(0) as usize;
-        if payload.len() != max_seg {
+        let max_seg = self.seg_lens.iter().map(|(_, l)| *l).max().unwrap_or(0) as usize;
+        if payload_len != max_seg {
             return Err(malformed(format!(
-                "payload {} bytes but longest segment is {}",
-                payload.len(),
-                max_seg
+                "payload {payload_len} bytes but longest segment is {max_seg}",
             )));
         }
-        Ok(CodedPacket {
-            group,
-            sender,
-            seg_lens,
-            payload,
-        })
+        self.group = group;
+        self.sender = sender;
+        Ok((start, start + payload_len))
     }
+}
+
+/// Serialized size of a packet with `nseg` segment entries and a
+/// `payload_len`-byte payload.
+fn wire_len_for(nseg: usize, payload_len: usize) -> usize {
+    2 + 1 + 2 + 8 + 2 + nseg * 6 + 4 + payload_len
 }
 
 fn malformed(what: impl Into<String>) -> CodedError {
@@ -183,7 +261,7 @@ mod tests {
             group: NodeSet::from_iter([0usize, 1, 2]),
             sender: 0,
             seg_lens: vec![(1, 3), (2, 5)],
-            payload: vec![0xAA, 0xBB, 0xCC, 0xDD, 0xEE],
+            payload: Bytes::from(vec![0xAA, 0xBB, 0xCC, 0xDD, 0xEE]),
         }
     }
 
@@ -202,10 +280,57 @@ mod tests {
             group: NodeSet::from_iter([3usize, 7]),
             sender: 7,
             seg_lens: vec![(3, 0)],
-            payload: vec![],
+            payload: Bytes::new(),
         };
         let q = CodedPacket::from_bytes(&p.to_bytes()).unwrap();
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn zero_copy_parse_borrows_frame() {
+        let p = sample();
+        let wire = Bytes::from(p.to_bytes());
+        let q = CodedPacket::from_wire(&wire).unwrap();
+        assert_eq!(p, q);
+        // The payload points into the wire frame's allocation.
+        let payload_start = wire.len() - p.payload.len();
+        assert_eq!(q.payload.as_ptr(), wire[payload_start..].as_ptr());
+    }
+
+    #[test]
+    fn read_wire_reuses_shell() {
+        let a = sample();
+        let mut b = CodedPacket {
+            group: NodeSet::from_iter([5usize, 6]),
+            sender: 5,
+            seg_lens: vec![(6, 1)],
+            payload: Bytes::from(vec![9]),
+        };
+        let wire_a = Bytes::from(a.to_bytes());
+        let wire_b = Bytes::from(b.to_bytes());
+        let mut shell = CodedPacket::empty();
+        shell.read_wire(&wire_a).unwrap();
+        assert_eq!(shell, a);
+        shell.read_wire(&wire_b).unwrap();
+        b.payload = wire_b.slice(wire_b.len() - 1..);
+        assert_eq!(shell, b);
+    }
+
+    #[test]
+    fn write_into_appends_and_matches_to_bytes() {
+        let p = sample();
+        let mut out = vec![0xFFu8; 3];
+        p.write_into(&mut out);
+        assert_eq!(&out[..3], &[0xFF; 3]);
+        assert_eq!(&out[3..], &p.to_bytes()[..]);
+    }
+
+    #[test]
+    fn write_wire_matches_packet_serialization() {
+        let p = sample();
+        let mut out = Vec::new();
+        CodedPacket::write_wire(p.group, p.sender, &p.seg_lens, &p.payload, &mut out);
+        assert_eq!(out, p.to_bytes());
     }
 
     #[test]
@@ -242,6 +367,9 @@ mod tests {
                 CodedPacket::from_bytes(&bytes[..cut]).is_err(),
                 "cut at {cut} should fail"
             );
+            // The zero-copy parser enforces the same structure.
+            let wire = Bytes::from(bytes[..cut].to_vec());
+            assert!(CodedPacket::from_wire(&wire).is_err(), "wire cut at {cut}");
         }
     }
 
@@ -264,7 +392,10 @@ mod tests {
     #[test]
     fn rejects_wrong_payload_length() {
         let mut p = sample();
-        p.payload.push(0); // longer than longest segment
+        // Payload longer than the longest recorded segment.
+        let mut longer = p.payload.to_vec();
+        longer.push(0);
+        p.payload = Bytes::from(longer);
         let err = CodedPacket::from_bytes(&p.to_bytes()).unwrap_err();
         assert!(err.to_string().contains("payload"));
     }
@@ -281,7 +412,7 @@ mod tests {
     fn rejects_segment_count_mismatch() {
         let mut p = sample();
         p.seg_lens.pop();
-        p.payload.truncate(3);
+        p.payload = p.payload.slice(..3);
         let err = CodedPacket::from_bytes(&p.to_bytes()).unwrap_err();
         assert!(err.to_string().contains("segment lengths"));
     }

@@ -20,7 +20,8 @@
 
 use bytes::Bytes;
 use cts_core::decode::DecodePipeline;
-use cts_core::encode::Encoder;
+use cts_core::encode::{EncodeScratch, Encoder};
+use cts_core::exec::WorkerPool;
 use cts_core::groups::MulticastGroups;
 use cts_core::intermediate::MapOutputStore;
 use cts_core::packet::CodedPacket;
@@ -99,21 +100,23 @@ fn group_tag(gid: u64) -> Tag {
     Tag::new(Tag::BCAST, (gid & 0x00FF_FFFF) as u32)
 }
 
-/// Parses and decodes one received packet (Algorithm 2), accumulating
-/// decode-work stats and completed intermediates.
+/// Parses (zero-copy, reusing `packet`'s shell) and decodes one received
+/// packet (Algorithm 2), accumulating decode-work stats and completed
+/// intermediates.
 fn decode_one(
-    raw: &[u8],
+    raw: &Bytes,
+    packet: &mut CodedPacket,
     pipeline: &mut DecodePipeline,
     store: &MapOutputStore,
     stats: &mut NodeStats,
     recovered: &mut Vec<(NodeSet, Vec<u8>)>,
 ) -> Result<()> {
-    let packet = CodedPacket::from_bytes(raw)?;
+    packet.read_wire(raw)?;
     // Decode work: XOR `r-1` known segments against the payload plus the
     // final merge — `r × payload` touched bytes, which at scale is the sum
     // of the packet's true segment lengths.
     stats.decode_work_bytes += packet.seg_lens.iter().map(|(_, l)| *l as u64).sum::<u64>();
-    if let Some(done) = pipeline.accept(&packet, store)? {
+    if let Some(done) = pipeline.accept(packet, store)? {
         recovered.push(done);
     }
     Ok(())
@@ -132,6 +135,7 @@ fn node_main<W: Workload>(
     let me = comm.rank();
     let mut stats = NodeStats::default();
     let mut wall = NodeWall::default();
+    let pool = WorkerPool::new(cfg.threads);
 
     // ---- CodeGen -------------------------------------------------------
     comm.set_stage(stages::CODEGEN);
@@ -151,11 +155,15 @@ fn node_main<W: Workload>(
     comm.set_stage(stages::MAP);
     let timer = StageTimer::start();
     let mut store = MapOutputStore::new();
-    for (fid, data) in &my_files {
+    // Files hash independently: fan the per-file Map out over the worker
+    // pool (results come back in file order, so the store contents are
+    // identical for any thread count).
+    let mapped: Vec<Vec<Vec<u8>>> =
+        pool.map(my_files.len(), |i| workload.map_file(&my_files[i].1, k));
+    for ((fid, data), intermediates) in my_files.iter().zip(mapped) {
         let file_nodes = plan.nodes_of_file(*fid);
         stats.map_input_bytes += data.len() as u64;
         stats.files_mapped += 1;
-        let intermediates = workload.map_file(data, k);
         for (t, value) in intermediates.into_iter().enumerate() {
             if plan.keeps_intermediate(me, file_nodes, t) {
                 store.insert(t, file_nodes, Bytes::from(value));
@@ -179,13 +187,29 @@ fn node_main<W: Workload>(
     // max ≈ mean). The model scales only the scalable part.
     let mut my_packets: std::collections::HashMap<u64, (Bytes, u64)> =
         std::collections::HashMap::new();
-    for (gid, m) in groups.groups_of_node(me) {
-        let packet = encoder.encode_group(m, &store)?;
-        let seg_sum: u64 = packet.seg_lens.iter().map(|(_, l)| *l as u64).sum();
-        let scalable = seg_sum / r as u64;
-        let wire = Bytes::from(packet.to_bytes());
-        let overhead = wire.len() as u64 - scalable.min(wire.len() as u64);
-        my_packets.insert(gid.0, (wire, overhead));
+    // Groups encode independently: fan Algorithm 1 out over the pool, one
+    // warm (scratch, wire buffer) pair per worker so the per-group loop is
+    // allocation-free apart from the shareable wire frame itself.
+    let owned_groups: Vec<(u64, NodeSet)> = groups
+        .groups_of_node(me)
+        .map(|(gid, m)| (gid.0, m))
+        .collect();
+    let encoded: Vec<Result<(u64, Bytes, u64)>> = pool.map_with(
+        owned_groups.len(),
+        || (EncodeScratch::new(), Vec::new()),
+        |(scratch, wire), i| {
+            let (gid, m) = owned_groups[i];
+            encoder.encode_group_into(m, &store, scratch)?;
+            wire.clear();
+            CodedPacket::write_wire(m, me, &scratch.seg_lens, &scratch.payload, wire);
+            let scalable = scratch.seg_len_sum() / r as u64;
+            let overhead = wire.len() as u64 - scalable.min(wire.len() as u64);
+            Ok((gid, Bytes::copy_from_slice(wire), overhead))
+        },
+    );
+    for item in encoded {
+        let (gid, wire, overhead) = item?;
+        my_packets.insert(gid, (wire, overhead));
     }
     wall.pack_encode = timer.stop();
     comm.barrier()?;
@@ -197,6 +221,7 @@ fn node_main<W: Workload>(
     comm.set_stage(stages::SHUFFLE);
     let timer = StageTimer::start();
     let mut pipeline = DecodePipeline::new(k, r, me).expect("validated by driver");
+    let mut packet_shell = CodedPacket::empty();
     let mut recovered: Vec<(NodeSet, Vec<u8>)> = Vec::new();
     let mut received: Vec<Bytes> = Vec::new();
     for (gid, members, member_list) in &schedule {
@@ -216,7 +241,14 @@ fn node_main<W: Workload>(
                 let payload = comm.multicast(sender, member_list, tag, None)?;
                 stats.recv_bytes += payload.len() as u64;
                 if cfg.pipelined_decode {
-                    decode_one(&payload, &mut pipeline, &store, &mut stats, &mut recovered)?;
+                    decode_one(
+                        &payload,
+                        &mut packet_shell,
+                        &mut pipeline,
+                        &store,
+                        &mut stats,
+                        &mut recovered,
+                    )?;
                 } else {
                     received.push(payload);
                 }
@@ -232,8 +264,49 @@ fn node_main<W: Workload>(
     // ---- Decode (Algorithm 2) --------------------------------------------
     comm.set_stage(stages::UNPACK_DECODE);
     let timer = StageTimer::start();
-    for raw in &received {
-        decode_one(raw, &mut pipeline, &store, &mut stats, &mut recovered)?;
+    if pool.threads() > 1 && received.len() > 1 {
+        // Packets decode independently (Algorithm 2 is per-packet XOR
+        // cancellation); only the final segment assembly is sequential.
+        // Packets parse zero-copy into per-worker shells, accumulators are
+        // drawn from (and returned to, via assembly) the pipeline's shared
+        // pool, and results return in receive order, so the outcome matches
+        // the serial path byte for byte.
+        let decoder = pipeline.decoder();
+        let buf_pool = pipeline.buf_pool();
+        let segments: Vec<Result<(u64, cts_core::decode::DecodedSegment)>> =
+            pool.map_with(received.len(), CodedPacket::empty, |shell, i| {
+                shell.read_wire(&received[i])?;
+                let work: u64 = shell.seg_lens.iter().map(|(_, l)| *l as u64).sum();
+                let mut acc = buf_pool.get();
+                let info = decoder.decode_packet_into(shell, &store, &mut acc)?;
+                Ok((
+                    work,
+                    cts_core::decode::DecodedSegment {
+                        file: info.file,
+                        sender: info.sender,
+                        position: info.position,
+                        data: acc,
+                    },
+                ))
+            });
+        for item in segments {
+            let (work, seg) = item?;
+            stats.decode_work_bytes += work;
+            if let Some(done) = pipeline.accept_segment(seg)? {
+                recovered.push(done);
+            }
+        }
+    } else {
+        for raw in &received {
+            decode_one(
+                raw,
+                &mut packet_shell,
+                &mut pipeline,
+                &store,
+                &mut stats,
+                &mut recovered,
+            )?;
+        }
     }
     if pipeline.in_flight() != 0 || recovered.len() as u64 != pipeline.expected_total() {
         return Err(EngineError::Protocol {
@@ -270,7 +343,7 @@ fn node_main<W: Workload>(
         partition_data.extend_from_slice(b);
     }
     stats.reduce_input_bytes = partition_data.len() as u64;
-    let output = workload.reduce(me, &partition_data);
+    let output = workload.reduce_par(me, &partition_data, &pool);
     wall.reduce = timer.stop();
     comm.barrier()?;
 

@@ -203,11 +203,20 @@ fn pod_node_main<W: Workload>(
     let encoder = Encoder::new(g, r, my_local).expect("validated");
     let mut my_packets: std::collections::HashMap<u64, (Bytes, u64)> =
         std::collections::HashMap::new();
+    let mut scratch = cts_core::encode::EncodeScratch::new();
+    let mut wire_buf: Vec<u8> = Vec::new();
     for (gid, m) in groups.groups_of_node(my_local) {
-        let packet = encoder.encode_group(m, &local_store)?;
-        let seg_sum: u64 = packet.seg_lens.iter().map(|(_, l)| *l as u64).sum();
-        let scalable = seg_sum / r as u64;
-        let wire = Bytes::from(packet.to_bytes());
+        encoder.encode_group_into(m, &local_store, &mut scratch)?;
+        wire_buf.clear();
+        CodedPacket::write_wire(
+            m,
+            my_local,
+            &scratch.seg_lens,
+            &scratch.payload,
+            &mut wire_buf,
+        );
+        let scalable = scratch.seg_len_sum() / r as u64;
+        let wire = Bytes::copy_from_slice(&wire_buf);
         let overhead = wire.len() as u64 - scalable.min(wire.len() as u64);
         my_packets.insert(gid.0, (wire, overhead));
     }
@@ -281,9 +290,10 @@ fn pod_node_main<W: Workload>(
     comm.set_stage(stages::UNPACK_DECODE);
     let timer = StageTimer::start();
     let mut pipeline = DecodePipeline::new(g, r, my_local).expect("validated");
+    let mut packet = CodedPacket::empty();
     let mut recovered: Vec<(u64, Bytes)> = Vec::new(); // (global file bits, data)
     for raw in &received_packets {
-        let packet = CodedPacket::from_bytes(raw)?;
+        packet.read_wire(raw)?;
         stats.decode_work_bytes += packet.seg_lens.iter().map(|(_, l)| *l as u64).sum::<u64>();
         if let Some((local_file, data)) = pipeline.accept(&packet, &local_store)? {
             recovered.push((globalize(local_file, my_pod, g).bits(), Bytes::from(data)));

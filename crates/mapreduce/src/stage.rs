@@ -112,6 +112,13 @@ pub struct EngineConfig {
     /// traced bytes are unchanged, so the paper-scale model is
     /// unaffected).
     pub pipelined_decode: bool,
+    /// Intra-node worker threads for the CPU-bound stages (Map hashing,
+    /// per-group encode, per-packet decode, the Reduce sort). `1` (the
+    /// default) runs every stage inline; higher values lease workers from
+    /// the process-wide [`cts_core::exec`] budget, so K-node single-host
+    /// emulation never oversubscribes the machine. Outputs are
+    /// byte-identical for any value.
+    pub threads: usize,
 }
 
 impl EngineConfig {
@@ -123,6 +130,7 @@ impl EngineConfig {
             cluster: ClusterConfig::local(k),
             strict_serial_shuffle: false,
             pipelined_decode: false,
+            threads: 1,
         }
     }
 
@@ -134,12 +142,20 @@ impl EngineConfig {
             cluster: ClusterConfig::tcp(k),
             strict_serial_shuffle: false,
             pipelined_decode: false,
+            threads: 1,
         }
     }
 
     /// Enables pipelined (asynchronous) decode.
     pub fn with_pipelined_decode(mut self) -> Self {
         self.pipelined_decode = true;
+        self
+    }
+
+    /// Sets the intra-node worker-thread count for the CPU-bound stages
+    /// (`0` = the machine's available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 

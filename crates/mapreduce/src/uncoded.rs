@@ -86,13 +86,14 @@ fn node_main<W: Workload>(
     let me = comm.rank();
     let mut stats = NodeStats::default();
     let mut wall = NodeWall::default();
+    let pool = cts_core::exec::WorkerPool::new(cfg.threads);
 
     // ---- Map ----------------------------------------------------------
     comm.set_stage(stages::MAP);
     let timer = StageTimer::start();
     stats.map_input_bytes = file.len() as u64;
     stats.files_mapped = 1;
-    let intermediates = workload.map_file(&file, k);
+    let intermediates = workload.map_file_par(&file, k, &pool);
     debug_assert_eq!(intermediates.len(), k);
     wall.map = timer.stop();
     comm.barrier()?;
@@ -156,7 +157,7 @@ fn node_main<W: Workload>(
     comm.set_stage(stages::REDUCE);
     let timer = StageTimer::start();
     stats.reduce_input_bytes = partition_data.len() as u64;
-    let output = workload.reduce(me, &partition_data);
+    let output = workload.reduce_par(me, &partition_data, &pool);
     wall.reduce = timer.stop();
     comm.barrier()?;
 

@@ -97,6 +97,33 @@ pub trait Workload: Send + Sync {
     /// Produces the final output of `partition` from the concatenation of
     /// all its intermediates. Must be insensitive to concatenation order.
     fn reduce(&self, partition: usize, data: &[u8]) -> Vec<u8>;
+
+    /// Parallel variant of [`map_file`](Workload::map_file), driven by the
+    /// engine's [`WorkerPool`](cts_core::exec::WorkerPool). The default
+    /// ignores the pool; workloads that can chunk their input (TeraSort's
+    /// fixed-width records) override this. **Must** produce output
+    /// byte-identical to `map_file` for every thread count.
+    fn map_file_par(
+        &self,
+        file: &[u8],
+        num_partitions: usize,
+        pool: &cts_core::exec::WorkerPool,
+    ) -> Vec<Vec<u8>> {
+        let _ = pool;
+        self.map_file(file, num_partitions)
+    }
+
+    /// Parallel variant of [`reduce`](Workload::reduce); same contract:
+    /// byte-identical to the serial `reduce` for every thread count.
+    fn reduce_par(
+        &self,
+        partition: usize,
+        data: &[u8],
+        pool: &cts_core::exec::WorkerPool,
+    ) -> Vec<u8> {
+        let _ = pool;
+        self.reduce(partition, data)
+    }
 }
 
 #[cfg(test)]

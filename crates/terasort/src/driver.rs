@@ -61,6 +61,14 @@ impl SortJob {
         self
     }
 
+    /// Sets the intra-node worker-thread count for the CPU-bound stages
+    /// (Map hashing, encode, decode, Reduce sort); `0` = machine
+    /// parallelism. Outputs are byte-identical for any value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.engine = self.engine.with_threads(threads);
+        self
+    }
+
     /// Uses quantile sampling instead of uniform ranges.
     pub fn with_sampling(mut self, sample_every: usize) -> Self {
         assert!(sample_every >= 1, "sampling stride must be >= 1");

@@ -58,20 +58,91 @@ pub fn record_count(buf: &[u8]) -> usize {
     buf.len() / RECORD_LEN
 }
 
-/// An order-independent checksum over the records of a buffer (sum of
-/// FNV-1a hashes of each whole record, wrapping). Input and sorted output
-/// must agree — the TeraValidate invariant.
+/// An order-independent checksum over the records of a buffer (wrapping
+/// sum of per-record hashes). Input and sorted output must agree — the
+/// TeraValidate invariant.
+///
+/// The per-record hash consumes eight bytes per step (a multiply–rotate
+/// mix over little-endian words, ~8× fewer rounds than the previous
+/// byte-at-a-time FNV-1a over 100-byte records); [`checksum_bytewise`] is
+/// the byte-at-a-time reference computing the *same* value.
 pub fn checksum(buf: &[u8]) -> u64 {
     let mut total: u64 = 0;
     for rec in records(buf) {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for &b in rec {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        total = total.wrapping_add(h);
+        total = total.wrapping_add(hash_words(rec));
     }
     total
+}
+
+/// Byte-at-a-time reference for [`checksum`]: identical values, built one
+/// byte per step (the form a streaming validator would use).
+pub fn checksum_bytewise(buf: &[u8]) -> u64 {
+    let mut total: u64 = 0;
+    for rec in records(buf) {
+        total = total.wrapping_add(hash_bytewise(rec));
+    }
+    total
+}
+
+/// Hash seed (the FNV-1a offset basis, kept for familiarity).
+const HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+/// Odd multiplier (the golden-ratio constant) driving the word mix.
+const HASH_MULT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One mixing round over an eight-byte little-endian word.
+#[inline]
+fn mix(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(HASH_MULT).rotate_left(29)
+}
+
+/// Finalizer: avalanche the state and bind in the input length so the
+/// zero-padded tail word cannot alias a shorter input.
+#[inline]
+fn finish(h: u64, len: usize) -> u64 {
+    let mut h = h ^ (len as u64).wrapping_mul(HASH_MULT);
+    h ^= h >> 32;
+    h = h.wrapping_mul(HASH_MULT);
+    h ^ (h >> 29)
+}
+
+/// Word-at-a-time hash of an arbitrary slice: full 8-byte little-endian
+/// words, then the remaining tail zero-padded into one final word.
+#[inline]
+fn hash_words(bytes: &[u8]) -> u64 {
+    let mut h = HASH_SEED;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = mix(h, u64::from_le_bytes(c.try_into().unwrap()));
+    }
+    let tail = chunks.remainder();
+    if !tail.is_empty() {
+        let mut word = [0u8; 8];
+        word[..tail.len()].copy_from_slice(tail);
+        h = mix(h, u64::from_le_bytes(word));
+    }
+    finish(h, bytes.len())
+}
+
+/// Byte-at-a-time equivalent of [`hash_words`]: accumulates each
+/// little-endian word one byte per step.
+#[inline]
+fn hash_bytewise(bytes: &[u8]) -> u64 {
+    let mut h = HASH_SEED;
+    let mut word = 0u64;
+    let mut shift = 0u32;
+    for &b in bytes {
+        word |= (b as u64) << shift;
+        shift += 8;
+        if shift == 64 {
+            h = mix(h, word);
+            word = 0;
+            shift = 0;
+        }
+    }
+    if shift > 0 {
+        h = mix(h, word);
+    }
+    finish(h, bytes.len())
 }
 
 #[cfg(test)]
@@ -137,5 +208,34 @@ mod tests {
     #[test]
     fn checksum_of_empty_is_zero() {
         assert_eq!(checksum(&[]), 0);
+    }
+
+    #[test]
+    fn word_hash_matches_bytewise_reference_on_unaligned_lengths() {
+        // The word kernel and the byte-at-a-time reference must agree for
+        // every tail length (0..8 leftover bytes) and across word counts.
+        for len in 0..=130usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            assert_eq!(
+                hash_words(&data),
+                hash_bytewise(&data),
+                "length {len} disagrees"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_matches_bytewise_reference_on_records() {
+        let data: Vec<u8> = (0..7 * RECORD_LEN).map(|i| (i * 13 + 5) as u8).collect();
+        assert_eq!(checksum(&data), checksum_bytewise(&data));
+    }
+
+    #[test]
+    fn hash_distinguishes_zero_padding_from_short_input() {
+        // "ab" and "ab\0" pad to the same tail word; the length binding in
+        // the finalizer must keep them distinct.
+        assert_ne!(hash_words(b"ab"), hash_words(b"ab\0"));
+        assert_ne!(hash_words(&[]), hash_words(&[0]));
+        assert_ne!(hash_words(&[0u8; 8]), hash_words(&[0u8; 16]));
     }
 }

@@ -1,21 +1,109 @@
 //! Local sort kernels for the Reduce stage.
 //!
-//! The paper uses `std::sort` (§V-A). [`SortKernel::Comparison`] is the
-//! direct equivalent (`sort_unstable` on record views); [`SortKernel::Lsd
-//! Radix`] is an optimization ablation: least-significant-digit radix sort
-//! over the 10-byte key in five 16-bit passes — O(n) in the record count.
+//! The paper uses `std::sort` (§V-A); [`SortKernel::Comparison`] is the
+//! direct equivalent. The other kernels are optimization ablations built on
+//! the observation (shared with offset-value coding, arXiv:2209.08420) that
+//! sort time is dominated by key comparisons and *record movement* — so the
+//! fastest plan touches the 100-byte records as little as possible:
+//!
+//! * [`SortKernel::LsdRadix`] — least-significant-digit radix sort over the
+//!   10-byte key in five 16-bit passes, moving whole records every pass
+//!   (5 × 100 B per record of traffic);
+//! * [`SortKernel::KeyIndex`] — the same five radix passes, but over packed
+//!   `(key, index)` entries (`u128`: 80 key bits above 32 index bits), so
+//!   each pass moves 16-byte entries and the records are gathered **once**
+//!   at the end (5 × 16 B + 1 × 100 B per record).
+//!
+//! All kernels are **stable** (equal keys keep input order), which makes
+//! every kernel — and every [`WorkerPool`] thread count, via chunked
+//! sort-then-merge — produce byte-identical output.
+//!
+//! Per-pass count/offset tables and entry arrays live in a reusable
+//! [`SortScratch`] (built on [`cts_core::pool::Scratch`]), so a warm sort
+//! performs exactly one allocation: the returned output buffer.
 
-use crate::record::{key_of, records, RECORD_LEN};
+use cts_core::exec::WorkerPool;
+use cts_core::pool::Scratch;
+
+use crate::record::{key_of, key_to_u128, record_count, records, RECORD_LEN};
 
 /// Which sorting algorithm the Reduce stage runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SortKernel {
-    /// `sort_unstable` by key (the paper's `std::sort`).
+    /// Stable `std`-style comparison sort by key (the paper's `std::sort`).
     #[default]
     Comparison,
-    /// LSD radix sort: five stable counting-sort passes over 16-bit key
-    /// digits, least significant first.
+    /// LSD radix sort moving whole records: five stable counting-sort
+    /// passes over 16-bit key digits, least significant first.
     LsdRadix,
+    /// Key-index LSD radix sort: radix passes over packed `(u128 key,
+    /// u32 index)` entries, then a single gather of the records.
+    KeyIndex,
+}
+
+impl SortKernel {
+    /// All kernels, for ablations and equivalence tests.
+    pub const ALL: [SortKernel; 3] = [
+        SortKernel::Comparison,
+        SortKernel::LsdRadix,
+        SortKernel::KeyIndex,
+    ];
+}
+
+impl std::fmt::Display for SortKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SortKernel::Comparison => "comparison",
+            SortKernel::LsdRadix => "lsd-radix",
+            SortKernel::KeyIndex => "key-index",
+        })
+    }
+}
+
+impl std::str::FromStr for SortKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "comparison" | "std" => Ok(SortKernel::Comparison),
+            "lsd-radix" | "radix" => Ok(SortKernel::LsdRadix),
+            "key-index" | "keyindex" => Ok(SortKernel::KeyIndex),
+            other => Err(format!(
+                "unknown sort kernel `{other}` (expected comparison | lsd-radix | key-index)"
+            )),
+        }
+    }
+}
+
+/// Digit width of the radix passes (16 bits → five passes over 80-bit
+/// keys).
+const RADIX_BITS: usize = 16;
+/// Radix table size.
+const RADIX: usize = 1 << RADIX_BITS;
+/// Number of radix passes over a 10-byte key.
+const RADIX_PASSES: usize = 5;
+
+/// Reusable buffers for the sort kernels (grow-only; see
+/// [`cts_core::pool::Scratch`]).
+///
+/// The count/offset tables are the former per-pass
+/// `vec![0u32; 1 << 16]` allocations, hoisted out of the pass loop: one
+/// warm scratch serves any number of sorts with a single table (re)zeroing
+/// per pass instead of two 256 KiB allocations.
+#[derive(Debug, Default)]
+pub struct SortScratch {
+    counts: Scratch<u32>,
+    offsets: Scratch<u32>,
+    entries: Scratch<u128>,
+    entries_tmp: Scratch<u128>,
+    records_tmp: Scratch<u8>,
+}
+
+impl SortScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Sorts a packed record buffer by key, returning the sorted buffer.
@@ -23,55 +111,197 @@ pub enum SortKernel {
 /// # Panics
 /// Panics if `data.len()` is not a multiple of the record size.
 pub fn sort_records(data: &[u8], kernel: SortKernel) -> Vec<u8> {
+    sort_records_with(data, kernel, &mut SortScratch::new())
+}
+
+/// Like [`sort_records`], but reusing `scratch` across calls — a warm
+/// scratch makes every kernel's only allocation the returned buffer.
+///
+/// # Panics
+/// Panics if `data.len()` is not a multiple of the record size, or if the
+/// buffer holds ≥ 2³² records (the key-index packing limit).
+pub fn sort_records_with(data: &[u8], kernel: SortKernel, scratch: &mut SortScratch) -> Vec<u8> {
     match kernel {
         SortKernel::Comparison => comparison_sort(data),
-        SortKernel::LsdRadix => lsd_radix_sort(data),
+        SortKernel::LsdRadix => lsd_radix_sort(data, scratch),
+        SortKernel::KeyIndex => key_index_sort(data, scratch),
     }
 }
 
+/// Sorts a packed record buffer by key with up to `pool.threads()` workers:
+/// the buffer splits into contiguous chunks, each chunk is sorted
+/// independently (one warm [`SortScratch`] per worker), and the sorted runs
+/// are merged stably (ties broken by chunk order = input order).
+///
+/// Because every kernel is stable, the output is byte-identical for *any*
+/// thread count and equal to the serial [`sort_records`].
+///
+/// # Panics
+/// As [`sort_records_with`].
+pub fn sort_records_parallel(data: &[u8], kernel: SortKernel, pool: &WorkerPool) -> Vec<u8> {
+    let ranges = pool.chunk_ranges(record_count(data), PAR_MIN_RECORDS_PER_CHUNK);
+    if ranges.len() <= 1 {
+        return sort_records(data, kernel);
+    }
+    let runs: Vec<Vec<u8>> = pool.map_with(ranges.len(), SortScratch::new, |scratch, c| {
+        let r = &ranges[c];
+        sort_records_with(
+            &data[r.start * RECORD_LEN..r.end * RECORD_LEN],
+            kernel,
+            scratch,
+        )
+    });
+    merge_sorted_runs(&runs, data.len())
+}
+
+/// Minimum records per parallel chunk (~400 KiB of records): below this,
+/// chunking/merge overhead beats the parallelism. Shared by the parallel
+/// sort and `TeraSortWorkload`'s parallel Map hash so both stages chunk
+/// identically.
+pub(crate) const PAR_MIN_RECORDS_PER_CHUNK: usize = 1 << 12;
+
+/// Stable T-way merge of sorted record runs (tie → lowest run index).
+fn merge_sorted_runs(runs: &[Vec<u8>], total_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(total_len);
+    let mut pos = vec![0usize; runs.len()];
+    // Cached head keys; `None` = run exhausted.
+    let mut heads: Vec<Option<u128>> = runs
+        .iter()
+        .map(|r| (!r.is_empty()).then(|| key_to_u128(key_of(&r[..RECORD_LEN]))))
+        .collect();
+    loop {
+        let mut best: Option<(usize, u128)> = None;
+        for (i, head) in heads.iter().enumerate() {
+            if let Some(k) = head {
+                // Strictly-less keeps ties on the lowest run index: stable.
+                if best.is_none_or(|(_, bk)| *k < bk) {
+                    best = Some((i, *k));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let at = pos[i];
+        out.extend_from_slice(&runs[i][at..at + RECORD_LEN]);
+        pos[i] = at + RECORD_LEN;
+        heads[i] = (pos[i] < runs[i].len())
+            .then(|| key_to_u128(key_of(&runs[i][pos[i]..pos[i] + RECORD_LEN])));
+    }
+    debug_assert_eq!(out.len(), total_len);
+    out
+}
+
 fn comparison_sort(data: &[u8]) -> Vec<u8> {
-    let mut views: Vec<&[u8]> = records(data).collect();
-    views.sort_unstable_by_key(|r| key_of(r));
+    let mut views: Vec<(&[u8], usize)> = records(data).enumerate().map(|(i, r)| (r, i)).collect();
+    // Unstable sort — the paper's `std::sort` — with the input index as a
+    // tie breaker, which gives the stable semantics every kernel must share
+    // (equal keys keep input order) at unstable-sort speed and without the
+    // stable sort's n/2 temp allocation.
+    views.sort_unstable_by_key(|&(r, i)| (key_of(r), i));
     let mut out = Vec::with_capacity(data.len());
-    for r in views {
+    for (r, _) in views {
         out.extend_from_slice(r);
     }
     out
 }
 
-fn lsd_radix_sort(data: &[u8]) -> Vec<u8> {
-    let n = records(data).len();
+/// The 16-bit digit of `pass` (least significant first) from a record's
+/// key bytes: pass 0 reads key bytes (8,9), pass 4 reads (0,1).
+#[inline]
+fn record_digit(rec: &[u8], pass: usize) -> usize {
+    let hi = 8 - 2 * pass;
+    u16::from_be_bytes([rec[hi], rec[hi + 1]]) as usize
+}
+
+fn lsd_radix_sort(data: &[u8], scratch: &mut SortScratch) -> Vec<u8> {
+    let n = record_count(data);
     if n <= 1 {
         return data.to_vec();
     }
-    // Order tracked as indices; gather once at the end per pass into a
-    // scratch buffer of full records (two-buffer ping-pong).
+    // Two-buffer ping-pong over whole records; the second buffer comes from
+    // (and returns to) the scratch.
     let mut src = data.to_vec();
-    let mut dst = vec![0u8; data.len()];
-    // Five 16-bit digits, least significant first: key bytes (8,9), (6,7),
-    // (4,5), (2,3), (0,1).
-    for pass in 0..5usize {
-        let hi = 8 - 2 * pass; // index of the digit's high byte
-        let mut counts = vec![0u32; 1 << 16];
+    let mut dst = scratch.records_tmp.take();
+    dst.clear();
+    dst.resize(data.len(), 0);
+    for pass in 0..RADIX_PASSES {
+        let counts = scratch.counts.zeroed(RADIX);
         for rec in src.chunks_exact(RECORD_LEN) {
-            let d = u16::from_be_bytes([rec[hi], rec[hi + 1]]) as usize;
-            counts[d] += 1;
+            counts[record_digit(rec, pass)] += 1;
         }
-        let mut offsets = vec![0u32; 1 << 16];
+        // All records share this digit → the pass is the identity.
+        if counts[record_digit(&src[..RECORD_LEN], pass)] as usize == n {
+            continue;
+        }
+        let offsets = scratch.offsets.zeroed(RADIX);
         let mut acc = 0u32;
-        for (o, c) in offsets.iter_mut().zip(&counts) {
+        for (o, c) in offsets.iter_mut().zip(counts.iter()) {
             *o = acc;
             acc += c;
         }
         for rec in src.chunks_exact(RECORD_LEN) {
-            let d = u16::from_be_bytes([rec[hi], rec[hi + 1]]) as usize;
+            let d = record_digit(rec, pass);
             let at = offsets[d] as usize * RECORD_LEN;
             dst[at..at + RECORD_LEN].copy_from_slice(rec);
             offsets[d] += 1;
         }
         std::mem::swap(&mut src, &mut dst);
     }
+    scratch.records_tmp.restore(dst);
     src
+}
+
+fn key_index_sort(data: &[u8], scratch: &mut SortScratch) -> Vec<u8> {
+    let n = record_count(data);
+    if n <= 1 {
+        return data.to_vec();
+    }
+    assert!(
+        n <= u32::MAX as usize,
+        "key-index packing supports < 2^32 records"
+    );
+    // Pack (key, index): 80 key bits in 112..32, index in the low 32. The
+    // radix passes only touch the key bits; stability of counting sort
+    // keeps equal-key entries in input (index) order.
+    let entries = scratch.entries.cleared();
+    entries.reserve(n);
+    for (i, rec) in records(data).enumerate() {
+        entries.push((key_to_u128(key_of(rec)) << 32) | i as u128);
+    }
+    let mut src = scratch.entries.take();
+    let mut dst = scratch.entries_tmp.take();
+    dst.clear();
+    dst.resize(n, 0);
+    for pass in 0..RADIX_PASSES {
+        let shift = 32 + RADIX_BITS * pass;
+        let counts = scratch.counts.zeroed(RADIX);
+        for &e in src.iter() {
+            counts[(e >> shift) as usize & (RADIX - 1)] += 1;
+        }
+        if counts[(src[0] >> shift) as usize & (RADIX - 1)] as usize == n {
+            continue;
+        }
+        let offsets = scratch.offsets.zeroed(RADIX);
+        let mut acc = 0u32;
+        for (o, c) in offsets.iter_mut().zip(counts.iter()) {
+            *o = acc;
+            acc += c;
+        }
+        for &e in src.iter() {
+            let d = (e >> shift) as usize & (RADIX - 1);
+            dst[offsets[d] as usize] = e;
+            offsets[d] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    // Gather the records once, in final order.
+    let mut out = Vec::with_capacity(data.len());
+    for &e in src.iter() {
+        let at = (e as u32) as usize * RECORD_LEN;
+        out.extend_from_slice(&data[at..at + RECORD_LEN]);
+    }
+    scratch.entries.restore(src);
+    scratch.entries_tmp.restore(dst);
+    out
 }
 
 /// True if the buffer's records are in non-decreasing key order.
@@ -96,9 +326,9 @@ mod tests {
     use crate::teragen::generate;
 
     #[test]
-    fn both_kernels_sort() {
+    fn all_kernels_sort() {
         let data = generate(500, 99);
-        for kernel in [SortKernel::Comparison, SortKernel::LsdRadix] {
+        for kernel in SortKernel::ALL {
             let sorted = sort_records(&data, kernel);
             assert!(is_sorted(&sorted), "{kernel:?}");
             assert_eq!(sorted.len(), data.len());
@@ -108,29 +338,52 @@ mod tests {
 
     #[test]
     fn kernels_agree_exactly() {
-        // Radix is stable; comparison is unstable but keys here are unique
-        // with overwhelming probability, so outputs match byte-for-byte.
         let data = generate(1000, 123);
-        assert_eq!(
-            sort_records(&data, SortKernel::Comparison),
-            sort_records(&data, SortKernel::LsdRadix)
-        );
+        let reference = sort_records(&data, SortKernel::Comparison);
+        for kernel in [SortKernel::LsdRadix, SortKernel::KeyIndex] {
+            assert_eq!(reference, sort_records(&data, kernel), "{kernel:?}");
+        }
+    }
+
+    /// Input with heavy key duplication, distinguishable values.
+    fn duplicate_key_data(n: usize, distinct_keys: usize) -> Vec<u8> {
+        let mut data = vec![0u8; n * RECORD_LEN];
+        for i in 0..n {
+            let rec = &mut data[i * RECORD_LEN..(i + 1) * RECORD_LEN];
+            rec[9] = (i % distinct_keys) as u8; // key
+            rec[10..14].copy_from_slice(&(i as u32).to_le_bytes()); // value
+        }
+        data
     }
 
     #[test]
-    fn radix_is_stable_for_equal_keys() {
+    fn kernels_agree_on_duplicate_keys() {
+        // All kernels are stable, so even massive key duplication yields
+        // byte-identical outputs.
+        let data = duplicate_key_data(997, 5);
+        let reference = sort_records(&data, SortKernel::Comparison);
+        assert!(is_sorted(&reference));
+        for kernel in [SortKernel::LsdRadix, SortKernel::KeyIndex] {
+            assert_eq!(reference, sort_records(&data, kernel), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn kernels_are_stable_for_equal_keys() {
         // Two records with identical keys, distinguishable values.
         let mut data = vec![0u8; 2 * RECORD_LEN];
         data[10] = b'a'; // first record's value
         data[RECORD_LEN + 10] = b'b';
-        let sorted = sort_records(&data, SortKernel::LsdRadix);
-        assert_eq!(sorted[10], b'a');
-        assert_eq!(sorted[RECORD_LEN + 10], b'b');
+        for kernel in SortKernel::ALL {
+            let sorted = sort_records(&data, kernel);
+            assert_eq!(sorted[10], b'a', "{kernel:?}");
+            assert_eq!(sorted[RECORD_LEN + 10], b'b', "{kernel:?}");
+        }
     }
 
     #[test]
     fn empty_and_single() {
-        for kernel in [SortKernel::Comparison, SortKernel::LsdRadix] {
+        for kernel in SortKernel::ALL {
             assert!(sort_records(&[], kernel).is_empty());
             let one = generate(1, 5);
             assert_eq!(sort_records(&one, kernel), one.to_vec());
@@ -141,8 +394,54 @@ mod tests {
     fn already_sorted_is_fixed_point() {
         let data = generate(200, 44);
         let once = sort_records(&data, SortKernel::Comparison);
-        let twice = sort_records(&once, SortKernel::LsdRadix);
-        assert_eq!(once, twice);
+        for kernel in [SortKernel::LsdRadix, SortKernel::KeyIndex] {
+            assert_eq!(once, sort_records(&once, kernel), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn warm_scratch_matches_cold() {
+        let mut scratch = SortScratch::new();
+        for seed in [7u64, 8, 9] {
+            let data = generate(700, seed);
+            for kernel in SortKernel::ALL {
+                assert_eq!(
+                    sort_records_with(&data, kernel, &mut scratch),
+                    sort_records(&data, kernel),
+                    "{kernel:?} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_all_kernels_and_threads() {
+        // Enough records that the parallel path actually chunks (the
+        // min-chunk guard is 4 096 records).
+        let data = generate(10_000, 321).to_vec();
+        let dup = duplicate_key_data(9_000, 3);
+        for input in [&data, &dup] {
+            let reference = sort_records(input, SortKernel::Comparison);
+            for kernel in SortKernel::ALL {
+                for threads in [1usize, 2, 4] {
+                    let pool = WorkerPool::new(threads);
+                    assert_eq!(
+                        sort_records_parallel(input, kernel, &pool),
+                        reference,
+                        "{kernel:?} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_kernel_parses_and_displays() {
+        for kernel in SortKernel::ALL {
+            assert_eq!(kernel.to_string().parse::<SortKernel>(), Ok(kernel));
+        }
+        assert_eq!("radix".parse::<SortKernel>(), Ok(SortKernel::LsdRadix));
+        assert!("bogosort".parse::<SortKernel>().is_err());
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The TeraSort workload plugged into the generic engines.
 
+use cts_core::exec::WorkerPool;
 use cts_mapreduce::workload::{InputFormat, Workload};
 
 use crate::partition::{KeyPartitioner, RangePartitioner, SampledPartitioner};
-use crate::record::{key_of, records, RECORD_LEN};
-use crate::sort::{sort_records, SortKernel};
+use crate::record::{key_of, record_count, records, RECORD_LEN};
+use crate::sort::{sort_records_parallel, SortKernel};
 
 /// TeraSort as a [`Workload`]: Map hashes records into ordered key-range
 /// partitions (paper §III-A3); Reduce sorts the partition locally
@@ -74,7 +75,40 @@ impl Workload for TeraSortWorkload {
     }
 
     fn reduce(&self, _partition: usize, data: &[u8]) -> Vec<u8> {
-        sort_records(data, self.kernel)
+        sort_records_parallel(data, self.kernel, &WorkerPool::serial())
+    }
+
+    fn map_file_par(&self, file: &[u8], num_partitions: usize, pool: &WorkerPool) -> Vec<Vec<u8>> {
+        let ranges = pool.chunk_ranges(record_count(file), crate::sort::PAR_MIN_RECORDS_PER_CHUNK);
+        if ranges.len() <= 1 {
+            return self.map_file(file, num_partitions);
+        }
+        // Hash contiguous record chunks independently, then concatenate
+        // each partition's pieces in chunk order — identical bytes to the
+        // serial scan for any thread count.
+        let parts: Vec<Vec<Vec<u8>>> = pool.map(ranges.len(), |c| {
+            let r = &ranges[c];
+            self.map_file(
+                &file[r.start * RECORD_LEN..r.end * RECORD_LEN],
+                num_partitions,
+            )
+        });
+        let mut out: Vec<Vec<u8>> = (0..num_partitions)
+            .map(|p| {
+                let total: usize = parts.iter().map(|chunk| chunk[p].len()).sum();
+                Vec::with_capacity(total)
+            })
+            .collect();
+        for chunk in &parts {
+            for (p, piece) in chunk.iter().enumerate() {
+                out[p].extend_from_slice(piece);
+            }
+        }
+        out
+    }
+
+    fn reduce_par(&self, _partition: usize, data: &[u8], pool: &WorkerPool) -> Vec<u8> {
+        sort_records_parallel(data, self.kernel, pool)
     }
 }
 
@@ -125,6 +159,25 @@ mod tests {
             4,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_map_and_reduce_match_serial() {
+        let data = generate(9_000, 77);
+        let w = TeraSortWorkload::range(5);
+        let serial_map = w.map_file(&data, 5);
+        let serial_reduce: Vec<Vec<u8>> = (0..5).map(|p| w.reduce(p, &serial_map[p])).collect();
+        for threads in [1usize, 2, 4] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(w.map_file_par(&data, 5, &pool), serial_map, "{threads}");
+            for p in 0..5 {
+                assert_eq!(
+                    w.reduce_par(p, &serial_map[p], &pool),
+                    serial_reduce[p],
+                    "partition {p} threads {threads}"
+                );
+            }
+        }
     }
 
     #[test]

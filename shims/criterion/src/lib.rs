@@ -7,11 +7,78 @@
 //! `criterion_group!`/`criterion_main!` macros — with a simple
 //! wall-clock measurement loop (median of timed batches) instead of
 //! criterion's statistical machinery.
+//!
+//! When `CTS_BENCH_JSON_DIR` is set, every measurement is also collected
+//! and — via [`write_results_json`], which `criterion_main!` calls after
+//! the groups finish — dumped as `BENCH_<target>.json` in that directory
+//! (the machine-readable sibling of the console report, serialized with
+//! the `serde` shim's minimal JSON support).
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use serde::json::Value;
+
 pub use std::hint::black_box;
+
+/// One collected measurement, for the optional JSON report.
+struct Measurement {
+    id: String,
+    ns_per_iter: f64,
+    throughput: Option<Throughput>,
+}
+
+/// Measurements collected by every group in this process.
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Writes all collected measurements as `BENCH_<target>.json` inside
+/// `$CTS_BENCH_JSON_DIR` (no-op when the variable is unset). Returns the
+/// path written. Called automatically by `criterion_main!`.
+pub fn write_results_json(target: &str) -> Option<std::path::PathBuf> {
+    let dir = std::env::var_os("CTS_BENCH_JSON_DIR")?;
+    let measurements = MEASUREMENTS.lock().expect("bench results lock");
+    let entries: Vec<Value> = measurements
+        .iter()
+        .map(|m| {
+            let (bytes, elements) = match m.throughput {
+                Some(Throughput::Bytes(b)) | Some(Throughput::BytesDecimal(b)) => (Some(b), None),
+                Some(Throughput::Elements(n)) => (None, Some(n)),
+                None => (None, None),
+            };
+            Value::object([
+                ("id", Value::Str(m.id.clone())),
+                ("ns_per_iter", Value::Float(m.ns_per_iter)),
+                (
+                    "bytes_per_sec",
+                    match bytes {
+                        Some(b) => Value::Float(b as f64 / (m.ns_per_iter / 1e9)),
+                        None => Value::Null,
+                    },
+                ),
+                (
+                    "throughput_bytes",
+                    bytes.map(Value::UInt).unwrap_or(Value::Null),
+                ),
+                (
+                    "throughput_elements",
+                    elements.map(Value::UInt).unwrap_or(Value::Null),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Value::object([
+        ("target", Value::Str(target.to_string())),
+        ("results", Value::Array(entries)),
+    ]);
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{target}.json"));
+    if let Err(e) = std::fs::write(&path, doc.render()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+        return None;
+    }
+    println!("results json: {}", path.display());
+    Some(path)
+}
 
 /// Throughput annotation for a benchmark group.
 #[derive(Clone, Copy, Debug)]
@@ -188,6 +255,14 @@ impl BenchmarkGroup {
     pub fn finish(self) {}
 
     fn report(&self, id: &str, per_iter_ns: f64) {
+        MEASUREMENTS
+            .lock()
+            .expect("bench results lock")
+            .push(Measurement {
+                id: format!("{}/{}", self.name, id),
+                ns_per_iter: per_iter_ns,
+                throughput: self.throughput,
+            });
         let rate = match self.throughput {
             Some(Throughput::Bytes(b)) | Some(Throughput::BytesDecimal(b)) => {
                 format!("  ({})", human_rate(b as f64 / (per_iter_ns / 1e9)))
@@ -282,12 +357,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench entry point, mirroring `criterion_main!`.
+/// Declares the bench entry point, mirroring `criterion_main!`. After the
+/// groups run, collected measurements are written as
+/// `BENCH_<target>.json` when `CTS_BENCH_JSON_DIR` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            let _ = $crate::write_results_json(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -313,5 +391,24 @@ mod tests {
         let mut c = Criterion::default().measurement_time(Duration::ZERO);
         c.benchmark_group("shim")
             .bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn results_json_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("cts-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("CTS_BENCH_JSON_DIR", &dir);
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("json");
+        group.throughput(Throughput::Bytes(1 << 20));
+        group.bench_function("touch", |b| b.iter(|| black_box(3 * 7)));
+        group.finish();
+        let path = write_results_json("shim_selftest").expect("json written");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(r#""target":"shim_selftest""#), "{text}");
+        assert!(text.contains(r#""id":"json/touch""#), "{text}");
+        assert!(text.contains(r#""throughput_bytes":1048576"#), "{text}");
+        std::env::remove_var("CTS_BENCH_JSON_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! cts gen    --records 100000 --out data.bin [--seed 7] [--skew 0.6]
 //! cts sort   --input data.bin --k 8 --r 3 [--pods 4] [--sampled 16]
-//!            [--tcp] [--radix] [--fabric multicast] [--paper-nic]
+//!            [--tcp] [--sort-kernel key-index] [--threads 4]
+//!            [--fabric multicast] [--paper-nic]
 //! cts model  --k 16 --r 3 [--records 120000] [--target-gb 12]
 //! cts theory --k 16 [--tmap 1.86 --tshuffle 945.72 --treduce 10.47]
 //! ```
@@ -58,9 +59,13 @@ USAGE:
                generate TeraGen records (100 B each; --skew hot-fraction)
   cts sort   --input FILE --k K [--r R] [--pods G] [--sampled STRIDE]
                [--tcp] [--radix] [--no-validate]
+               [--sort-kernel comparison|lsd-radix|key-index] [--threads T]
                [--fabric serial-unicast|fanout|multicast] [--paper-nic]
                sort a file: r=1 → TeraSort, r>1 → CodedTeraSort,
                --pods G → pod-partitioned coded engine,
+               --sort-kernel → Reduce sort algorithm (--radix is the
+                 lsd-radix shorthand), --threads → intra-node workers for
+                 Map/Encode/Decode/Reduce (0 = all cores),
                --fabric → how multicast groups hit the wire,
                --paper-nic → emulate the paper's 100 Mbps NIC in real time
   cts model  --k K --r R [--records N] [--target-gb G]
@@ -132,9 +137,14 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
     let pods: usize = opt(opts, "pods", 0)?;
     let sampled: usize = opt(opts, "sampled", 0)?;
     let tcp = opts.contains_key("tcp");
-    let radix = opts.contains_key("radix");
     let validate = !opts.contains_key("no-validate");
     let paper_nic = opts.contains_key("paper-nic");
+    let threads: usize = opt(opts, "threads", 1)?;
+    let kernel: SortKernel = match opts.get("sort-kernel") {
+        Some(v) => v.parse()?,
+        None if opts.contains_key("radix") => SortKernel::LsdRadix,
+        None => SortKernel::Comparison,
+    };
     let fabric: cts_net::ShuffleFabric = match opts.get("fabric") {
         None => cts_net::ShuffleFabric::default(),
         Some(v) => v.parse()?,
@@ -165,9 +175,7 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
     } else {
         SortJob::local(k, r)
     };
-    if radix {
-        job = job.with_kernel(SortKernel::LsdRadix);
-    }
+    job = job.with_kernel(kernel).with_threads(threads);
     if sampled > 0 {
         job = job.with_sampling(sampled);
     }
