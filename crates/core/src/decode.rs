@@ -18,7 +18,7 @@ use crate::error::{CodedError, Result};
 use crate::groups::MulticastGroups;
 use crate::intermediate::IntermediateSource;
 use crate::packet::CodedPacket;
-use crate::pool::BufPool;
+use crate::pool::{BufPool, BufPoolShard};
 use crate::segment::{segment_slice, segment_span};
 use crate::subset::{NodeId, NodeSet};
 use crate::xor::xor_into;
@@ -427,6 +427,17 @@ impl DecodePipeline {
     /// and so parallel decode fan-outs can draw accumulators from it).
     pub fn buf_pool(&self) -> &BufPool {
         &self.pool
+    }
+
+    /// Checks out up to `n` segment accumulators as a per-worker
+    /// [`BufPoolShard`]: the parallel decode fan-out takes one shard per
+    /// worker per wave, so its per-packet path never contends on the
+    /// pool's lock and — once the pool is warm from completed groups —
+    /// never allocates. Buffers fed back through
+    /// [`accept_segment`](DecodePipeline::accept_segment) return to the
+    /// same pool at group completion, closing the loop.
+    pub fn segment_shard(&self, n: usize) -> BufPoolShard<'_> {
+        self.pool.checkout(n)
     }
 
     /// The pipeline's decoder — lets callers fan

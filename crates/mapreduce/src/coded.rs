@@ -267,33 +267,56 @@ fn node_main<W: Workload>(
     if pool.threads() > 1 && received.len() > 1 {
         // Packets decode independently (Algorithm 2 is per-packet XOR
         // cancellation); only the final segment assembly is sequential.
-        // Packets parse zero-copy into per-worker shells, accumulators are
-        // drawn from (and returned to, via assembly) the pipeline's shared
-        // pool, and results return in receive order, so the outcome matches
-        // the serial path byte for byte.
-        let decoder = pipeline.decoder();
-        let buf_pool = pipeline.buf_pool();
-        let segments: Vec<Result<(u64, cts_core::decode::DecodedSegment)>> =
-            pool.map_with(received.len(), CodedPacket::empty, |shell, i| {
-                shell.read_wire(&received[i])?;
-                let work: u64 = shell.seg_lens.iter().map(|(_, l)| *l as u64).sum();
-                let mut acc = buf_pool.get();
-                let info = decoder.decode_packet_into(shell, &store, &mut acc)?;
-                Ok((
-                    work,
-                    cts_core::decode::DecodedSegment {
-                        file: info.file,
-                        sender: info.sender,
-                        position: info.position,
-                        data: acc,
+        // The fan-out runs in *waves*: each wave decodes a bounded batch
+        // (packets parse zero-copy into per-worker shells, accumulators
+        // come from a per-worker sharded checkout of the pipeline's pool),
+        // then assembles it, returning the completed groups' buffers to
+        // the pool before the next wave draws from it. Receive order is
+        // group-major, so a wave's completions refill the pool for the
+        // next one — steady-state waves reuse buffers instead of
+        // allocating one segment per packet — and results return in
+        // receive order, so the outcome matches the serial path byte for
+        // byte.
+        let decoder = pipeline.decoder().clone();
+        let wave = (pool.threads() * 16).max(64);
+        for batch_start in (0..received.len()).step_by(wave) {
+            let batch = &received[batch_start..(batch_start + wave).min(received.len())];
+            let per_worker = batch.len().div_ceil(pool.threads());
+            let segments: Vec<Result<(u64, cts_core::decode::DecodedSegment)>> = {
+                let decoder = &decoder;
+                pool.map_with(
+                    batch.len(),
+                    || (CodedPacket::empty(), pipeline.segment_shard(per_worker)),
+                    |(shell, shard), i| {
+                        shell.read_wire(&batch[i])?;
+                        let work: u64 = shell.seg_lens.iter().map(|(_, l)| *l as u64).sum();
+                        // Under process-wide lease contention a worker may
+                        // cover more than `per_worker` packets: top the
+                        // shard back up (one lock per refill) instead of
+                        // falling through to the pool on every packet.
+                        if shard.pooled() == 0 {
+                            shard.refill(per_worker);
+                        }
+                        let mut acc = shard.get();
+                        let info = decoder.decode_packet_into(shell, &store, &mut acc)?;
+                        Ok((
+                            work,
+                            cts_core::decode::DecodedSegment {
+                                file: info.file,
+                                sender: info.sender,
+                                position: info.position,
+                                data: acc,
+                            },
+                        ))
                     },
-                ))
-            });
-        for item in segments {
-            let (work, seg) = item?;
-            stats.decode_work_bytes += work;
-            if let Some(done) = pipeline.accept_segment(seg)? {
-                recovered.push(done);
+                )
+            };
+            for item in segments {
+                let (work, seg) = item?;
+                stats.decode_work_bytes += work;
+                if let Some(done) = pipeline.accept_segment(seg)? {
+                    recovered.push(done);
+                }
             }
         }
     } else {

@@ -160,7 +160,9 @@ impl EngineConfig {
     }
 
     /// Selects how the coded shuffle's group sends hit the wire
-    /// (serial-unicast, fanout, or native multicast).
+    /// (serial-unicast, fanout, native multicast, or physical
+    /// `udp-multicast` — the latter switches the cluster onto the UDP
+    /// transport with its NACK reliability layer).
     pub fn with_fabric(mut self, fabric: ShuffleFabric) -> Self {
         self.cluster = self.cluster.with_fabric(fabric);
         self

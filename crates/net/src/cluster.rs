@@ -37,6 +37,7 @@ use crate::rate::{Nic, NicProfile};
 use crate::tcp::build_tcp_fabric;
 use crate::trace::{Trace, TraceCollector};
 use crate::transport::Transport;
+use crate::udp::{build_udp_fabric_with, UdpConfig};
 
 /// Which fabric the cluster runs on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -46,6 +47,12 @@ pub enum TransportKind {
     Local,
     /// Real TCP sockets over loopback.
     Tcp,
+    /// Physical UDP/IP multicast for group sends, with the TCP mesh as the
+    /// unicast/control channel ([`udp`](crate::udp)). Selecting the
+    /// [`ShuffleFabric::UdpMulticast`] fabric resolves to this transport
+    /// at build time ([`ClusterConfig::resolved_transport`]); requires
+    /// kernel multicast support (bring-up fails descriptively otherwise).
+    Udp,
 }
 
 /// Cluster construction parameters.
@@ -65,6 +72,10 @@ pub struct ClusterConfig {
     pub fabric: ShuffleFabric,
     /// Whether to record a transfer trace.
     pub trace_enabled: bool,
+    /// Tuning (chunk size, NACK cadence, retransmit budgets, fault
+    /// injection, stats sink) for the [`TransportKind::Udp`] fabric;
+    /// ignored by the others.
+    pub udp: UdpConfig,
 }
 
 impl ClusterConfig {
@@ -77,6 +88,7 @@ impl ClusterConfig {
             bcast: BcastAlgorithm::default(),
             fabric: ShuffleFabric::default(),
             trace_enabled: true,
+            udp: UdpConfig::default(),
         }
     }
 
@@ -86,6 +98,12 @@ impl ClusterConfig {
             transport: TransportKind::Tcp,
             ..ClusterConfig::local(k)
         }
+    }
+
+    /// A physical UDP-multicast cluster of `k` nodes with tracing on
+    /// (equivalent to `local(k).with_fabric(ShuffleFabric::UdpMulticast)`).
+    pub fn udp(k: usize) -> Self {
+        ClusterConfig::local(k).with_fabric(ShuffleFabric::UdpMulticast)
     }
 
     /// Sets the per-node egress rate limit (bytes/second), keeping any
@@ -109,9 +127,33 @@ impl ClusterConfig {
         self
     }
 
-    /// Selects the shuffle fabric.
+    /// Selects the shuffle fabric. The `transport` field is left untouched
+    /// — [`resolved_transport`](Self::resolved_transport) couples the two
+    /// at build time instead, so choosing `UdpMulticast` and later moving
+    /// back to an emulated fabric never clobbers an explicitly configured
+    /// transport (e.g. `tcp(k)` stays TCP through a fabric sweep).
     pub fn with_fabric(mut self, fabric: ShuffleFabric) -> Self {
         self.fabric = fabric;
+        self
+    }
+
+    /// The transport the cluster will actually build:
+    /// [`ShuffleFabric::UdpMulticast`] requires the UDP fabric — the only
+    /// substrate that can realize it physically — and overrides the
+    /// configured kind; every other fabric runs on whatever `transport`
+    /// says.
+    pub fn resolved_transport(&self) -> TransportKind {
+        if self.fabric == ShuffleFabric::UdpMulticast {
+            TransportKind::Udp
+        } else {
+            self.transport
+        }
+    }
+
+    /// Overrides the UDP-fabric tuning (chunk size, NACK cadence,
+    /// retransmit budgets, datagram fault injection, stats sink).
+    pub fn with_udp(mut self, udp: UdpConfig) -> Self {
+        self.udp = udp;
         self
     }
 
@@ -168,7 +210,7 @@ where
     let k = config.k;
     let trace = Arc::new(TraceCollector::new(config.trace_enabled));
 
-    let transports: Vec<Arc<dyn Transport>> = match config.transport {
+    let transports: Vec<Arc<dyn Transport>> = match config.resolved_transport() {
         TransportKind::Local => {
             let fabric = LocalFabric::new(k);
             (0..k)
@@ -176,6 +218,10 @@ where
                 .collect()
         }
         TransportKind::Tcp => build_tcp_fabric(k)?
+            .into_iter()
+            .map(|ep| Arc::new(ep) as Arc<dyn Transport>)
+            .collect(),
+        TransportKind::Udp => build_udp_fabric_with(k, config.udp.clone())?
             .into_iter()
             .map(|ep| Arc::new(ep) as Arc<dyn Transport>)
             .collect(),
@@ -305,6 +351,41 @@ mod tests {
         let payload = result.unwrap_err();
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
         assert!(msg.contains("exploded"));
+    }
+
+    #[test]
+    fn fabric_selection_resolves_transport_without_clobbering_it() {
+        let cfg = ClusterConfig::local(3).with_fabric(ShuffleFabric::UdpMulticast);
+        assert_eq!(cfg.resolved_transport(), TransportKind::Udp);
+        // Moving off the physical fabric must not leave the UDP transport
+        // (and its kernel multicast requirement) behind …
+        let cfg = cfg.with_fabric(ShuffleFabric::Multicast);
+        assert_eq!(cfg.resolved_transport(), TransportKind::Local);
+        // … and an explicitly chosen transport survives a fabric sweep
+        // through udp-multicast and back.
+        let cfg = ClusterConfig::tcp(3)
+            .with_fabric(ShuffleFabric::UdpMulticast)
+            .with_fabric(ShuffleFabric::Fanout);
+        assert_eq!(cfg.transport, TransportKind::Tcp);
+        assert_eq!(cfg.resolved_transport(), TransportKind::Tcp);
+    }
+
+    #[test]
+    fn spmd_multicast_over_udp() {
+        if crate::udp::skip_without_multicast() {
+            return;
+        }
+        let run = run_spmd(&ClusterConfig::udp(3), |comm| {
+            comm.set_stage("Shuffle");
+            let data = (comm.rank() == 1).then(|| Bytes::from(vec![7u8; 3000]));
+            comm.multicast(1, &[0, 1, 2], Tag::new(Tag::BCAST, 0), data)
+                .unwrap()
+                .len()
+        })
+        .unwrap();
+        assert_eq!(run.results, vec![3000, 3000, 3000]);
+        // Physically one egress crossing: the trace records wire_copies = 1.
+        assert_eq!(run.trace.stage_wire_sends("Shuffle"), 1);
     }
 
     #[test]

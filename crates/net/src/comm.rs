@@ -409,7 +409,11 @@ impl Communicator {
     ///   [`Transport::multicast`] concurrently (egress still moves
     ///   `m × bytes`);
     /// * `Multicast` — one paced transfer charged `bytes × (1 + α·log2 m)`
-    ///   once: genuine one-to-many.
+    ///   once: genuine one-to-many;
+    /// * `UdpMulticast` — identical accounting to `Multicast`, but the
+    ///   transport underneath sends one physical IP-multicast datagram
+    ///   stream per packet ([`udp`](crate::udp)) instead of emulating the
+    ///   single egress crossing.
     ///
     /// The trace records **one** `Multicast` event (bytes counted once —
     /// the paper's communication-load convention) whose
@@ -484,7 +488,13 @@ impl Communicator {
                     nic.charge(bytes.saturating_mul(fanout as u64));
                 }
             }
-            ShuffleFabric::Multicast => {
+            // The native and physical multicast fabrics share one
+            // accounting arm: the payload is charged once (with the
+            // α-penalty) and traced with `wire_copies == 1` — for
+            // `UdpMulticast` the single egress crossing is what the
+            // socket actually does rather than an emulation convention;
+            // only the substrate underneath differs.
+            ShuffleFabric::Multicast | ShuffleFabric::UdpMulticast => {
                 self.transport.multicast(&dsts, tag, payload.clone())?;
                 if let Some(nic) = &self.nic {
                     nic.pace_transfer();
@@ -742,6 +752,10 @@ mod tests {
             (ShuffleFabric::SerialUnicast, 3u64),
             (ShuffleFabric::Fanout, 3),
             (ShuffleFabric::Multicast, 1),
+            // The accounting arm of the physical fabric is exercised here
+            // over the in-memory transport: the trace must charge exactly
+            // one egress crossing whatever substrate realizes it.
+            (ShuffleFabric::UdpMulticast, 1),
         ] {
             let (comms, trace) = fabric_comms(4, fabric);
             run_spmd(&comms, |c| {

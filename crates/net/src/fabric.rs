@@ -10,7 +10,8 @@
 //! |---|---|---|---|
 //! | [`SerialUnicast`](ShuffleFabric::SerialUnicast) | `m` (receiver count) | no — back-to-back blocking sends | the pre-async `tcp.rs` behavior; worst case |
 //! | [`Fanout`](ShuffleFabric::Fanout) | `m` | yes — non-blocking writes interleave across sockets | `MPI_Bcast` over unicast links (what the paper ran) |
-//! | [`Multicast`](ShuffleFabric::Multicast) | 1 | n/a — one transmission serves all receivers | network-layer multicast (UDP multicast / in-memory shared buffer) |
+//! | [`Multicast`](ShuffleFabric::Multicast) | 1 | n/a — one transmission serves all receivers | network-layer multicast (zero-copy shared buffer / overlapped TCP writes charged once) |
+//! | [`UdpMulticast`](ShuffleFabric::UdpMulticast) | 1 | n/a — one **physical** IP-multicast datagram stream | nothing: it *is* network-layer multicast ([`udp`](crate::udp)) |
 //!
 //! [`ShuffleFabric::wire_copies`] is the per-fabric egress frame count the
 //! trace records and the rate emulation charges; the netsim oracle
@@ -52,14 +53,36 @@ pub enum ShuffleFabric {
     /// crossing that a network-layer multicast would cost.
     #[default]
     Multicast,
+    /// Physical IP multicast: every coded packet becomes one stream of UDP
+    /// datagrams addressed to a per-group multicast address
+    /// ([`udp`](crate::udp)), so the single-egress-frame semantics of
+    /// [`Multicast`](ShuffleFabric::Multicast) is realized by the kernel's
+    /// network stack instead of being emulated. Selecting this fabric
+    /// switches the cluster onto the UDP transport (TCP remains as the
+    /// control/unicast channel carrying NACK-based loss recovery).
+    UdpMulticast,
 }
 
 impl ShuffleFabric {
-    /// All fabrics, in the fixed comparison order benches and tests use.
+    /// The three *emulated* fabrics, in the fixed comparison order benches
+    /// and tests use. They run on any transport, so sweeps over this set
+    /// never depend on kernel multicast support; add
+    /// [`UdpMulticast`](ShuffleFabric::UdpMulticast) via
+    /// [`ALL_WITH_UDP`](ShuffleFabric::ALL_WITH_UDP) when the caller can
+    /// skip gracefully where IP-multicast membership is denied.
     pub const ALL: [ShuffleFabric; 3] = [
         ShuffleFabric::SerialUnicast,
         ShuffleFabric::Fanout,
         ShuffleFabric::Multicast,
+    ];
+
+    /// Every fabric including the physical UDP one (which requires kernel
+    /// multicast support — see [`udp::multicast_available`](crate::udp::multicast_available)).
+    pub const ALL_WITH_UDP: [ShuffleFabric; 4] = [
+        ShuffleFabric::SerialUnicast,
+        ShuffleFabric::Fanout,
+        ShuffleFabric::Multicast,
+        ShuffleFabric::UdpMulticast,
     ];
 
     /// How many times a payload multicast to `fanout` receivers crosses the
@@ -67,7 +90,7 @@ impl ShuffleFabric {
     pub fn wire_copies(self, fanout: usize) -> usize {
         match self {
             ShuffleFabric::SerialUnicast | ShuffleFabric::Fanout => fanout,
-            ShuffleFabric::Multicast => 1.min(fanout),
+            ShuffleFabric::Multicast | ShuffleFabric::UdpMulticast => 1.min(fanout),
         }
     }
 
@@ -77,6 +100,7 @@ impl ShuffleFabric {
             ShuffleFabric::SerialUnicast => "serial-unicast",
             ShuffleFabric::Fanout => "fanout",
             ShuffleFabric::Multicast => "multicast",
+            ShuffleFabric::UdpMulticast => "udp-multicast",
         }
     }
 }
@@ -95,8 +119,9 @@ impl FromStr for ShuffleFabric {
             "serial-unicast" | "serial" | "unicast" => Ok(ShuffleFabric::SerialUnicast),
             "fanout" => Ok(ShuffleFabric::Fanout),
             "multicast" | "mcast" => Ok(ShuffleFabric::Multicast),
+            "udp-multicast" | "udp" => Ok(ShuffleFabric::UdpMulticast),
             other => Err(format!(
-                "unknown fabric {other:?} (expected serial-unicast | fanout | multicast)"
+                "unknown fabric {other:?} (expected serial-unicast | fanout | multicast | udp-multicast)"
             )),
         }
     }
@@ -111,18 +136,20 @@ mod tests {
         assert_eq!(ShuffleFabric::SerialUnicast.wire_copies(5), 5);
         assert_eq!(ShuffleFabric::Fanout.wire_copies(5), 5);
         assert_eq!(ShuffleFabric::Multicast.wire_copies(5), 1);
+        assert_eq!(ShuffleFabric::UdpMulticast.wire_copies(5), 1);
         // Degenerate empty group costs nothing anywhere.
-        for f in ShuffleFabric::ALL {
+        for f in ShuffleFabric::ALL_WITH_UDP {
             assert_eq!(f.wire_copies(0), 0);
         }
     }
 
     #[test]
     fn parse_round_trips_labels() {
-        for f in ShuffleFabric::ALL {
+        for f in ShuffleFabric::ALL_WITH_UDP {
             assert_eq!(f.label().parse::<ShuffleFabric>(), Ok(f));
             assert_eq!(f.to_string(), f.label());
         }
+        assert_eq!("udp".parse(), Ok(ShuffleFabric::UdpMulticast));
         assert!("tachyon".parse::<ShuffleFabric>().is_err());
     }
 

@@ -12,9 +12,12 @@
 //!   the round-robin write executor, adaptive backoff;
 //! * [`registry`] — the rank → address registry and deterministic mesh
 //!   bring-up, scaling single-host emulation to `K = 128`;
-//! * [`tcp`] — a real-socket fabric (full TCP mesh over loopback,
-//!   length-prefixed frames, one event-driven reactor thread per endpoint,
-//!   overlapped multicast writes);
+//! * [`tcp`] — a real-socket fabric (lazily connected TCP mesh over
+//!   loopback, length-prefixed frames, one event-driven reactor thread per
+//!   endpoint, overlapped multicast writes);
+//! * [`udp`] — physical UDP/IP-multicast transport: one datagram stream
+//!   per coded packet to a per-group multicast address, with MTU chunking
+//!   and NACK-based loss recovery over the TCP control channel;
 //! * [`fabric`] — the [`ShuffleFabric`] selector: serial-unicast vs fanout
 //!   vs native multicast realizations of a group send;
 //! * [`comm`] — the per-node [`Communicator`]:
@@ -65,6 +68,7 @@ pub mod registry;
 pub mod tcp;
 pub mod trace;
 pub mod transport;
+pub mod udp;
 
 pub use cluster::{run_spmd, run_spmd_with_inputs, ClusterConfig, ClusterRun, TransportKind};
 pub use comm::{BcastAlgorithm, Communicator};
@@ -75,3 +79,4 @@ pub use rate::{Nic, NicProfile};
 pub use registry::RankRegistry;
 pub use trace::{EventKind, Trace, TraceCollector, TraceEvent};
 pub use transport::Transport;
+pub use udp::{build_udp_fabric, UdpConfig, UdpEndpoint, UdpFabricStats};

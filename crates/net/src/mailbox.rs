@@ -30,6 +30,9 @@ use crate::message::{Message, Tag};
 struct Inner {
     queues: HashMap<(usize, u32), VecDeque<Bytes>>,
     closed: bool,
+    /// Per-source disconnect bits (bit `s` set = no further messages will
+    /// ever arrive from source `s`; world sizes are ≤ 128).
+    gone: u128,
 }
 
 /// A blocking, tag-matched message queue for one endpoint.
@@ -85,7 +88,7 @@ impl Mailbox {
                     return Ok(payload);
                 }
             }
-            if inner.closed {
+            if inner.closed || (src < 128 && inner.gone & (1u128 << src) != 0) {
                 return Err(NetError::Disconnected { rank: self.rank });
             }
             self.available.wait(&mut inner);
@@ -105,7 +108,7 @@ impl Mailbox {
                     return Ok(payload);
                 }
             }
-            if inner.closed {
+            if inner.closed || (src < 128 && inner.gone & (1u128 << src) != 0) {
                 return Err(NetError::Disconnected { rank: self.rank });
             }
             if self.available.wait_until(&mut inner, deadline).timed_out() {
@@ -135,6 +138,22 @@ impl Mailbox {
     pub fn close(&self) {
         let mut inner = self.inner.lock();
         inner.closed = true;
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Marks one source as disconnected: already-queued messages from it
+    /// remain receivable, but once its queues drain, blocked and future
+    /// `recv`s matching that source fail with `Disconnected`. Other sources
+    /// are unaffected — the lazy TCP mesh calls this when a single peer's
+    /// link EOFs, where closing the whole mailbox would wrongly unblock
+    /// receives from still-healthy peers.
+    pub fn disconnect_src(&self, src: usize) {
+        if src >= 128 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.gone |= 1u128 << src;
         drop(inner);
         self.available.notify_all();
     }
@@ -214,6 +233,39 @@ mod tests {
         assert!(matches!(
             handle.join().unwrap(),
             Err(NetError::Disconnected { rank: 5 })
+        ));
+    }
+
+    #[test]
+    fn disconnect_src_is_per_source() {
+        let mb = Arc::new(Mailbox::new(1));
+        mb.deliver(msg(0, Tag::app(0), b"queued"));
+        mb.disconnect_src(0);
+        // Queued messages from the gone source still drain …
+        assert_eq!(mb.recv(0, Tag::app(0)).unwrap(), "queued");
+        // … then the source reads as disconnected.
+        assert!(matches!(
+            mb.recv(0, Tag::app(0)),
+            Err(NetError::Disconnected { rank: 1 })
+        ));
+        // Other sources are unaffected (blocked recv wakes on delivery).
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv(2, Tag::app(0)).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        mb.deliver(msg(2, Tag::app(0), b"alive"));
+        assert_eq!(handle.join().unwrap(), "alive");
+    }
+
+    #[test]
+    fn disconnect_src_wakes_blocked_receiver() {
+        let mb = Arc::new(Mailbox::new(4));
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv(0, Tag::app(0)));
+        std::thread::sleep(Duration::from_millis(20));
+        mb.disconnect_src(0);
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(NetError::Disconnected { rank: 4 })
         ));
     }
 

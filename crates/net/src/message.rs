@@ -30,6 +30,14 @@ impl Tag {
     pub const GATHER: u8 = 0xB2;
     /// Scatter payloads.
     pub const SCATTER: u8 = 0xB3;
+    /// UDP-fabric control requests (status queries, NACKs) carried over the
+    /// TCP control channel and serviced by each endpoint's control thread.
+    pub const UDP_CTRL: u8 = 0xC0;
+    /// UDP-fabric status replies, awaited synchronously by the requester.
+    pub const UDP_REPLY: u8 = 0xC1;
+    /// UDP-fabric repair data: chunks retransmitted over TCP unicast after
+    /// the bounded multicast-retransmit budget is exhausted.
+    pub const UDP_REPAIR: u8 = 0xC2;
 
     /// Builds a tag in the given purpose namespace with a 24-bit sequence.
     ///

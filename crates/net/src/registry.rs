@@ -2,13 +2,21 @@
 //!
 //! The paper's deployment fixes a coordinator plus `K` workers whose MPI
 //! ranks are known up front (Fig. 8). [`RankRegistry`] is that membership
-//! map for the socket fabric: it binds one loopback listener per rank,
-//! records every rank's address, and [`connect_mesh`] turns it into a fully
-//! connected mesh with a deterministic dial direction (higher rank dials
-//! lower, introducing itself with a 4-byte hello), so `K(K−1)/2` sockets
-//! come up without races or deadlocks. With the single-reactor endpoints in
-//! [`tcp`](crate::tcp) this scales single-host emulation to `K = 128`
-//! (≈ 16 k file descriptors, two threads per rank).
+//! map for the socket fabric: it binds one loopback listener per rank and
+//! records every rank's address. The [`tcp`](crate::tcp) endpoints bring
+//! links up **lazily** — a directed link is dialed on the first send that
+//! needs it, the dialer introducing itself with a 4-byte hello — so sparse
+//! communication patterns open only the file descriptors they use.
+//! [`connect_mesh`] remains as the eager bring-up (every pair connected up
+//! front, higher rank dials lower) for diagnostics and tests that want the
+//! whole `K(K−1)/2` mesh established before traffic flows.
+//!
+//! [`UdpGroupPlan`] extends the registry to the [`udp`](crate::udp)
+//! fabric: it deterministically allocates a multicast group address for
+//! every multicast *set* (receiver bitmask) from a small address pool, so
+//! each endpoint joins `pool_size` groups once at bring-up — Linux caps
+//! IGMP memberships per socket (`igmp_max_memberships`, default 20), which
+//! rules out one membership per `C(K, r+1)` group at paper scale.
 //!
 //! ```
 //! use cts_net::registry::RankRegistry;
@@ -23,7 +31,7 @@
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, TcpListener, TcpStream};
 
 use crate::error::{NetError, Result};
 
@@ -75,6 +83,69 @@ impl RankRegistry {
     /// All addresses, rank order.
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
+    }
+}
+
+/// Deterministic multicast-group addressing for the UDP fabric.
+///
+/// Every multicast *set* (a receiver bitmask over ranks) maps to one
+/// administratively scoped group address (`239.195.77.x`, RFC 2365) drawn
+/// from a pool of `pool_size` addresses, all sharing one UDP `port`. The
+/// mapping is a pure hash of the mask, so every rank computes the same
+/// address for the same set without coordination, and receivers join the
+/// whole (small) pool once at bring-up — receiver-mask filtering in the
+/// datagram header handles pool collisions and over-delivery, exactly like
+/// coarse IGMP snooping on a real switch.
+///
+/// ```
+/// use cts_net::registry::UdpGroupPlan;
+///
+/// let plan = UdpGroupPlan::new(4000, 8);
+/// // Same set → same group address, on every rank.
+/// assert_eq!(plan.addr_for(0b0110), plan.addr_for(0b0110));
+/// assert_eq!(plan.pool().len(), 8);
+/// assert!(plan.pool().contains(plan.addr_for(0b0110).ip()));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UdpGroupPlan {
+    port: u16,
+    pool_size: u8,
+}
+
+impl UdpGroupPlan {
+    /// Default pool size: well under Linux's per-socket IGMP membership
+    /// cap (`igmp_max_memberships`, typically 20).
+    pub const DEFAULT_POOL: u8 = 8;
+
+    /// A plan over `pool_size` group addresses (clamped to at least 1) on
+    /// the given UDP port.
+    pub fn new(port: u16, pool_size: u8) -> Self {
+        UdpGroupPlan {
+            port,
+            pool_size: pool_size.max(1),
+        }
+    }
+
+    /// The shared UDP port every group of this plan uses.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// All group addresses of the pool, in join order.
+    pub fn pool(&self) -> Vec<Ipv4Addr> {
+        (0..self.pool_size)
+            .map(|i| Ipv4Addr::new(239, 195, 77, i + 1))
+            .collect()
+    }
+
+    /// The group socket address allocated to the multicast set `mask`.
+    pub fn addr_for(&self, mask: u128) -> SocketAddrV4 {
+        // Fibonacci-hash the folded mask so adjacent receiver sets spread
+        // over the pool instead of clustering on one address.
+        let folded = (mask as u64) ^ ((mask >> 64) as u64);
+        let h = folded.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        let slot = (h % self.pool_size as u64) as u8;
+        SocketAddrV4::new(Ipv4Addr::new(239, 195, 77, slot + 1), self.port)
     }
 }
 
@@ -147,6 +218,25 @@ mod tests {
             RankRegistry::bind_loopback(MAX_WORLD + 1),
             Err(NetError::InvalidRank { .. })
         ));
+    }
+
+    #[test]
+    fn group_plan_is_deterministic_and_pool_bounded() {
+        let plan = UdpGroupPlan::new(4100, 4);
+        let pool = plan.pool();
+        assert_eq!(pool.len(), 4);
+        let mut seen = std::collections::HashSet::new();
+        for mask in [0b11u128, 0b101, 0b1110, 1u128 << 127 | 1, u128::MAX] {
+            let addr = plan.addr_for(mask);
+            assert_eq!(addr, plan.addr_for(mask), "stable for {mask:#x}");
+            assert_eq!(addr.port(), 4100);
+            assert!(pool.contains(addr.ip()), "in pool for {mask:#x}");
+            seen.insert(*addr.ip());
+        }
+        // The hash actually spreads sets over more than one address.
+        assert!(seen.len() > 1, "all masks collapsed onto one group");
+        // Degenerate pool of one still works.
+        assert_eq!(UdpGroupPlan::new(1, 0).pool().len(), 1);
     }
 
     #[test]

@@ -7,21 +7,32 @@
 //! non-blocking, each endpoint runs a **single reactor thread** that polls
 //! all of its peer sockets through [`nio::FrameReader`](crate::nio), and
 //! sends go through resumable [`nio::FrameWrite`](crate::nio) state
-//! machines. Thread count is `O(K)` and — together with the
-//! [`registry`](crate::registry) mesh bring-up — single-host emulation
-//! scales to `K = 128`.
+//! machines. Thread count is `O(K)` and single-host emulation scales to
+//! `K = 128`.
+//!
+//! Mesh bring-up is **lazy** (connect-on-first-send): binding the
+//! [`registry`](crate::registry) costs `K` listeners, and a directed link
+//! `i → j` is dialed only when `i` first sends to `j`, introducing itself
+//! with a 4-byte little-endian rank hello that keeps rank identification
+//! deterministic. A fully used mesh still tops out at `K(K−1)` simplex
+//! links, but sparse communication patterns — pod-partitioned engines,
+//! coordinator-only barriers — open only the file descriptors they touch
+//! instead of the eager `K(K−1)/2` duplex mesh that risked fd exhaustion
+//! at `K = 128`.
 //!
 //! The endpoint also implements a real one-to-many primitive:
 //! [`Transport::multicast`] interleaves chunked non-blocking writes across
 //! all destination sockets ([`nio::drive_writes`]), so the copies of one
 //! coded packet overlap on the wire instead of queueing behind each other —
-//! the fanout/multicast fabrics of [`fabric`](crate::fabric).
+//! the fanout/multicast fabrics of [`fabric`](crate::fabric). (For
+//! *physical* one-to-many frames, see [`udp`](crate::udp), which layers
+//! IP multicast over this mesh as its control channel.)
 //!
 //! Every byte the algorithms shuffle really crosses the kernel's TCP stack,
 //! so the TCP examples and tests exercise exactly the code path an EC2
 //! deployment would. Frame format per message:
-//! `[tag: u32 LE][len: u32 LE][payload]`. The peer's rank is implicit in
-//! the connection.
+//! `[tag: u32 LE][len: u32 LE][payload]`. The peer's rank is announced by
+//! the dialer's hello and implicit in the connection thereafter.
 //!
 //! ```
 //! use bytes::Bytes;
@@ -36,11 +47,15 @@
 //!     .unwrap();
 //! assert_eq!(endpoints[1].recv(0, Tag::app(0)).unwrap(), "coded");
 //! assert_eq!(endpoints[2].recv(0, Tag::app(0)).unwrap(), "coded");
+//! // Lazy mesh: only the links that carried traffic exist.
+//! assert_eq!(endpoints[0].outbound_links(), 2);
+//! assert_eq!(endpoints[1].outbound_links(), 0);
 //! ```
 
 use std::collections::HashMap;
-use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -52,21 +67,19 @@ use crate::error::{NetError, Result};
 use crate::mailbox::Mailbox;
 use crate::message::{Message, Tag};
 use crate::nio::{self, Backoff, FrameReader, FrameWrite, ReadStatus};
-use crate::registry::{connect_mesh, RankRegistry};
+use crate::registry::RankRegistry;
 use crate::transport::Transport;
 
-/// Builds a fully connected TCP fabric of `k` endpoints on loopback.
-///
-/// Binds a [`RankRegistry`], establishes the mesh, switches every socket to
-/// non-blocking mode, and starts one reactor per endpoint. Returns the
-/// endpoints in rank order.
+/// Builds a fully connected *capable* TCP fabric of `k` endpoints on
+/// loopback: binds a [`RankRegistry`] and starts one reactor per endpoint.
+/// No data links exist yet — each directed link is dialed lazily on the
+/// first send crossing it. Returns the endpoints in rank order.
 pub fn build_tcp_fabric(k: usize) -> Result<Vec<TcpEndpoint>> {
     let (registry, listeners) = RankRegistry::bind_loopback(k)?;
-    let meshes = connect_mesh(&registry, listeners)?;
-    meshes
+    listeners
         .into_iter()
         .enumerate()
-        .map(|(rank, peers)| TcpEndpoint::start(rank, k, peers))
+        .map(|(rank, listener)| TcpEndpoint::start(rank, registry.clone(), listener))
         .collect()
 }
 
@@ -90,61 +103,121 @@ struct PeerLink {
     /// threads; the stream itself is non-blocking, so writers resume
     /// through `nio` instead of blocking in the kernel.
     writer: Mutex<TcpStream>,
-    /// Kept so `shutdown()` can force the reactor out of its polling loop
-    /// and wake the peer's reactor with an EOF.
+    /// Kept so `shutdown()` can close the link and wake the peer's reactor
+    /// with an EOF.
     raw: TcpStream,
 }
 
+/// Raw handles of reactor-owned inbound streams, shared so `shutdown()`
+/// can close them from outside the reactor thread.
+type InboundRaw = Arc<Mutex<Vec<TcpStream>>>;
+
 /// One endpoint of a TCP fabric.
 ///
-/// A single reactor thread polls all peer sockets, parses frames, and
-/// delivers them into the endpoint's [`Mailbox`]; `send` and `multicast`
-/// drive non-blocking writes under a per-peer lock. Dropping the endpoint
-/// shuts the sockets down and joins the reactor.
+/// A single reactor thread accepts inbound connections on this rank's
+/// listener and polls the accepted peer sockets, parsing frames into the
+/// endpoint's [`Mailbox`]; `send` and `multicast` dial missing outbound
+/// links on demand and drive non-blocking writes under a per-peer lock.
+/// Dropping the endpoint shuts the sockets down and joins the reactor.
 pub struct TcpEndpoint {
     rank: usize,
-    world: usize,
+    registry: RankRegistry,
     mailbox: Arc<Mailbox>,
-    peers: HashMap<usize, PeerLink>,
+    /// Outbound simplex links, dialed on first send (peer rank → link).
+    /// The map lock is held only for lookups/inserts — never across a
+    /// dial — so sends to established peers don't queue behind a slow
+    /// connect to someone else.
+    outbound: Mutex<HashMap<usize, Arc<PeerLink>>>,
+    /// Per-destination dial serialization: racing first-senders to one
+    /// peer agree on a single link without blocking traffic to others.
+    dial_locks: Vec<Mutex<()>>,
+    inbound_raw: InboundRaw,
+    inbound_count: Arc<AtomicUsize>,
     stop: Arc<AtomicBool>,
     reactor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl TcpEndpoint {
-    fn start(rank: usize, world: usize, peers: HashMap<usize, TcpStream>) -> Result<TcpEndpoint> {
+    fn start(rank: usize, registry: RankRegistry, listener: TcpListener) -> Result<TcpEndpoint> {
+        listener.set_nonblocking(true)?;
         let mailbox = Arc::new(Mailbox::new(rank));
         let stop = Arc::new(AtomicBool::new(false));
-        let mut links = HashMap::with_capacity(peers.len());
-        let mut read_half = Vec::with_capacity(peers.len());
-        for (peer, stream) in peers {
-            stream.set_nonblocking(true)?;
-            let reader_stream = stream.try_clone()?;
-            let raw = stream.try_clone()?;
-            read_half.push((peer, reader_stream));
-            links.insert(
-                peer,
-                PeerLink {
-                    writer: Mutex::new(stream),
-                    raw,
-                },
-            );
-        }
+        let inbound_raw: InboundRaw = Arc::new(Mutex::new(Vec::new()));
+        let inbound_count = Arc::new(AtomicUsize::new(0));
+        let world = registry.world_size();
         let reactor = {
             let mailbox = Arc::clone(&mailbox);
             let stop = Arc::clone(&stop);
+            let inbound_raw = Arc::clone(&inbound_raw);
+            let inbound_count = Arc::clone(&inbound_count);
             std::thread::Builder::new()
                 .name(format!("cts-net-reactor-{rank}"))
-                .spawn(move || reactor_loop(read_half, &mailbox, &stop))
+                .spawn(move || {
+                    reactor_loop(
+                        listener,
+                        world,
+                        rank,
+                        &mailbox,
+                        &stop,
+                        &inbound_raw,
+                        &inbound_count,
+                    )
+                })
                 .expect("spawn reactor thread")
         };
         Ok(TcpEndpoint {
             rank,
-            world,
+            registry,
             mailbox,
-            peers: links,
+            outbound: Mutex::new(HashMap::new()),
+            dial_locks: (0..world).map(|_| Mutex::new(())).collect(),
+            inbound_raw,
+            inbound_count,
             stop,
             reactor: Mutex::new(Some(reactor)),
         })
+    }
+
+    /// Number of outbound links this endpoint has dialed so far — with the
+    /// lazy mesh, exactly the number of distinct peers it has sent to.
+    pub fn outbound_links(&self) -> usize {
+        self.outbound.lock().len()
+    }
+
+    /// Number of inbound links the reactor has accepted so far.
+    pub fn inbound_links(&self) -> usize {
+        self.inbound_count.load(Ordering::Relaxed)
+    }
+
+    /// Returns the link to `dst`, dialing it first if this is the first
+    /// send to that peer. The dial introduces this endpoint with a 4-byte
+    /// little-endian rank hello (written in blocking mode, so it cannot
+    /// interleave with frames) before the socket turns non-blocking.
+    fn link_to(&self, dst: usize) -> Result<Arc<PeerLink>> {
+        if let Some(link) = self.outbound.lock().get(&dst) {
+            return Ok(Arc::clone(link));
+        }
+        let addr = self.registry.addr(dst).ok_or(NetError::InvalidRank {
+            rank: dst,
+            world: self.registry.world_size(),
+        })?;
+        // Dial under the per-destination lock only: concurrent first-sends
+        // to `dst` agree on one link, while traffic to other peers flows.
+        let _dialing = self.dial_locks[dst].lock();
+        if let Some(link) = self.outbound.lock().get(&dst) {
+            return Ok(Arc::clone(link)); // raced: the other dialer won
+        }
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&(self.rank as u32).to_le_bytes())?;
+        stream.set_nonblocking(true)?;
+        let raw = stream.try_clone()?;
+        let link = Arc::new(PeerLink {
+            writer: Mutex::new(stream),
+            raw,
+        });
+        self.outbound.lock().insert(dst, Arc::clone(&link));
+        Ok(link)
     }
 
     /// Joins the reactor after shutting the sockets down.
@@ -157,45 +230,140 @@ impl TcpEndpoint {
     }
 }
 
-/// The per-endpoint event loop: round-robins every peer socket, feeding
-/// parsed frames into the mailbox, with adaptive backoff while idle. Exits
-/// when asked to stop or when every link has closed (at which point pending
-/// receivers are woken with `Disconnected`).
-fn reactor_loop(links: Vec<(usize, TcpStream)>, mailbox: &Mailbox, stop: &AtomicBool) {
+/// The per-endpoint event loop: accepts inbound connections (reading each
+/// dialer's rank hello incrementally), round-robins every established peer
+/// socket, feeds parsed frames into the mailbox, and backs off adaptively
+/// while idle. A peer's EOF marks that source disconnected in the mailbox
+/// (queued messages stay readable; fresh receives from it fail). Exits when
+/// asked to stop.
+#[allow(clippy::too_many_arguments)]
+fn reactor_loop(
+    listener: TcpListener,
+    world: usize,
+    rank: usize,
+    mailbox: &Mailbox,
+    stop: &AtomicBool,
+    inbound_raw: &InboundRaw,
+    inbound_count: &AtomicUsize,
+) {
     struct Link {
         peer: usize,
         stream: TcpStream,
         reader: FrameReader,
         open: bool,
+        /// The connection's peer address, identifying its raw clone in
+        /// `inbound_raw` so the fd can be released when the link closes.
+        id: Option<std::net::SocketAddr>,
     }
-    let had_links = !links.is_empty();
-    let mut links: Vec<Link> = links
-        .into_iter()
-        .map(|(peer, stream)| Link {
-            peer,
-            stream,
-            reader: FrameReader::new(),
-            open: true,
-        })
-        .collect();
+    /// An accepted stream whose 4-byte rank hello is still arriving.
+    struct PendingHello {
+        stream: TcpStream,
+        hello: [u8; 4],
+        got: usize,
+        open: bool,
+        id: Option<std::net::SocketAddr>,
+    }
+    /// Releases a closed connection's raw clone (and any dead strays):
+    /// without this, accept churn would retain one fd per connection for
+    /// the endpoint's whole lifetime.
+    fn prune_inbound(inbound_raw: &InboundRaw, id: Option<std::net::SocketAddr>) {
+        inbound_raw.lock().retain(|s| match s.peer_addr() {
+            Ok(addr) => Some(addr) != id,
+            Err(_) => false,
+        });
+    }
+    let mut links: Vec<Link> = Vec::new();
+    let mut pending: Vec<PendingHello> = Vec::new();
     let mut frames: Vec<(u32, Bytes)> = Vec::new();
     // Reactors may sit idle through whole compute stages; a higher park cap
-    // keeps K idle endpoints from re-polling K−1 sockets every millisecond.
+    // keeps K idle endpoints from re-polling their sockets every
+    // millisecond.
     let mut backoff = Backoff::with_max_park_us(5_000);
     loop {
         if stop.load(Ordering::Acquire) {
             break;
         }
         let mut progressed = false;
-        let mut live = 0usize;
+        // Accept every connection waiting in the backlog.
+        loop {
+            match listener.accept() {
+                Ok((stream, addr)) => {
+                    progressed = true;
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    if let Ok(raw) = stream.try_clone() {
+                        inbound_raw.lock().push(raw);
+                    }
+                    pending.push(PendingHello {
+                        stream,
+                        hello: [0u8; 4],
+                        got: 0,
+                        open: true,
+                        id: Some(addr),
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // listener closed or fatal: stop accepting
+            }
+        }
+        // Drive partially read hellos forward.
+        for p in pending.iter_mut() {
+            loop {
+                match p.stream.read(&mut p.hello[p.got..]) {
+                    Ok(0) => {
+                        p.open = false;
+                        break;
+                    }
+                    Ok(n) => {
+                        p.got += n;
+                        progressed = true;
+                        if p.got == 4 {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        p.open = false;
+                        break;
+                    }
+                }
+            }
+        }
+        for p in pending.extract_if(.., |p| !p.open || p.got == 4) {
+            if !p.open {
+                prune_inbound(inbound_raw, p.id);
+                continue;
+            }
+            let peer = u32::from_le_bytes(p.hello) as usize;
+            if peer >= world || peer == rank {
+                // A hello announcing an impossible rank: drop the link.
+                let _ = p.stream.shutdown(std::net::Shutdown::Both);
+                prune_inbound(inbound_raw, p.id);
+                continue;
+            }
+            inbound_count.fetch_add(1, Ordering::Relaxed);
+            links.push(Link {
+                peer,
+                stream: p.stream,
+                reader: FrameReader::new(),
+                open: true,
+                id: p.id,
+            });
+        }
+        // Poll established links.
         for link in links.iter_mut().filter(|l| l.open) {
             match link.reader.poll(&link.stream, &mut frames) {
-                ReadStatus::Progress => {
-                    progressed = true;
-                    live += 1;
+                ReadStatus::Progress => progressed = true,
+                ReadStatus::WouldBlock => {}
+                ReadStatus::Closed => {
+                    link.open = false;
+                    // The dialer only closes at teardown: that peer is gone.
+                    mailbox.disconnect_src(link.peer);
+                    prune_inbound(inbound_raw, link.id);
                 }
-                ReadStatus::WouldBlock => live += 1,
-                ReadStatus::Closed => link.open = false,
             }
             for (tag, payload) in frames.drain(..) {
                 mailbox.deliver(Message {
@@ -205,9 +373,7 @@ fn reactor_loop(links: Vec<(usize, TcpStream)>, mailbox: &Mailbox, stop: &Atomic
                 });
             }
         }
-        if had_links && live == 0 {
-            break;
-        }
+        links.retain(|l| l.open);
         if progressed {
             backoff.reset();
         } else {
@@ -224,7 +390,7 @@ impl Transport for TcpEndpoint {
     }
 
     fn world_size(&self) -> usize {
-        self.world
+        self.registry.world_size()
     }
 
     fn send(&self, dst: usize, tag: Tag, payload: Bytes) -> Result<()> {
@@ -238,10 +404,7 @@ impl Transport for TcpEndpoint {
             });
             return Ok(());
         }
-        let link = self.peers.get(&dst).ok_or(NetError::InvalidRank {
-            rank: dst,
-            world: self.world,
-        })?;
+        let link = self.link_to(dst)?;
         let writer = link.writer.lock();
         nio::write_frame(&*writer, tag.0, &payload)?;
         Ok(())
@@ -249,34 +412,28 @@ impl Transport for TcpEndpoint {
 
     fn multicast(&self, dsts: &[usize], tag: Tag, payload: Bytes) -> Result<()> {
         check_frame_size(&payload)?;
-        // Validate first so no copy is sent on a bad destination list.
-        for &dst in dsts {
-            if dst != self.rank && !self.peers.contains_key(&dst) {
-                return Err(NetError::InvalidRank {
-                    rank: dst,
-                    world: self.world,
-                });
-            }
-        }
-        // `dsts` is a set (trait contract): dedupe — a duplicate would
-        // re-lock a peer's non-reentrant writer mutex — and sort, so
+        // Validate + dial first so no copy is sent on a bad destination
+        // list. `dsts` is a set (trait contract): dedupe — a duplicate
+        // would re-lock a peer's non-reentrant writer mutex — and sort, so
         // concurrent multicasts on one endpoint acquire the per-peer locks
         // in one global order (no lock-ordering deadlock).
         let mut distinct: Vec<usize> = dsts.to_vec();
         distinct.sort_unstable();
         distinct.dedup();
-        let mut guards = Vec::with_capacity(distinct.len());
+        let mut links = Vec::with_capacity(distinct.len());
         for &dst in &distinct {
-            if dst == self.rank {
-                self.mailbox.deliver(Message {
-                    src: self.rank,
-                    tag,
-                    payload: payload.clone(),
-                });
-            } else {
-                guards.push(self.peers[&dst].writer.lock());
+            if dst != self.rank {
+                links.push(self.link_to(dst)?);
             }
         }
+        if distinct.contains(&self.rank) {
+            self.mailbox.deliver(Message {
+                src: self.rank,
+                tag,
+                payload: payload.clone(),
+            });
+        }
+        let guards: Vec<_> = links.iter().map(|link| link.writer.lock()).collect();
         // One resumable frame writer per destination, driven round-robin so
         // the copies overlap on the wire.
         let mut ops: Vec<FrameWrite<'_, &TcpStream>> = guards
@@ -288,30 +445,30 @@ impl Transport for TcpEndpoint {
     }
 
     fn recv(&self, src: usize, tag: Tag) -> Result<Bytes> {
-        if src >= self.world {
+        if src >= self.world_size() {
             return Err(NetError::InvalidRank {
                 rank: src,
-                world: self.world,
+                world: self.world_size(),
             });
         }
         self.mailbox.recv(src, tag)
     }
 
     fn recv_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> Result<Bytes> {
-        if src >= self.world {
+        if src >= self.world_size() {
             return Err(NetError::InvalidRank {
                 rank: src,
-                world: self.world,
+                world: self.world_size(),
             });
         }
         self.mailbox.recv_timeout(src, tag, timeout)
     }
 
     fn try_recv(&self, src: usize, tag: Tag) -> Result<Option<Bytes>> {
-        if src >= self.world {
+        if src >= self.world_size() {
             return Err(NetError::InvalidRank {
                 rank: src,
-                world: self.world,
+                world: self.world_size(),
             });
         }
         Ok(self.mailbox.try_recv(src, tag))
@@ -319,8 +476,11 @@ impl Transport for TcpEndpoint {
 
     fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
-        for link in self.peers.values() {
+        for link in self.outbound.lock().values() {
             let _ = link.raw.shutdown(std::net::Shutdown::Both);
+        }
+        for raw in self.inbound_raw.lock().iter() {
+            let _ = raw.shutdown(std::net::Shutdown::Both);
         }
         if let Some(handle) = self.reactor.lock().as_ref() {
             handle.thread().unpark();
@@ -412,6 +572,28 @@ mod tests {
     }
 
     #[test]
+    fn lazy_mesh_dials_only_used_pairs() {
+        let endpoints = build_tcp_fabric(6).unwrap();
+        // Only 0 → 1 traffic: no other endpoint opens a data link.
+        endpoints[0]
+            .send(1, Tag::app(0), Bytes::from_static(b"sparse"))
+            .unwrap();
+        assert_eq!(endpoints[1].recv(0, Tag::app(0)).unwrap(), "sparse");
+        assert_eq!(endpoints[0].outbound_links(), 1);
+        assert_eq!(endpoints[1].inbound_links(), 1);
+        for ep in &endpoints[2..] {
+            assert_eq!(ep.outbound_links(), 0, "rank {}", ep.rank());
+            assert_eq!(ep.inbound_links(), 0, "rank {}", ep.rank());
+        }
+        // Repeat sends reuse the dialed link instead of opening more.
+        endpoints[0]
+            .send(1, Tag::app(1), Bytes::from_static(b"again"))
+            .unwrap();
+        assert_eq!(endpoints[1].recv(0, Tag::app(1)).unwrap(), "again");
+        assert_eq!(endpoints[0].outbound_links(), 1);
+    }
+
+    #[test]
     fn multicast_reaches_every_destination() {
         let endpoints = build_tcp_fabric(4).unwrap();
         let payload: Vec<u8> = (0..500_000u32).map(|i| (i % 251) as u8).collect();
@@ -459,6 +641,14 @@ mod tests {
     fn shutdown_unblocks_peers() {
         let mut endpoints = build_tcp_fabric(2).unwrap();
         let b = endpoints.pop().unwrap();
+        // Establish the 0 → b link first: with the lazy mesh, peer-death
+        // detection rides on an existing connection's EOF (a never-used
+        // pair has no socket to observe; the cluster layer covers that case
+        // by shutting every endpoint down explicitly on abort).
+        endpoints[0]
+            .send(1, Tag::app(7), Bytes::from_static(b"warm"))
+            .unwrap();
+        assert_eq!(b.recv(0, Tag::app(7)).unwrap(), "warm");
         let handle = std::thread::spawn(move || b.recv(0, Tag::app(0)));
         std::thread::sleep(Duration::from_millis(20));
         drop(endpoints); // drops endpoint 0 → socket shutdown → b's reactor EOFs
@@ -494,5 +684,25 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn concurrent_first_sends_to_one_peer_race_safely() {
+        // Several threads racing the first send to the same destination
+        // must agree on a single dialed link and deliver every frame.
+        let endpoints = build_tcp_fabric(2).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let ep = &endpoints[0];
+                scope.spawn(move || {
+                    ep.send(1, Tag::app(t), Bytes::copy_from_slice(&[t as u8]))
+                        .unwrap();
+                });
+            }
+        });
+        for t in 0..4u32 {
+            assert_eq!(endpoints[1].recv(0, Tag::app(t)).unwrap()[0], t as u8);
+        }
+        assert_eq!(endpoints[0].outbound_links(), 1);
     }
 }

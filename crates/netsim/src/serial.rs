@@ -151,7 +151,12 @@ pub fn serial_fabric_makespan(
                     m as f64 * (latency + net.transfer_seconds(bytes, 1))
                 }
                 ShuffleFabric::Fanout => latency + m as f64 * net.transfer_seconds(bytes, 1),
-                ShuffleFabric::Multicast => latency + net.transfer_seconds(bytes, m),
+                // Physical UDP multicast costs what the emulated native
+                // multicast is charged: one transmission with the software
+                // α-penalty (a conservative bound for real IGMP snooping).
+                ShuffleFabric::Multicast | ShuffleFabric::UdpMulticast => {
+                    latency + net.transfer_seconds(bytes, m)
+                }
             }
         })
         .sum()

@@ -78,7 +78,9 @@ impl SortJob {
 
     /// Selects the shuffle fabric for the coded driver:
     /// `serial-unicast` (the pre-async baseline), `fanout` (overlapped
-    /// copies), or `multicast` (true one-to-many, the default).
+    /// copies), `multicast` (emulated one-to-many, the default), or
+    /// `udp-multicast` (physical IP multicast with NACK loss recovery;
+    /// requires kernel multicast support).
     pub fn with_fabric(mut self, fabric: cts_net::fabric::ShuffleFabric) -> Self {
         self.engine = self.engine.with_fabric(fabric);
         self

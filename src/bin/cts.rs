@@ -4,7 +4,7 @@
 //! cts gen    --records 100000 --out data.bin [--seed 7] [--skew 0.6]
 //! cts sort   --input data.bin --k 8 --r 3 [--pods 4] [--sampled 16]
 //!            [--tcp] [--sort-kernel key-index] [--threads 4]
-//!            [--fabric multicast] [--paper-nic]
+//!            [--fabric udp-multicast] [--paper-nic]
 //! cts model  --k 16 --r 3 [--records 120000] [--target-gb 12]
 //! cts theory --k 16 [--tmap 1.86 --tshuffle 945.72 --treduce 10.47]
 //! ```
@@ -60,13 +60,14 @@ USAGE:
   cts sort   --input FILE --k K [--r R] [--pods G] [--sampled STRIDE]
                [--tcp] [--radix] [--no-validate]
                [--sort-kernel comparison|lsd-radix|key-index] [--threads T]
-               [--fabric serial-unicast|fanout|multicast] [--paper-nic]
+               [--fabric serial-unicast|fanout|multicast|udp-multicast] [--paper-nic]
                sort a file: r=1 → TeraSort, r>1 → CodedTeraSort,
                --pods G → pod-partitioned coded engine,
                --sort-kernel → Reduce sort algorithm (--radix is the
                  lsd-radix shorthand), --threads → intra-node workers for
                  Map/Encode/Decode/Reduce (0 = all cores),
-               --fabric → how multicast groups hit the wire,
+               --fabric → how multicast groups hit the wire (udp-multicast =
+               physical IP multicast; needs kernel multicast support),
                --paper-nic → emulate the paper's 100 Mbps NIC in real time
   cts model  --k K --r R [--records N] [--target-gb G]
                modeled paper-scale stage breakdown (EC2 calibration)
@@ -161,7 +162,13 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
             String::new()
         },
         if sampled > 0 { ", sampled" } else { "" },
-        if tcp { "TCP" } else { "in-memory channels" },
+        if fabric == cts_net::ShuffleFabric::UdpMulticast {
+            "UDP multicast (TCP control channel)"
+        } else if tcp {
+            "TCP"
+        } else {
+            "in-memory channels"
+        },
     );
 
     let mut job = if tcp {

@@ -15,7 +15,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
-use cts_core::decode::Decoder;
+use cts_core::decode::{DecodePipeline, Decoder};
 use cts_core::encode::{EncodeScratch, Encoder};
 use cts_core::intermediate::MapOutputStore;
 use cts_core::packet::CodedPacket;
@@ -132,4 +132,76 @@ fn warm_round_trip_allocates_nothing() {
     assert_eq!(scratch.payload, warm_payload);
     assert_eq!(acc, warm_segment);
     assert_eq!(wire, &frame[..]);
+}
+
+/// The *parallel* decode fan-out path: each worker draws segment
+/// accumulators from a sharded checkout of the pipeline's pool
+/// ([`DecodePipeline::segment_shard`]) instead of allocating one segment
+/// per packet. A warm wave loop — refill the shard, then per packet
+/// get → parse → decode → put — must perform zero heap allocations.
+#[test]
+fn warm_parallel_decode_shard_path_allocates_nothing() {
+    let (k, r, value_len) = (6usize, 3usize, 4096usize);
+    let sender = 0usize;
+    let receiver = 1usize;
+    let tx_store = store_for(k, r, sender, value_len);
+    let rx_store = store_for(k, r, receiver, value_len);
+    let encoder = Encoder::new(k, r, sender).unwrap();
+    let pipeline = DecodePipeline::new(k, r, receiver).unwrap();
+    let m: NodeSet = encoder
+        .groups()
+        .groups_of_node(sender)
+        .map(|(_, m)| m)
+        .find(|m| m.contains(receiver))
+        .expect("shared group");
+
+    // One frozen wire frame, as a fabric would hand to every worker.
+    let mut scratch = EncodeScratch::new();
+    encoder
+        .encode_group_into(m, &tx_store, &mut scratch)
+        .unwrap();
+    let mut wire = Vec::new();
+    CodedPacket::write_wire(m, sender, &scratch.seg_lens, &scratch.payload, &mut wire);
+    let frame = Bytes::from(wire);
+
+    const WAVE: usize = 4;
+    let mut shard = pipeline.segment_shard(WAVE);
+    let mut shell = CodedPacket::empty();
+    let mut reference = Vec::new();
+    // Warm-up wave: sizes the accumulators (pool is cold, so these get()s
+    // allocate) and every grow-only parse buffer.
+    for _ in 0..WAVE {
+        let mut acc = shard.get();
+        shell.read_wire(&frame).unwrap();
+        pipeline
+            .decoder()
+            .decode_packet_into(&shell, &rx_store, &mut acc)
+            .unwrap();
+        reference.clone_from(&acc);
+        shard.put(acc);
+    }
+    assert!(!reference.is_empty(), "decode must recover bytes");
+
+    // Measured steady state: fifty waves of the per-packet worker path.
+    let before = ALLOCS.load(Ordering::SeqCst);
+    let mut last_len = 0usize;
+    for _ in 0..50 {
+        shard.refill(WAVE);
+        for _ in 0..WAVE {
+            let mut acc = shard.get();
+            shell.read_wire(&frame).unwrap();
+            pipeline
+                .decoder()
+                .decode_packet_into(&shell, &rx_store, &mut acc)
+                .unwrap();
+            last_len = acc.len();
+            shard.put(acc);
+        }
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocs, 0,
+        "warm sharded parallel-decode path performed {allocs} heap allocations"
+    );
+    assert_eq!(last_len, reference.len());
 }
