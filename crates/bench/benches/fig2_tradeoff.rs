@@ -17,6 +17,7 @@ use cts_netsim::SHUFFLE_STAGE;
 use cts_terasort::driver::{run_coded_terasort, run_terasort, SortJob};
 use cts_terasort::record::RECORD_LEN;
 use cts_terasort::teragen;
+use serde::json::Value;
 
 fn main() {
     let k = 10;
@@ -36,6 +37,7 @@ fn main() {
     );
 
     let mut prev_measured = f64::INFINITY;
+    let mut rows: Vec<(usize, f64, f64, f64)> = Vec::with_capacity(k);
     for r in 1..=k {
         let theory_uncoded = theory::uncoded_comm_load(r, k);
         let theory_coded = theory::coded_comm_load(r, k);
@@ -75,6 +77,51 @@ fn main() {
             assert!(measured < 1e-9, "r=K must shuffle nothing");
         }
         prev_measured = measured;
+        rows.push((r, theory_uncoded, theory_coded, measured));
     }
     println!("\nmeasured points lie on the CMR curve: the r× gain of eq. (2). ✓");
+    write_artifacts(k, records, &rows);
+}
+
+/// Dumps the curve as `fig2_tradeoff.csv` + `BENCH_fig2_tradeoff.json`
+/// inside `$CTS_BENCH_JSON_DIR` (no-op when unset), so CI commits a
+/// machine-readable tradeoff artifact next to the kernel-throughput one.
+fn write_artifacts(k: usize, records: usize, rows: &[(usize, f64, f64, f64)]) {
+    let Some(dir) = std::env::var_os("CTS_BENCH_JSON_DIR") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(dir);
+
+    let mut csv = String::from("r,uncoded_load,coded_load,measured_load\n");
+    for (r, uncoded, coded, measured) in rows {
+        csv.push_str(&format!("{r},{uncoded:.6},{coded:.6},{measured:.6}\n"));
+    }
+    let csv_path = dir.join("fig2_tradeoff.csv");
+    match std::fs::write(&csv_path, csv) {
+        Ok(()) => println!("tradeoff csv: {}", csv_path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", csv_path.display()),
+    }
+
+    let entries: Vec<Value> = rows
+        .iter()
+        .map(|&(r, uncoded, coded, measured)| {
+            Value::object([
+                ("r", Value::UInt(r as u64)),
+                ("uncoded_load", Value::Float(uncoded)),
+                ("coded_load", Value::Float(coded)),
+                ("measured_load", Value::Float(measured)),
+            ])
+        })
+        .collect();
+    let doc = Value::object([
+        ("target", Value::Str("fig2_tradeoff".to_string())),
+        ("k", Value::UInt(k as u64)),
+        ("records", Value::UInt(records as u64)),
+        ("results", Value::Array(entries)),
+    ]);
+    let json_path = dir.join("BENCH_fig2_tradeoff.json");
+    match std::fs::write(&json_path, doc.render()) {
+        Ok(()) => println!("results json: {}", json_path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", json_path.display()),
+    }
 }

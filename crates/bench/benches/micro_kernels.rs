@@ -1,4 +1,5 @@
-//! Criterion micro-benchmarks of the hot kernels: XOR, encode, decode,
+//! Criterion micro-benchmarks of the hot kernels: XOR, the GF(256)
+//! field kernels (scalar vs runtime-dispatched SIMD), encode, decode,
 //! hash partitioning, pack/unpack-style copying, sort kernels, and
 //! combinatorial enumeration.
 //!
@@ -11,6 +12,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use cts_core::combinatorics::Combinations;
 use cts_core::decode::Decoder;
 use cts_core::encode::{EncodeScratch, Encoder};
+use cts_core::gf256::{add_scaled_slice_with, Gf256Kernel};
 use cts_core::intermediate::MapOutputStore;
 use cts_core::packet::CodedPacket;
 use cts_core::placement::PlacementPlan;
@@ -31,6 +33,40 @@ fn bench_xor(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
             b.iter(|| xor_into(std::hint::black_box(&mut dst), std::hint::black_box(&src)));
         });
+    }
+    group.finish();
+}
+
+fn bench_field_kernels(c: &mut Criterion) {
+    // GB/s per coding-field kernel: the GF(2) XOR fold next to the
+    // GF(256) `dst ^= c ⊙ src` kernels — scalar log/exp tables vs the
+    // runtime-dispatched SIMD path (PSHUFB nibble tables on AVX2,
+    // `vqtbl1q_u8` on NEON). Unsupported kernels self-skip so the bench
+    // runs everywhere; the SIMD row only appears on hosts that have it.
+    let mut group = c.benchmark_group("field_kernels");
+    let coeff = 0x8E; // an arbitrary nonzero scalar
+    for size in [4 * 1024usize, 64 * 1024, 1 << 20] {
+        let src = vec![0xA5u8; size];
+        let mut dst = vec![0x5Au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("gf2_xor", size), &size, |b, _| {
+            b.iter(|| xor_into(std::hint::black_box(&mut dst), std::hint::black_box(&src)));
+        });
+        for kernel in Gf256Kernel::ALL {
+            if !kernel.supported() {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(kernel.to_string(), size), &size, |b, _| {
+                b.iter(|| {
+                    add_scaled_slice_with(
+                        kernel,
+                        std::hint::black_box(&mut dst),
+                        std::hint::black_box(&src),
+                        coeff,
+                    )
+                });
+            });
+        }
     }
     group.finish();
 }
@@ -254,6 +290,7 @@ fn bench_codegen_enumeration(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_xor,
+    bench_field_kernels,
     bench_encode_decode,
     bench_encode_pooled_vs_fresh,
     bench_packet_wire,

@@ -15,13 +15,13 @@
 use std::collections::HashMap;
 
 use crate::error::{CodedError, Result};
+use crate::field::FieldKind;
 use crate::groups::MulticastGroups;
 use crate::intermediate::IntermediateSource;
 use crate::packet::CodedPacket;
 use crate::pool::{BufPool, BufPoolShard};
 use crate::segment::{segment_slice, segment_span};
 use crate::subset::{NodeId, NodeSet};
-use crate::xor::xor_into;
 
 /// A segment of a needed intermediate value recovered from one packet.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,26 +54,47 @@ pub struct SegmentInfo {
 pub struct Decoder {
     groups: MulticastGroups,
     node: NodeId,
+    field: FieldKind,
 }
 
 impl Decoder {
-    /// Decoder for `node` in a `(K, r)` deployment.
+    /// Decoder for `node` in a `(K, r)` deployment over GF(2) — the
+    /// paper's XOR code and the byte-identical reference oracle.
     ///
     /// # Errors
     /// `InvalidParameters` if `(k, r)` is invalid or `node >= k`.
     pub fn new(k: usize, r: usize, node: NodeId) -> Result<Self> {
+        Self::with_field(k, r, node, FieldKind::Gf2)
+    }
+
+    /// Decoder over an explicit coding field — must match the field the
+    /// sender's [`Encoder`](crate::encode::Encoder) combined packets in
+    /// (the rule is deterministic, so no coefficients travel on the wire).
+    ///
+    /// # Errors
+    /// As [`new`](Decoder::new).
+    pub fn with_field(k: usize, r: usize, node: NodeId, field: FieldKind) -> Result<Self> {
         let groups = MulticastGroups::new(k, r)?;
         if node >= k {
             return Err(CodedError::InvalidParameters {
                 what: format!("node {node} out of range for K = {k}"),
             });
         }
-        Ok(Decoder { groups, node })
+        Ok(Decoder {
+            groups,
+            node,
+            field,
+        })
     }
 
     /// The node this decoder belongs to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The coding field packets are cancelled in.
+    pub fn field(&self) -> FieldKind {
+        self.field
     }
 
     /// Recovers this node's segment from one received packet (eq. (10)).
@@ -145,7 +166,9 @@ impl Decoder {
             });
         }
 
-        // Cancel the locally known segments: t ∈ M \ {u, k}.
+        // Cancel the locally known segments: t ∈ M \ {u, k}. In
+        // characteristic 2 subtraction is XOR, so cancellation re-applies
+        // the sender's own `coeff(u, t) ⊙ segment` terms.
         acc.clear();
         acc.extend_from_slice(&packet.payload);
         for t in m.iter().filter(|&t| t != packet.sender && t != self.node) {
@@ -163,11 +186,16 @@ impl Decoder {
                     ),
                 });
             }
-            xor_into(acc, seg);
+            self.field
+                .add_scaled(acc, seg, self.field.coeff(packet.sender, t));
         }
 
         let file = m.without(self.node);
         acc.truncate(my_len);
+        // What remains is coeff(u, node) ⊙ I^node_{file, u}: divide by our
+        // own coefficient (a GF(2) no-op — the coefficient is 1).
+        let own = self.field.coeff(packet.sender, self.node);
+        self.field.scale(acc, self.field.inv(own));
         let position = file
             .position_of(packet.sender)
             .expect("sender is in M\\{node} by construction");
@@ -346,10 +374,19 @@ pub struct DecodePipeline {
 }
 
 impl DecodePipeline {
-    /// Pipeline for `node` in a `(K, r)` deployment.
+    /// Pipeline for `node` in a `(K, r)` deployment over GF(2).
     pub fn new(k: usize, r: usize, node: NodeId) -> Result<Self> {
+        Self::with_field(k, r, node, FieldKind::Gf2)
+    }
+
+    /// Pipeline over an explicit coding field (see
+    /// [`Decoder::with_field`]).
+    ///
+    /// # Errors
+    /// As [`new`](DecodePipeline::new).
+    pub fn with_field(k: usize, r: usize, node: NodeId, field: FieldKind) -> Result<Self> {
         Ok(DecodePipeline {
-            decoder: Decoder::new(k, r, node)?,
+            decoder: Decoder::with_field(k, r, node, field)?,
             slots: HashMap::new(),
             pool: BufPool::new(),
         })
@@ -492,14 +529,20 @@ mod tests {
     /// other group member decodes, and the recovered values must equal the
     /// originals.
     fn roundtrip(k: usize, r: usize, len_scale: usize) {
+        for field in FieldKind::ALL {
+            roundtrip_in(k, r, len_scale, field);
+        }
+    }
+
+    fn roundtrip_in(k: usize, r: usize, len_scale: usize, field: FieldKind) {
         let stores = stores(k, r, len_scale);
         let mut pipelines: Vec<DecodePipeline> = (0..k)
-            .map(|n| DecodePipeline::new(k, r, n).unwrap())
+            .map(|n| DecodePipeline::with_field(k, r, n, field).unwrap())
             .collect();
         let mut recovered: Vec<Vec<(NodeSet, Vec<u8>)>> = vec![Vec::new(); k];
 
         for sender in 0..k {
-            let enc = Encoder::new(k, r, sender).unwrap();
+            let enc = Encoder::with_field(k, r, sender, field).unwrap();
             for pkt in enc.encode_all(&stores[sender]).unwrap() {
                 // Wire roundtrip as the transport would do.
                 let pkt = CodedPacket::from_bytes(&pkt.to_bytes()).unwrap();
@@ -559,6 +602,29 @@ mod tests {
         // tail segments, exercising the padding paths.
         roundtrip(5, 3, 1);
         roundtrip(6, 4, 1);
+    }
+
+    #[test]
+    fn gf256_wire_bytes_differ_from_gf2_but_recover_the_same_values() {
+        // The q-ary code must actually change the coded payloads (its
+        // coefficients are not all 1) while both fields reconstruct the
+        // identical original intermediates — GF(2) is the oracle.
+        let (k, r, len_scale) = (5, 2, 6);
+        let stores = stores(k, r, len_scale);
+        let gf2 = Encoder::new(k, r, 0).unwrap();
+        let gf256 = Encoder::with_field(k, r, 0, FieldKind::Gf256).unwrap();
+        let pkts2 = gf2.encode_all(&stores[0]).unwrap();
+        let pkts256 = gf256.encode_all(&stores[0]).unwrap();
+        assert_eq!(pkts2.len(), pkts256.len());
+        let mut any_differ = false;
+        for (a, b) in pkts2.iter().zip(&pkts256) {
+            assert_eq!(a.group, b.group);
+            assert_eq!(a.seg_lens, b.seg_lens, "headers are field-independent");
+            any_differ |= a.payload != b.payload;
+        }
+        assert!(any_differ, "gf256 coefficients left every payload as XOR");
+        // Decoding mismatched fields must NOT silently agree.
+        roundtrip_in(k, r, len_scale, FieldKind::Gf256);
     }
 
     #[test]

@@ -12,16 +12,20 @@
 //! zero-padded to the longest (footnote 3). Every operand is locally known:
 //! `k ∈ M\{t}` means node `k` mapped file `F_{M\{t}}`, and `t ∉ M\{t}` means
 //! the keep rule retained `I^t_{M\{t}}`.
+//!
+//! Over a non-binary [`FieldKind`] the fold generalizes to the q-ary
+//! linear combination `Σ_t coeff(k, t) ⊙ segment_t` — same structure,
+//! nonzero per-segment coefficients, SIMD multiply-accumulate kernels.
 
 use bytes::Bytes;
 
 use crate::error::{CodedError, Result};
+use crate::field::FieldKind;
 use crate::groups::MulticastGroups;
 use crate::intermediate::IntermediateSource;
 use crate::packet::CodedPacket;
 use crate::segment::{segment_for_node, segment_slice};
 use crate::subset::{NodeId, NodeSet};
-use crate::xor::xor_into;
 
 /// Reusable buffers for the encode hot loop.
 ///
@@ -77,26 +81,47 @@ impl EncodeScratch {
 pub struct Encoder {
     groups: MulticastGroups,
     node: NodeId,
+    field: FieldKind,
 }
 
 impl Encoder {
-    /// Encoder for `node` in a `(K, r)` deployment.
+    /// Encoder for `node` in a `(K, r)` deployment over GF(2) — the
+    /// paper's XOR code and the byte-identical reference oracle.
     ///
     /// # Errors
     /// `InvalidParameters` if `(k, r)` is invalid or `node >= k`.
     pub fn new(k: usize, r: usize, node: NodeId) -> Result<Self> {
+        Self::with_field(k, r, node, FieldKind::Gf2)
+    }
+
+    /// Encoder over an explicit coding field: packets carry
+    /// `Σ_t field.coeff(node, t) ⊙ seg_t` instead of a plain XOR fold.
+    /// Decoders must be built over the same field.
+    ///
+    /// # Errors
+    /// As [`new`](Encoder::new).
+    pub fn with_field(k: usize, r: usize, node: NodeId, field: FieldKind) -> Result<Self> {
         let groups = MulticastGroups::new(k, r)?;
         if node >= k {
             return Err(CodedError::InvalidParameters {
                 what: format!("node {node} out of range for K = {k}"),
             });
         }
-        Ok(Encoder { groups, node })
+        Ok(Encoder {
+            groups,
+            node,
+            field,
+        })
     }
 
     /// The node this encoder belongs to.
     pub fn node(&self) -> NodeId {
         self.node
+    }
+
+    /// The coding field the packets are combined in.
+    pub fn field(&self) -> FieldKind {
+        self.field
     }
 
     /// The group enumeration shared with the decoder.
@@ -158,7 +183,8 @@ impl Encoder {
             if seg.len() > payload.len() {
                 payload.resize(seg.len(), 0);
             }
-            xor_into(payload, seg);
+            self.field
+                .add_scaled(payload, seg, self.field.coeff(self.node, t));
             scratch.seg_lens.push((t, span.len as u32));
         }
         Ok(())

@@ -73,13 +73,18 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the GF(256) SIMD kernels in `gf256::simd` are the
+// crate's single audited `unsafe` surface (CPU intrinsics behind runtime
+// feature detection); everything else stays safe.
+#![deny(unsafe_code)]
 
 pub mod combinatorics;
 pub mod decode;
 pub mod encode;
 pub mod error;
 pub mod exec;
+pub mod field;
+pub mod gf256;
 pub mod groups;
 pub mod intermediate;
 pub mod packet;
@@ -94,6 +99,8 @@ pub use decode::{DecodePipeline, DecodedSegment, Decoder, SegmentAssembler, Segm
 pub use encode::{EncodeScratch, Encoder};
 pub use error::{CodedError, Result};
 pub use exec::WorkerPool;
+pub use field::FieldKind;
+pub use gf256::Gf256Kernel;
 pub use groups::{GroupId, MulticastGroups, PodGroups};
 pub use intermediate::{IntermediateSource, MapOutputStore};
 pub use packet::CodedPacket;

@@ -1,0 +1,111 @@
+//! Property-based tests of the GF(256) field algebra and the
+//! scalar ↔ SIMD kernel equivalence the coding plane relies on.
+//!
+//! The q-ary coded shuffle is only correct if GF(256) really is a field
+//! (so per-packet cancellation plus division by the own coefficient
+//! recovers the segment exactly) and if every runtime-dispatched kernel
+//! computes the same function as the scalar log/exp-table reference —
+//! including on the unaligned lengths the vector loops' tails handle.
+
+use cts_core::gf256::{add_scaled_slice_with, inv, mul, mul_slice_with, Gf256Kernel, EXP, LOG};
+use proptest::prelude::*;
+
+/// Slice lengths that exercise empty, sub-lane, one-lane, lane-boundary,
+/// and multi-lane-plus-tail cases for both the 32-byte AVX2 and the
+/// 16-byte NEON loops.
+const UNALIGNED_LENS: [usize; 9] = [0, 1, 7, 31, 63, 100, 4095, 4096, 4097];
+
+proptest! {
+    /// Multiplication is commutative and associative.
+    #[test]
+    fn mul_commutative_associative(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(mul(a, b), mul(b, a));
+        prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+    }
+
+    /// Multiplication distributes over addition (XOR).
+    #[test]
+    fn mul_distributes_over_xor(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        prop_assert_eq!(mul(a, b ^ c), mul(a, b) ^ mul(a, c));
+    }
+
+    /// 0 annihilates and 1 is the multiplicative identity.
+    #[test]
+    fn mul_identities(a in any::<u8>()) {
+        prop_assert_eq!(mul(a, 0), 0);
+        prop_assert_eq!(mul(0, a), 0);
+        prop_assert_eq!(mul(a, 1), a);
+        prop_assert_eq!(mul(1, a), a);
+    }
+
+    /// Every kernel agrees with the scalar reference on `dst ^= c ⊙ src`
+    /// at every unaligned length (vector body + tail both covered).
+    #[test]
+    fn kernels_agree_on_add_scaled(seed in any::<u64>(), c in any::<u8>()) {
+        for len in UNALIGNED_LENS {
+            let src: Vec<u8> = (0..len).map(|i| (seed.wrapping_mul(i as u64 + 1) >> 13) as u8).collect();
+            let dst0: Vec<u8> = (0..len).map(|i| (seed.wrapping_add(i as u64 * 7) >> 29) as u8).collect();
+            let mut reference = dst0.clone();
+            add_scaled_slice_with(Gf256Kernel::Scalar, &mut reference, &src, c);
+            for kernel in Gf256Kernel::ALL {
+                if !kernel.supported() {
+                    continue;
+                }
+                let mut dst = dst0.clone();
+                add_scaled_slice_with(kernel, &mut dst, &src, c);
+                prop_assert_eq!(&dst, &reference, "{} len {}", kernel, len);
+            }
+        }
+    }
+
+    /// Every kernel agrees with the scalar reference on in-place scaling.
+    #[test]
+    fn kernels_agree_on_mul_slice(seed in any::<u64>(), c in any::<u8>()) {
+        for len in UNALIGNED_LENS {
+            let buf0: Vec<u8> = (0..len).map(|i| (seed.wrapping_mul(i as u64 + 3) >> 17) as u8).collect();
+            let mut reference = buf0.clone();
+            mul_slice_with(Gf256Kernel::Scalar, &mut reference, c);
+            for kernel in Gf256Kernel::ALL {
+                if !kernel.supported() {
+                    continue;
+                }
+                let mut buf = buf0.clone();
+                mul_slice_with(kernel, &mut buf, c);
+                prop_assert_eq!(&buf, &reference, "{} len {}", kernel, len);
+            }
+        }
+    }
+}
+
+/// Every one of the 255 nonzero scalars has a two-sided inverse, and the
+/// log/exp tables are mutually consistent over the whole field.
+#[test]
+fn all_nonzero_scalars_have_inverses() {
+    for a in 1..=255u8 {
+        let ai = inv(a);
+        assert_ne!(ai, 0, "inv({a})");
+        assert_eq!(mul(a, ai), 1, "a · a⁻¹ for a = {a}");
+        assert_eq!(mul(ai, a), 1, "a⁻¹ · a for a = {a}");
+        assert_eq!(EXP[LOG[a as usize] as usize], a, "exp(log({a}))");
+    }
+}
+
+/// Exhaustive distributivity over a full axis: for every scalar `c`,
+/// `c ⊙ (x ⊕ y) = c ⊙ x ⊕ c ⊙ y` on a buffer covering all byte values.
+#[test]
+fn add_scaled_matches_mul_per_byte_for_all_scalars() {
+    let x: Vec<u8> = (0..=255u8).collect();
+    let y: Vec<u8> = (0..=255u8).rev().collect();
+    for c in 0..=255u8 {
+        let mut acc: Vec<u8> = x.iter().zip(&y).map(|(&a, &b)| a ^ b).collect();
+        // acc = c ⊙ (x ⊕ y) …
+        mul_slice_with(Gf256Kernel::Scalar, &mut acc, c);
+        // … must equal (c ⊙ x) ⊕ (c ⊙ y), built byte-by-byte from `mul`.
+        let expect: Vec<u8> = x
+            .iter()
+            .zip(&y)
+            .map(|(&a, &b)| mul(c, a) ^ mul(c, b))
+            .collect();
+        assert_eq!(acc, expect, "c = {c}");
+    }
+}

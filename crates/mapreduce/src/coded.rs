@@ -179,7 +179,7 @@ fn node_main<W: Workload>(
     // Calibration convention: Encode cost covers serializing/splitting all
     // kept intermediates (the XOR is folded into the calibrated rate).
     stats.pack_bytes = store.total_bytes();
-    let encoder = Encoder::new(k, r, me).expect("validated by driver");
+    let encoder = Encoder::with_field(k, r, me, cfg.field).expect("validated by driver");
     // Each packet's wire bytes split into a *scalable* part (the mean
     // segment length — the quantity that grows linearly with input size)
     // and an *overhead* part (the fixed header plus zero-padding, which is
@@ -220,7 +220,8 @@ fn node_main<W: Workload>(
     // buffered for the separate Decode stage, as the paper executes.
     comm.set_stage(stages::SHUFFLE);
     let timer = StageTimer::start();
-    let mut pipeline = DecodePipeline::new(k, r, me).expect("validated by driver");
+    let mut pipeline =
+        DecodePipeline::with_field(k, r, me, cfg.field).expect("validated by driver");
     let mut packet_shell = CodedPacket::empty();
     let mut recovered: Vec<(NodeSet, Vec<u8>)> = Vec::new();
     let mut received: Vec<Bytes> = Vec::new();

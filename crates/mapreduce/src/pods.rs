@@ -200,7 +200,7 @@ fn pod_node_main<W: Workload>(
         pod: my_pod,
         g,
     };
-    let encoder = Encoder::new(g, r, my_local).expect("validated");
+    let encoder = Encoder::with_field(g, r, my_local, cfg.field).expect("validated");
     let mut my_packets: std::collections::HashMap<u64, (Bytes, u64)> =
         std::collections::HashMap::new();
     let mut scratch = cts_core::encode::EncodeScratch::new();
@@ -289,7 +289,7 @@ fn pod_node_main<W: Workload>(
     // ---- Decode -----------------------------------------------------------
     comm.set_stage(stages::UNPACK_DECODE);
     let timer = StageTimer::start();
-    let mut pipeline = DecodePipeline::new(g, r, my_local).expect("validated");
+    let mut pipeline = DecodePipeline::with_field(g, r, my_local, cfg.field).expect("validated");
     let mut packet = CodedPacket::empty();
     let mut recovered: Vec<(u64, Bytes)> = Vec::new(); // (global file bits, data)
     for raw in &received_packets {

@@ -2,6 +2,7 @@
 
 use std::time::{Duration, Instant};
 
+use cts_core::field::FieldKind;
 use cts_net::cluster::ClusterConfig;
 use cts_net::fabric::ShuffleFabric;
 use cts_net::rate::NicProfile;
@@ -119,6 +120,12 @@ pub struct EngineConfig {
     /// emulation never oversubscribes the machine. Outputs are
     /// byte-identical for any value.
     pub threads: usize,
+    /// The finite field coded packets are combined in: `Gf2` (the paper's
+    /// XOR code, the default and reference oracle) or `Gf256` (q-ary
+    /// linear combinations over runtime-dispatched SIMD kernels). Sorted
+    /// outputs are byte-identical for either choice; only the coded wire
+    /// payloads differ.
+    pub field: FieldKind,
 }
 
 impl EngineConfig {
@@ -131,6 +138,7 @@ impl EngineConfig {
             strict_serial_shuffle: false,
             pipelined_decode: false,
             threads: 1,
+            field: FieldKind::Gf2,
         }
     }
 
@@ -143,6 +151,7 @@ impl EngineConfig {
             strict_serial_shuffle: false,
             pipelined_decode: false,
             threads: 1,
+            field: FieldKind::Gf2,
         }
     }
 
@@ -156,6 +165,14 @@ impl EngineConfig {
     /// (`0` = the machine's available parallelism).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Selects the coding field for the coded engine's packets (GF(2)
+    /// XOR — the default — or GF(256) q-ary combinations). A pure
+    /// performance/algebra knob: outputs are byte-identical either way.
+    pub fn with_field(mut self, field: FieldKind) -> Self {
+        self.field = field;
         self
     }
 

@@ -69,6 +69,15 @@ impl SortJob {
         self
     }
 
+    /// Selects the coding field for the coded driver's packets: `gf2`
+    /// (the paper's XOR code, the default) or `gf256` (q-ary combinations
+    /// over runtime-dispatched SIMD kernels). Sorted output is
+    /// byte-identical either way.
+    pub fn with_field(mut self, field: cts_core::field::FieldKind) -> Self {
+        self.engine = self.engine.with_field(field);
+        self
+    }
+
     /// Uses quantile sampling instead of uniform ranges.
     pub fn with_sampling(mut self, sample_every: usize) -> Self {
         assert!(sample_every >= 1, "sampling stride must be >= 1");

@@ -4,7 +4,7 @@
 //! cts gen    --records 100000 --out data.bin [--seed 7] [--skew 0.6]
 //! cts sort   --input data.bin --k 8 --r 3 [--pods 4] [--sampled 16]
 //!            [--tcp] [--sort-kernel key-index] [--threads 4]
-//!            [--fabric udp-multicast] [--paper-nic]
+//!            [--fabric udp-multicast] [--field gf256] [--paper-nic]
 //! cts model  --k 16 --r 3 [--records 120000] [--target-gb 12]
 //! cts theory --k 16 [--tmap 1.86 --tshuffle 945.72 --treduce 10.47]
 //! ```
@@ -60,12 +60,16 @@ USAGE:
   cts sort   --input FILE --k K [--r R] [--pods G] [--sampled STRIDE]
                [--tcp] [--radix] [--no-validate]
                [--sort-kernel comparison|lsd-radix|key-index] [--threads T]
-               [--fabric serial-unicast|fanout|multicast|udp-multicast] [--paper-nic]
+               [--fabric serial-unicast|fanout|multicast|udp-multicast]
+               [--field gf2|gf256] [--paper-nic]
                sort a file: r=1 → TeraSort, r>1 → CodedTeraSort,
                --pods G → pod-partitioned coded engine,
                --sort-kernel → Reduce sort algorithm (--radix is the
                  lsd-radix shorthand), --threads → intra-node workers for
                  Map/Encode/Decode/Reduce (0 = all cores),
+               --field → finite field for coded packets (gf2 = the
+                 paper's XOR code, default; gf256 = q-ary combinations on
+                 SIMD kernels — same sorted output, different wire bytes),
                --fabric → how multicast groups hit the wire (udp-multicast =
                physical IP multicast; needs kernel multicast support),
                --paper-nic → emulate the paper's 100 Mbps NIC in real time
@@ -150,6 +154,10 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
         None => cts_net::ShuffleFabric::default(),
         Some(v) => v.parse()?,
     };
+    let field: cts_core::FieldKind = match opts.get("field") {
+        None => cts_core::FieldKind::default(),
+        Some(v) => v.parse()?,
+    };
 
     let raw = std::fs::read(&input_path).map_err(|e| format!("reading {input_path}: {e}"))?;
     let input = Bytes::from(raw);
@@ -186,7 +194,13 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
     if sampled > 0 {
         job = job.with_sampling(sampled);
     }
-    job = job.with_fabric(fabric);
+    job = job.with_fabric(fabric).with_field(field);
+    if field == cts_core::FieldKind::Gf256 {
+        println!(
+            "coding field: GF(256), kernel {}",
+            cts_core::Gf256Kernel::active()
+        );
+    }
     if paper_nic {
         job = job.with_nic(cts_net::NicProfile::paper_100mbps());
         println!("emulating the paper's NIC: 100 Mbps egress, 0.1 ms/transfer, α = 0.30");

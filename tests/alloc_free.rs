@@ -134,6 +134,68 @@ fn warm_round_trip_allocates_nothing() {
     assert_eq!(wire, &frame[..]);
 }
 
+/// The same steady-state audit over GF(256): the q-ary coding plane's
+/// table lookups and SIMD kernels work entirely in the caller's buffers
+/// (nibble tables live on the stack; log/exp tables are `const`), so the
+/// warm encode → pack → unpack → decode round trip must stay at zero
+/// heap allocations with nontrivial coefficients too.
+#[test]
+fn warm_gf256_round_trip_allocates_nothing() {
+    use cts_core::field::FieldKind;
+    let (k, r, value_len) = (6usize, 3usize, 4096usize);
+    let sender = 0usize;
+    let receiver = 1usize;
+    let tx_store = store_for(k, r, sender, value_len);
+    let rx_store = store_for(k, r, receiver, value_len);
+    let encoder = Encoder::with_field(k, r, sender, FieldKind::Gf256).unwrap();
+    let decoder = Decoder::with_field(k, r, receiver, FieldKind::Gf256).unwrap();
+    let m: NodeSet = encoder
+        .groups()
+        .groups_of_node(sender)
+        .map(|(_, m)| m)
+        .find(|m| m.contains(receiver))
+        .expect("shared group");
+
+    let mut scratch = EncodeScratch::new();
+    let mut wire: Vec<u8> = Vec::new();
+    let mut shell = CodedPacket::empty();
+    let mut acc: Vec<u8> = Vec::new();
+
+    // Warm-up (also latches the kernel dispatch OnceLock outside the
+    // measured window).
+    encoder
+        .encode_group_into(m, &tx_store, &mut scratch)
+        .unwrap();
+    wire.clear();
+    CodedPacket::write_wire(m, sender, &scratch.seg_lens, &scratch.payload, &mut wire);
+    let frame = Bytes::from(wire.clone());
+    shell.read_wire(&frame).unwrap();
+    decoder
+        .decode_packet_into(&shell, &rx_store, &mut acc)
+        .unwrap();
+    let warm_segment = acc.clone();
+    assert!(!warm_segment.is_empty(), "decode must recover bytes");
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..100 {
+        encoder
+            .encode_group_into(m, &tx_store, &mut scratch)
+            .unwrap();
+        wire.clear();
+        CodedPacket::write_wire(m, sender, &scratch.seg_lens, &scratch.payload, &mut wire);
+        shell.read_wire(&frame).unwrap();
+        decoder
+            .decode_packet_into(&shell, &rx_store, &mut acc)
+            .unwrap();
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocs, 0,
+        "warm GF(256) encode→pack→unpack→decode round trip performed {allocs} heap allocations"
+    );
+    assert_eq!(acc, warm_segment);
+}
+
 /// The *parallel* decode fan-out path: each worker draws segment
 /// accumulators from a sharded checkout of the pipeline's pool
 /// ([`DecodePipeline::segment_shard`]) instead of allocating one segment
