@@ -12,16 +12,62 @@
 //! senders in the group and merging them in ascending sender position yields
 //! the complete `I^k_{M\{k}}`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::error::{CodedError, Result};
 use crate::field::FieldKind;
+use crate::gf256;
 use crate::groups::MulticastGroups;
 use crate::intermediate::IntermediateSource;
 use crate::packet::CodedPacket;
 use crate::pool::{BufPool, BufPoolShard};
-use crate::segment::{segment_slice, segment_span};
+use crate::segment::{max_segment_len, segment_slice, segment_span};
+use crate::solve::{mds_parts, mds_point, mds_row, GroupSolver};
 use crate::subset::{NodeId, NodeSet};
+
+/// When a receiver releases a multicast group's intermediate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DecodeMode {
+    /// Barrier-on-all: wait for every one of the group's `r` packets and
+    /// cancel-and-divide each (the paper's Algorithm 2). The default.
+    #[default]
+    All,
+    /// Quorum: with MDS-mixed packets (GF(256)), release the group as
+    /// soon as the per-group solver reaches full rank — any
+    /// `s = r − 1` of the `r` packets suffice, so one straggling or dead
+    /// sender per group is tolerated. Over GF(2) (no binary MDS code)
+    /// the engine still polls instead of blocking per sender, but every
+    /// packet is needed.
+    Quorum,
+}
+
+impl DecodeMode {
+    /// Both modes, for equivalence sweeps.
+    pub const ALL: [DecodeMode; 2] = [DecodeMode::All, DecodeMode::Quorum];
+}
+
+impl std::fmt::Display for DecodeMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DecodeMode::All => "all",
+            DecodeMode::Quorum => "quorum",
+        })
+    }
+}
+
+impl std::str::FromStr for DecodeMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "all" => Ok(DecodeMode::All),
+            "quorum" => Ok(DecodeMode::Quorum),
+            other => Err(format!(
+                "unknown decode mode `{other}` (expected all|quorum)"
+            )),
+        }
+    }
+}
 
 /// A segment of a needed intermediate value recovered from one packet.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -369,8 +415,24 @@ impl SegmentAssembler {
 #[derive(Debug)]
 pub struct DecodePipeline {
     decoder: Decoder,
+    mode: DecodeMode,
     slots: HashMap<u64, SegmentAssembler>,
+    /// Per-group MDS solvers, keyed by `file.bits()` — only populated in
+    /// [`DecodeMode::Quorum`] when MDS-mixed (wire v2) packets arrive.
+    quorum_slots: HashMap<u64, QuorumSlot>,
+    /// Groups already released by an early quorum: late packets for these
+    /// are benign and ignored.
+    released: HashSet<u64>,
     pool: BufPool,
+}
+
+/// In-flight MDS decode state for one group.
+#[derive(Debug)]
+struct QuorumSlot {
+    solver: GroupSolver,
+    /// Reconstruction length of the intermediate this node is missing,
+    /// as declared by the first packet (cross-checked on later ones).
+    total: usize,
 }
 
 impl DecodePipeline {
@@ -387,9 +449,25 @@ impl DecodePipeline {
     pub fn with_field(k: usize, r: usize, node: NodeId, field: FieldKind) -> Result<Self> {
         Ok(DecodePipeline {
             decoder: Decoder::with_field(k, r, node, field)?,
+            mode: DecodeMode::All,
             slots: HashMap::new(),
+            quorum_slots: HashMap::new(),
+            released: HashSet::new(),
             pool: BufPool::new(),
         })
+    }
+
+    /// Selects the release policy (builder form). Quorum mode is what
+    /// enables [`accept`](DecodePipeline::accept) to process MDS-mixed
+    /// (wire v2) packets through the [`GroupSolver`].
+    pub fn with_decode(mut self, mode: DecodeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The configured release policy.
+    pub fn mode(&self) -> DecodeMode {
+        self.mode
     }
 
     /// Number of intermediates this node must recover in total.
@@ -398,12 +476,23 @@ impl DecodePipeline {
     }
 
     /// Processes one received packet; returns the completed `(file, value)`
-    /// if this packet was the last segment of its group.
+    /// if this packet was the one that completed its group — the `r`-th
+    /// classic packet, or (quorum mode) the one whose equation brought the
+    /// group's MDS system to full rank.
     pub fn accept<S: IntermediateSource>(
         &mut self,
         packet: &CodedPacket,
         source: &S,
     ) -> Result<Option<(NodeSet, Vec<u8>)>> {
+        if packet.mds {
+            if self.mode != DecodeMode::Quorum {
+                return Err(CodedError::PlanMismatch {
+                    what: "MDS-mixed packet received but pipeline is in all-barrier mode"
+                        .to_string(),
+                });
+            }
+            return self.accept_mds(packet, source);
+        }
         let mut acc = self.pool.get();
         let info = match self.decoder.decode_packet_into(packet, source, &mut acc) {
             Ok(info) => info,
@@ -455,9 +544,157 @@ impl DecodePipeline {
         Ok(Some((info.file, out)))
     }
 
+    /// Quorum path for MDS-mixed (wire v2) packets: cancel the known
+    /// senders' mixes exactly as in Algorithm 2, then feed the residual —
+    /// `c(u,k) ⊙ Σ_j v_u^j ⊙ part_j(I^k_{M\{k}})` — into the group's
+    /// [`GroupSolver`] as one linear equation in the `s` unknown parts.
+    /// The group releases the moment any `s` independent equations have
+    /// arrived; packets from the slowest sender are never waited for, and
+    /// late arrivals after release are ignored.
+    fn accept_mds<S: IntermediateSource>(
+        &mut self,
+        packet: &CodedPacket,
+        source: &S,
+    ) -> Result<Option<(NodeSet, Vec<u8>)>> {
+        let field = self.decoder.field();
+        let node = self.decoder.node();
+        if !field.supports_quorum() {
+            return Err(CodedError::PlanMismatch {
+                what: format!("MDS-mixed packet received but field {field} has no MDS code"),
+            });
+        }
+        let m = packet.group;
+        if m.len() != self.decoder.groups().group_size() {
+            return Err(CodedError::PlanMismatch {
+                what: format!(
+                    "packet group {m} has {} members, expected {}",
+                    m.len(),
+                    self.decoder.groups().group_size()
+                ),
+            });
+        }
+        if !m.contains(node) || packet.sender == node {
+            return Err(CodedError::PlanMismatch {
+                what: format!(
+                    "packet for group {m} from {} not decodable at node {node}",
+                    packet.sender
+                ),
+            });
+        }
+        let my_total = packet
+            .seg_len_for(node)
+            .ok_or_else(|| CodedError::MalformedPacket {
+                what: format!("no reconstruction length for receiver {node}"),
+            })? as usize;
+        let file = m.without(node);
+        let key = file.bits();
+        if self.released.contains(&key) {
+            return Ok(None); // group already met quorum: late packet
+        }
+        let s = mds_parts(m.len());
+        let l0 = max_segment_len(my_total, s);
+        if l0 > packet.payload.len() {
+            return Err(CodedError::MalformedPacket {
+                what: format!(
+                    "payload {} bytes shorter than part length {l0}",
+                    packet.payload.len()
+                ),
+            });
+        }
+
+        // Cancel t ∈ M \ {u, k} by re-applying the sender's MDS mix of the
+        // locally held intermediates (characteristic 2: add = subtract).
+        let mut acc = self.pool.get();
+        if let Err(e) = Self::cancel_mds(field, packet, node, source, s, &mut acc) {
+            self.pool.put(acc);
+            return Err(e);
+        }
+        acc.truncate(l0);
+        let row = mds_row(field, packet.sender, node, s);
+        let slot = self.quorum_slots.entry(key).or_insert_with(|| QuorumSlot {
+            solver: GroupSolver::new(s, l0),
+            total: my_total,
+        });
+        if slot.total != my_total {
+            self.pool.put(acc);
+            return Err(CodedError::MalformedPacket {
+                what: format!(
+                    "packet declares reconstruction length {my_total}, earlier packets said {}",
+                    slot.total
+                ),
+            });
+        }
+        let added = slot.solver.add_equation(&row, &acc);
+        self.pool.put(acc);
+        added?;
+        if !slot.solver.is_complete() {
+            return Ok(None);
+        }
+        let slot = self.quorum_slots.remove(&key).expect("slot just touched");
+        let parts = slot.solver.solve()?;
+        let mut out = Vec::with_capacity(my_total);
+        for (j, part) in parts.iter().enumerate() {
+            let len = segment_span(my_total, s, j).len;
+            out.extend_from_slice(&part[..len]);
+        }
+        self.released.insert(key);
+        Ok(Some((file, out)))
+    }
+
+    /// Copies the payload into `acc` and cancels every locally known
+    /// sender-mix term, leaving only the receiver's unknown combination.
+    fn cancel_mds<S: IntermediateSource>(
+        field: FieldKind,
+        packet: &CodedPacket,
+        node: NodeId,
+        source: &S,
+        s: usize,
+        acc: &mut Vec<u8>,
+    ) -> Result<()> {
+        acc.clear();
+        acc.extend_from_slice(&packet.payload);
+        let v = mds_point(packet.sender);
+        for t in packet
+            .group
+            .iter()
+            .filter(|&t| t != packet.sender && t != node)
+        {
+            let file = packet.group.without(t);
+            let data = source
+                .intermediate(t, file)
+                .ok_or(CodedError::MissingIntermediate { target: t, file })?;
+            let declared = packet.seg_len_for(t).unwrap_or(u32::MAX) as usize;
+            if declared != data.len() {
+                return Err(CodedError::MalformedPacket {
+                    what: format!(
+                        "packet declares {declared} bytes for target {t}, local copy has {}",
+                        data.len()
+                    ),
+                });
+            }
+            let mut w = field.coeff(packet.sender, t);
+            for j in 0..s {
+                let span = segment_span(data.len(), s, j);
+                let seg = &data[span.offset..span.offset + span.len];
+                if seg.len() > acc.len() {
+                    return Err(CodedError::MalformedPacket {
+                        what: format!(
+                            "payload {} bytes cannot contain known part of {}",
+                            acc.len(),
+                            seg.len()
+                        ),
+                    });
+                }
+                gf256::add_scaled_slice(acc, seg, w);
+                w = gf256::mul(w, v);
+            }
+        }
+        Ok(())
+    }
+
     /// Number of partially assembled intermediates still in flight.
     pub fn in_flight(&self) -> usize {
-        self.slots.len()
+        self.slots.len() + self.quorum_slots.len()
     }
 
     /// The pipeline's internal buffer pool (exposed for reuse diagnostics
@@ -778,6 +1015,141 @@ mod tests {
     fn assembler_incomplete_fails() {
         let asm = SegmentAssembler::new(fs(&[1, 2]));
         assert!(asm.assemble().is_err());
+    }
+
+    /// Encodes sender's MDS-mixed packet for group `m` and roundtrips it
+    /// through the v2 wire format, as the engine's quorum path does.
+    fn mds_packet(
+        k: usize,
+        r: usize,
+        sender: usize,
+        m: NodeSet,
+        store: &MapOutputStore,
+    ) -> CodedPacket {
+        let enc = Encoder::with_field(k, r, sender, FieldKind::Gf256).unwrap();
+        let mut scratch = crate::encode::EncodeScratch::new();
+        enc.encode_group_mds_into(m, store, &mut scratch).unwrap();
+        let mut wire = Vec::new();
+        CodedPacket::write_wire_mds(m, sender, &scratch.seg_lens, &scratch.payload, &mut wire);
+        CodedPacket::from_bytes(&wire).unwrap()
+    }
+
+    /// Full quorum exchange with `skip` senders suppressed per group: every
+    /// node must still recover every missing intermediate byte-identically,
+    /// as long as at least `s = r - 1` of the `r` packets arrive.
+    fn quorum_roundtrip_skipping(k: usize, r: usize, len_scale: usize, skip: usize) {
+        let stores = stores(k, r, len_scale);
+        let groups = MulticastGroups::new(k, r).unwrap();
+        let mut pipelines: Vec<DecodePipeline> = (0..k)
+            .map(|n| {
+                DecodePipeline::with_field(k, r, n, FieldKind::Gf256)
+                    .unwrap()
+                    .with_decode(DecodeMode::Quorum)
+            })
+            .collect();
+        let mut recovered: Vec<Vec<(NodeSet, Vec<u8>)>> = vec![Vec::new(); k];
+
+        for (gid, m) in groups.iter_groups() {
+            // Deterministically suppress `skip` senders per group.
+            let victims: Vec<usize> = m.iter().skip(gid.0 as usize % m.len()).take(skip).collect();
+            for sender in m.iter().filter(|u| !victims.contains(u)) {
+                let pkt = mds_packet(k, r, sender, m, &stores[sender]);
+                for rx in m.iter().filter(|&n| n != sender) {
+                    if let Some(done) = pipelines[rx].accept(&pkt, &stores[rx]).unwrap() {
+                        recovered[rx].push(done);
+                    }
+                }
+            }
+        }
+
+        for node in 0..k {
+            assert_eq!(
+                recovered[node].len() as u64,
+                pipelines[node].expected_total(),
+                "node {node} at (k={k}, r={r}, skip={skip})"
+            );
+            assert_eq!(pipelines[node].in_flight(), 0);
+            for (file, data) in &recovered[node] {
+                assert_eq!(
+                    *data,
+                    value_for(node, *file, len_scale),
+                    "I^{node}_{file} (k={k}, r={r}, skip={skip})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_roundtrip_on_full_receipt() {
+        for (k, r) in [(4, 2), (5, 2), (5, 3), (6, 4)] {
+            quorum_roundtrip_skipping(k, r, 7, 0);
+        }
+        quorum_roundtrip_skipping(5, 3, 1, 0); // zero-length tail parts
+    }
+
+    #[test]
+    fn quorum_tolerates_one_missing_sender_per_group() {
+        // r >= 3 so s = r - 1 >= 2: one of the r packets per group never
+        // arrives, yet every group still reaches full rank.
+        for (k, r) in [(4, 3), (5, 3), (5, 4), (6, 3)] {
+            quorum_roundtrip_skipping(k, r, 6, 1);
+        }
+        quorum_roundtrip_skipping(5, 4, 1, 1);
+    }
+
+    #[test]
+    fn quorum_late_packet_after_release_is_ignored() {
+        let (k, r, len_scale) = (4, 3, 5);
+        let stores = stores(k, r, len_scale);
+        let m: NodeSet = fs(&[0, 1, 2, 3]);
+        let mut pipe = DecodePipeline::with_field(k, r, 0, FieldKind::Gf256)
+            .unwrap()
+            .with_decode(DecodeMode::Quorum);
+        // Senders 1 and 2 complete the quorum (s = 2); sender 3 is late.
+        let p1 = mds_packet(k, r, 1, m, &stores[1]);
+        let p2 = mds_packet(k, r, 2, m, &stores[2]);
+        let p3 = mds_packet(k, r, 3, m, &stores[3]);
+        assert!(pipe.accept(&p1, &stores[0]).unwrap().is_none());
+        let (file, data) = pipe.accept(&p2, &stores[0]).unwrap().expect("quorum met");
+        assert_eq!(file, m.without(0));
+        assert_eq!(data, value_for(0, file, len_scale));
+        // The straggler's packet arrives after release: benign no-op.
+        assert!(pipe.accept(&p3, &stores[0]).unwrap().is_none());
+        // And a duplicate of an already-used equation is benign too.
+        assert!(pipe.accept(&p1, &stores[0]).unwrap().is_none());
+        assert_eq!(pipe.in_flight(), 0);
+    }
+
+    #[test]
+    fn mds_packet_rejected_in_all_mode() {
+        let (k, r) = (4, 3);
+        let stores = stores(k, r, 4);
+        let pkt = mds_packet(k, r, 1, fs(&[0, 1, 2, 3]), &stores[1]);
+        let mut pipe = DecodePipeline::with_field(k, r, 0, FieldKind::Gf256).unwrap();
+        let err = pipe.accept(&pkt, &stores[0]).unwrap_err();
+        assert!(matches!(err, CodedError::PlanMismatch { .. }));
+    }
+
+    #[test]
+    fn gf2_quorum_pipeline_rejects_mds_packet() {
+        let (k, r) = (4, 3);
+        let stores = stores(k, r, 4);
+        let pkt = mds_packet(k, r, 1, fs(&[0, 1, 2, 3]), &stores[1]);
+        let mut pipe = DecodePipeline::new(k, r, 0)
+            .unwrap()
+            .with_decode(DecodeMode::Quorum);
+        let err = pipe.accept(&pkt, &stores[0]).unwrap_err();
+        assert!(matches!(err, CodedError::PlanMismatch { .. }));
+    }
+
+    #[test]
+    fn decode_mode_parses_and_displays() {
+        assert_eq!("all".parse::<DecodeMode>().unwrap(), DecodeMode::All);
+        assert_eq!("quorum".parse::<DecodeMode>().unwrap(), DecodeMode::Quorum);
+        assert!("both".parse::<DecodeMode>().is_err());
+        assert_eq!(DecodeMode::All.to_string(), "all");
+        assert_eq!(DecodeMode::Quorum.to_string(), "quorum");
+        assert_eq!(DecodeMode::default(), DecodeMode::All);
     }
 
     #[test]

@@ -21,10 +21,12 @@ use bytes::Bytes;
 
 use crate::error::{CodedError, Result};
 use crate::field::FieldKind;
+use crate::gf256;
 use crate::groups::MulticastGroups;
 use crate::intermediate::IntermediateSource;
 use crate::packet::CodedPacket;
-use crate::segment::{segment_for_node, segment_slice};
+use crate::segment::{max_segment_len, segment_for_node, segment_slice, segment_span};
+use crate::solve::{mds_parts, mds_point};
 use crate::subset::{NodeId, NodeSet};
 
 /// Reusable buffers for the encode hot loop.
@@ -147,7 +149,65 @@ impl Encoder {
             sender: self.node,
             seg_lens: scratch.seg_lens,
             payload: Bytes::from(scratch.payload),
+            mds: false,
         })
+    }
+
+    /// Builds the MDS-mixed quorum packet for group `m` — the wire-v2
+    /// variant behind any-`s`-of-`n` decode (see [`crate::solve`]).
+    ///
+    /// Each target's intermediate `I^t_{M\{t}}` splits into
+    /// `s = mds_parts(|m|)` zero-padded parts, mixed as
+    /// `c(node,t) ⊙ Σ_j v_node^j ⊙ part_j` — every sender of `M\{t}`
+    /// knows the *full* intermediate (it mapped the file), so any `s`
+    /// such packets let receiver `t` solve for all parts.
+    /// `scratch.seg_lens` records the per-target *total* lengths.
+    ///
+    /// # Errors
+    /// `InvalidParameters` over GF(2) (no nontrivial binary MDS code at
+    /// these lengths); otherwise as [`encode_group`](Encoder::encode_group).
+    pub fn encode_group_mds_into<S: IntermediateSource>(
+        &self,
+        m: NodeSet,
+        source: &S,
+        scratch: &mut EncodeScratch,
+    ) -> Result<()> {
+        if !self.field.supports_quorum() {
+            return Err(CodedError::InvalidParameters {
+                what: format!("field {} does not support MDS quorum encode", self.field),
+            });
+        }
+        self.groups.id_of(m)?; // validates size and universe
+        if !m.contains(self.node) {
+            return Err(CodedError::InvalidParameters {
+                what: format!("node {} not in multicast group {m}", self.node),
+            });
+        }
+        scratch.payload.clear();
+        scratch.seg_lens.clear();
+        let payload = &mut scratch.payload;
+        let s = mds_parts(m.len());
+        let v = mds_point(self.node);
+        for t in m.iter().filter(|&t| t != self.node) {
+            let file = m.without(t);
+            let data = source
+                .intermediate(t, file)
+                .ok_or(CodedError::MissingIntermediate { target: t, file })?;
+            let l0 = max_segment_len(data.len(), s);
+            if l0 > payload.len() {
+                payload.resize(l0, 0);
+            }
+            // All parts fold at offset 0, zero-padded to the part-0 span.
+            let mut w = self.field.coeff(self.node, t);
+            for j in 0..s {
+                let span = segment_span(data.len(), s, j);
+                let seg = &data[span.offset..span.offset + span.len];
+                gf256::add_scaled_slice(payload, seg, w);
+                w = gf256::mul(w, v);
+            }
+            scratch.seg_lens.push((t, data.len() as u32));
+        }
+        Ok(())
     }
 
     /// Builds `E_{M,node}` into reusable buffers — the allocation-free hot
@@ -366,6 +426,40 @@ mod tests {
         enc.encode_group_into(fs(&[0, 1, 2]), &store, &mut scratch)
             .unwrap();
         assert_eq!(scratch.payload, vec![0x33 ^ 0x44, 0x33 ^ 0x44]);
+    }
+
+    #[test]
+    fn mds_encode_reports_totals_and_pads_to_part_zero() {
+        let (k, r, node) = (4, 3, 1);
+        let store = full_store(k, r, node, |t, f| (t + 2) * 5 + f.len());
+        let enc = Encoder::with_field(k, r, node, FieldKind::Gf256).unwrap();
+        let mut scratch = EncodeScratch::new();
+        let m = fs(&[0, 1, 2, 3]);
+        enc.encode_group_mds_into(m, &store, &mut scratch).unwrap();
+        // seg_lens carry the *total* intermediate length per target.
+        let s = crate::solve::mds_parts(m.len());
+        let mut max_l0 = 0usize;
+        for &(t, total) in &scratch.seg_lens {
+            let data = store.intermediate(t, m.without(t)).unwrap();
+            assert_eq!(total as usize, data.len(), "target {t}");
+            max_l0 = max_l0.max(max_segment_len(data.len(), s));
+        }
+        assert_eq!(scratch.payload.len(), max_l0);
+        // The fold is linear with nonzero weights, so the payload cannot
+        // be the classic per-position encode.
+        let mut classic = EncodeScratch::new();
+        enc.encode_group_into(m, &store, &mut classic).unwrap();
+        assert_ne!(scratch.payload, classic.payload);
+    }
+
+    #[test]
+    fn mds_encode_rejects_gf2() {
+        let store = full_store(3, 2, 0, |_, _| 8);
+        let enc = Encoder::new(3, 2, 0).unwrap();
+        let err = enc
+            .encode_group_mds_into(fs(&[0, 1, 2]), &store, &mut EncodeScratch::new())
+            .unwrap_err();
+        assert!(matches!(err, CodedError::InvalidParameters { .. }));
     }
 
     #[test]

@@ -31,6 +31,18 @@ pub enum CodedError {
         /// Description of the disagreement.
         what: String,
     },
+    /// A per-group MDS solve could not complete: the accumulated
+    /// coefficient matrix is singular, underdetermined, or inconsistent
+    /// with an earlier equation. Reported, never panicked — callers decide
+    /// whether to wait for more packets or fail the group.
+    SingularSystem {
+        /// Rank reached when the failure was detected.
+        rank: usize,
+        /// Rank required for a unique solution.
+        need: usize,
+        /// What went wrong.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for CodedError {
@@ -42,6 +54,9 @@ impl std::fmt::Display for CodedError {
             }
             CodedError::MalformedPacket { what } => write!(f, "malformed coded packet: {what}"),
             CodedError::PlanMismatch { what } => write!(f, "plan mismatch: {what}"),
+            CodedError::SingularSystem { rank, need, what } => {
+                write!(f, "singular system (rank {rank} of {need}): {what}")
+            }
         }
     }
 }

@@ -91,6 +91,21 @@ impl FieldKind {
         }
     }
 
+    /// Whether this field supports nontrivial MDS-coded groups (any
+    /// `s`-of-`n` quorum decode via [`crate::solve::GroupSolver`]).
+    ///
+    /// GF(256) does: the Vandermonde mix in [`crate::solve::mds_row`]
+    /// needs `K` distinct nonzero evaluation points, which `α^u` provides
+    /// for every rank the 24-bit tag space can name. GF(2) has only one
+    /// nonzero element, so no nontrivial binary MDS code exists at these
+    /// lengths — quorum mode over GF(2) degenerates to waiting for every
+    /// packet (the engine still polls instead of barriering, but releases
+    /// nothing early).
+    #[inline]
+    pub fn supports_quorum(self) -> bool {
+        matches!(self, FieldKind::Gf256)
+    }
+
     /// Multiplicative inverse of a nonzero coefficient.
     ///
     /// # Panics

@@ -91,11 +91,14 @@ pub mod packet;
 pub mod placement;
 pub mod pool;
 pub mod segment;
+pub mod solve;
 pub mod subset;
 pub mod theory;
 pub mod xor;
 
-pub use decode::{DecodePipeline, DecodedSegment, Decoder, SegmentAssembler, SegmentInfo};
+pub use decode::{
+    DecodeMode, DecodePipeline, DecodedSegment, Decoder, SegmentAssembler, SegmentInfo,
+};
 pub use encode::{EncodeScratch, Encoder};
 pub use error::{CodedError, Result};
 pub use exec::WorkerPool;
@@ -106,4 +109,5 @@ pub use intermediate::{IntermediateSource, MapOutputStore};
 pub use packet::CodedPacket;
 pub use placement::{FileId, PlacementPlan};
 pub use pool::{BufPool, Scratch};
+pub use solve::GroupSolver;
 pub use subset::{NodeId, NodeSet};

@@ -19,10 +19,18 @@
 use bytes::Bytes;
 
 use crate::error::{CodedError, Result};
+use crate::segment::max_segment_len;
+use crate::solve::mds_parts;
 use crate::subset::{NodeId, NodeSet};
 
-/// Format version written into every serialized packet.
+/// Format version of classic cancel-and-divide packets.
 pub const WIRE_VERSION: u8 = 1;
+
+/// Format version of MDS-mixed packets (quorum decode): the `seg_lens`
+/// entries carry the *total* intermediate length per target (identical
+/// across the senders of a group), and the payload is the Vandermonde mix
+/// of [`mds_parts`] zero-padded parts — see [`crate::solve`].
+pub const WIRE_VERSION_MDS: u8 = 2;
 
 /// Magic bytes prefixing every serialized packet (`"CT"`).
 pub const WIRE_MAGIC: [u8; 2] = *b"CT";
@@ -37,11 +45,17 @@ pub struct CodedPacket {
     /// For each other member `t ∈ M\{k}` (ascending), the *original* length
     /// of the segment `I^t_{M\{t},k}` folded into the payload. Receiver `t`
     /// reads its own entry to strip zero padding from the recovered segment.
+    /// In MDS packets (`mds = true`) the entry is instead the total length
+    /// of `I^t_{M\{t}}` — any single packet tells a receiver its full
+    /// reconstruction size, which matters when a sender never delivers.
     pub seg_lens: Vec<(NodeId, u32)>,
     /// XOR of the `r` zero-padded segments; length = max original length.
     /// A [`Bytes`] view so parsed packets can borrow the received frame
     /// instead of copying it.
     pub payload: Bytes,
+    /// Whether this is an MDS-mixed packet ([`WIRE_VERSION_MDS`]) feeding
+    /// the per-group solver instead of cancel-and-divide.
+    pub mds: bool,
 }
 
 impl CodedPacket {
@@ -76,12 +90,24 @@ impl CodedPacket {
     /// Appends the wire format to `out`. Reusing one grow-only `out`
     /// across packets keeps serialization allocation-free in steady state.
     pub fn write_into(&self, out: &mut Vec<u8>) {
-        Self::write_wire(self.group, self.sender, &self.seg_lens, &self.payload, out);
+        let version = if self.mds {
+            WIRE_VERSION_MDS
+        } else {
+            WIRE_VERSION
+        };
+        write_wire_versioned(
+            version,
+            self.group,
+            self.sender,
+            &self.seg_lens,
+            &self.payload,
+            out,
+        );
     }
 
-    /// Serializes a packet directly from its parts — the encoder hot path,
-    /// which writes from scratch buffers without building a `CodedPacket`.
-    /// Appends to `out`.
+    /// Serializes a classic (version 1) packet directly from its parts —
+    /// the encoder hot path, which writes from scratch buffers without
+    /// building a `CodedPacket`. Appends to `out`.
     pub fn write_wire(
         group: NodeSet,
         sender: NodeId,
@@ -89,18 +115,19 @@ impl CodedPacket {
         payload: &[u8],
         out: &mut Vec<u8>,
     ) {
-        out.reserve(wire_len_for(seg_lens.len(), payload.len()));
-        out.extend_from_slice(&WIRE_MAGIC);
-        out.push(WIRE_VERSION);
-        out.extend_from_slice(&(sender as u16).to_le_bytes());
-        out.extend_from_slice(&group.bits().to_le_bytes());
-        out.extend_from_slice(&(seg_lens.len() as u16).to_le_bytes());
-        for (t, len) in seg_lens {
-            out.extend_from_slice(&(*t as u16).to_le_bytes());
-            out.extend_from_slice(&len.to_le_bytes());
-        }
-        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(payload);
+        write_wire_versioned(WIRE_VERSION, group, sender, seg_lens, payload, out);
+    }
+
+    /// Serializes an MDS-mixed (version 2) packet directly from its parts.
+    /// Appends to `out`.
+    pub fn write_wire_mds(
+        group: NodeSet,
+        sender: NodeId,
+        seg_lens: &[(NodeId, u32)],
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        write_wire_versioned(WIRE_VERSION_MDS, group, sender, seg_lens, payload, out);
     }
 
     /// Parses a packet from the wire format, validating structure:
@@ -147,7 +174,7 @@ impl CodedPacket {
             return Err(malformed("bad magic"));
         }
         let version = cursor.u8()?;
-        if version != WIRE_VERSION {
+        if version != WIRE_VERSION && version != WIRE_VERSION_MDS {
             return Err(malformed(format!("unsupported version {version}")));
         }
         let sender = cursor.u16()? as NodeId;
@@ -185,17 +212,52 @@ impl CodedPacket {
         if cursor.remaining() != 0 {
             return Err(malformed(format!("{} trailing bytes", cursor.remaining())));
         }
-        // Payload must be padded to exactly the longest segment.
-        let max_seg = self.seg_lens.iter().map(|(_, l)| *l).max().unwrap_or(0) as usize;
-        if payload_len != max_seg {
+        let expected = if version == WIRE_VERSION_MDS {
+            // MDS mix: each target contributes `mds_parts` zero-padded
+            // parts of its total, so the payload is the longest part-0
+            // span across targets.
+            let s = mds_parts(group.len());
+            self.seg_lens
+                .iter()
+                .map(|(_, l)| max_segment_len(*l as usize, s))
+                .max()
+                .unwrap_or(0)
+        } else {
+            // Payload must be padded to exactly the longest segment.
+            self.seg_lens.iter().map(|(_, l)| *l).max().unwrap_or(0) as usize
+        };
+        if payload_len != expected {
             return Err(malformed(format!(
-                "payload {payload_len} bytes but longest segment is {max_seg}",
+                "payload {payload_len} bytes but expected {expected} (version {version})",
             )));
         }
         self.group = group;
         self.sender = sender;
+        self.mds = version == WIRE_VERSION_MDS;
         Ok((start, start + payload_len))
     }
+}
+
+fn write_wire_versioned(
+    version: u8,
+    group: NodeSet,
+    sender: NodeId,
+    seg_lens: &[(NodeId, u32)],
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    out.reserve(wire_len_for(seg_lens.len(), payload.len()));
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.push(version);
+    out.extend_from_slice(&(sender as u16).to_le_bytes());
+    out.extend_from_slice(&group.bits().to_le_bytes());
+    out.extend_from_slice(&(seg_lens.len() as u16).to_le_bytes());
+    for (t, len) in seg_lens {
+        out.extend_from_slice(&(*t as u16).to_le_bytes());
+        out.extend_from_slice(&len.to_le_bytes());
+    }
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
 }
 
 /// Serialized size of a packet with `nseg` segment entries and a
@@ -262,6 +324,7 @@ mod tests {
             sender: 0,
             seg_lens: vec![(1, 3), (2, 5)],
             payload: Bytes::from(vec![0xAA, 0xBB, 0xCC, 0xDD, 0xEE]),
+            mds: false,
         }
     }
 
@@ -281,6 +344,7 @@ mod tests {
             sender: 7,
             seg_lens: vec![(3, 0)],
             payload: Bytes::new(),
+            mds: false,
         };
         let q = CodedPacket::from_bytes(&p.to_bytes()).unwrap();
         assert_eq!(p, q);
@@ -305,6 +369,7 @@ mod tests {
             sender: 5,
             seg_lens: vec![(6, 1)],
             payload: Bytes::from(vec![9]),
+            mds: false,
         };
         let wire_a = Bytes::from(a.to_bytes());
         let wire_b = Bytes::from(b.to_bytes());
@@ -406,6 +471,35 @@ mod tests {
         p.seg_lens.swap(0, 1);
         let err = CodedPacket::from_bytes(&p.to_bytes()).unwrap_err();
         assert!(err.to_string().contains("ascending"));
+    }
+
+    #[test]
+    fn mds_roundtrip_and_payload_rule() {
+        // Group {0,1,2}: s = mds_parts(3) = 1, totals 3 and 5 → part-0
+        // spans 3 and 5, payload = 5.
+        let p = CodedPacket {
+            group: NodeSet::from_iter([0usize, 1, 2]),
+            sender: 0,
+            seg_lens: vec![(1, 3), (2, 5)],
+            payload: Bytes::from(vec![1, 2, 3, 4, 5]),
+            mds: true,
+        };
+        let bytes = p.to_bytes();
+        assert_eq!(bytes[2], WIRE_VERSION_MDS);
+        let q = CodedPacket::from_bytes(&bytes).unwrap();
+        assert!(q.mds);
+        assert_eq!(p, q);
+        // A 4-member group splits into s = 2 parts: totals 3 and 5 give
+        // part-0 spans of 2 and 3, so a 3-byte payload parses and the
+        // 5-byte classic padding does not.
+        let mut w = Vec::new();
+        let group = NodeSet::from_iter([0usize, 1, 2, 3]);
+        let seg_lens = vec![(1u64 as NodeId, 3u32), (2, 5), (3, 4)];
+        CodedPacket::write_wire_mds(group, 0, &seg_lens, &[7, 8, 9], &mut w);
+        assert!(CodedPacket::from_bytes(&w).unwrap().mds);
+        w.clear();
+        CodedPacket::write_wire_mds(group, 0, &seg_lens, &[7, 8, 9, 0, 0], &mut w);
+        assert!(CodedPacket::from_bytes(&w).is_err());
     }
 
     #[test]

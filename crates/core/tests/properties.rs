@@ -93,7 +93,7 @@ proptest! {
         if let Some(first) = seg_lens.first_mut() {
             first.1 = payload.len() as u32;
         }
-        let pkt = CodedPacket { group, sender, seg_lens, payload: payload.into() };
+        let pkt = CodedPacket { group, sender, seg_lens, payload: payload.into(), mds: false };
         let rt = CodedPacket::from_bytes(&pkt.to_bytes()).unwrap();
         prop_assert_eq!(pkt, rt);
     }

@@ -19,13 +19,14 @@
 //! 6. **Reduce**: identical to the uncoded engine's.
 
 use bytes::Bytes;
-use cts_core::decode::DecodePipeline;
+use cts_core::decode::{DecodeMode, DecodePipeline};
 use cts_core::encode::{EncodeScratch, Encoder};
 use cts_core::exec::WorkerPool;
 use cts_core::groups::MulticastGroups;
 use cts_core::intermediate::MapOutputStore;
 use cts_core::packet::CodedPacket;
 use cts_core::placement::{FileId, PlacementPlan};
+use cts_core::solve::mds_parts;
 use cts_core::subset::NodeSet;
 use cts_net::cluster::run_spmd_with_inputs;
 use cts_net::message::Tag;
@@ -99,6 +100,12 @@ pub fn run_coded<W: Workload>(
 fn group_tag(gid: u64) -> Tag {
     Tag::new(Tag::BCAST, (gid & 0x00FF_FFFF) as u32)
 }
+
+/// How long the quorum shuffle's polling loop tolerates zero progress
+/// before declaring the run stalled. Generous: it only fires when *no*
+/// packet arrives at all — a healthy quorum completes without ever
+/// waiting on the slowest sender.
+const QUORUM_IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
 
 /// Parses (zero-copy, reusing `packet`'s shell) and decodes one received
 /// packet (Algorithm 2), accumulating decode-work stats and completed
@@ -180,6 +187,12 @@ fn node_main<W: Workload>(
     // kept intermediates (the XOR is folded into the calibrated rate).
     stats.pack_bytes = store.total_bytes();
     let encoder = Encoder::with_field(k, r, me, cfg.field).expect("validated by driver");
+    // Quorum decode needs MDS-mixed packets, which only GF(256) supports
+    // (there is no nontrivial binary MDS code): over GF(2) the quorum
+    // engine still polls instead of blocking per sender, but sends the
+    // classic packets and needs all of them.
+    let quorum = cfg.decode == DecodeMode::Quorum;
+    let mds = quorum && cfg.field.supports_quorum();
     // Each packet's wire bytes split into a *scalable* part (the mean
     // segment length — the quantity that grows linearly with input size)
     // and an *overhead* part (the fixed header plus zero-padding, which is
@@ -199,10 +212,18 @@ fn node_main<W: Workload>(
         || (EncodeScratch::new(), Vec::new()),
         |(scratch, wire), i| {
             let (gid, m) = owned_groups[i];
-            encoder.encode_group_into(m, &store, scratch)?;
             wire.clear();
-            CodedPacket::write_wire(m, me, &scratch.seg_lens, &scratch.payload, wire);
-            let scalable = scratch.seg_len_sum() / r as u64;
+            let scalable = if mds {
+                encoder.encode_group_mds_into(m, &store, scratch)?;
+                CodedPacket::write_wire_mds(m, me, &scratch.seg_lens, &scratch.payload, wire);
+                // MDS payloads are ≈ total/s (seg_lens carry the r whole
+                // reconstruction lengths, each split into s parts).
+                scratch.seg_len_sum() / (r as u64 * mds_parts(r + 1) as u64)
+            } else {
+                encoder.encode_group_into(m, &store, scratch)?;
+                CodedPacket::write_wire(m, me, &scratch.seg_lens, &scratch.payload, wire);
+                scratch.seg_len_sum() / r as u64
+            };
             let overhead = wire.len() as u64 - scalable.min(wire.len() as u64);
             Ok((gid, Bytes::copy_from_slice(wire), overhead))
         },
@@ -220,11 +241,96 @@ fn node_main<W: Workload>(
     // buffered for the separate Decode stage, as the paper executes.
     comm.set_stage(stages::SHUFFLE);
     let timer = StageTimer::start();
-    let mut pipeline =
-        DecodePipeline::with_field(k, r, me, cfg.field).expect("validated by driver");
+    let mut pipeline = DecodePipeline::with_field(k, r, me, cfg.field)
+        .expect("validated by driver")
+        .with_decode(cfg.decode);
     let mut packet_shell = CodedPacket::empty();
     let mut recovered: Vec<(NodeSet, Vec<u8>)> = Vec::new();
     let mut received: Vec<Bytes> = Vec::new();
+    if quorum {
+        // Quorum shuffle: fire every owned multicast without waiting for
+        // peers (the root arm never blocks on receivers), then poll the
+        // expected (group, sender) pairs, decoding inline. Each group
+        // releases the moment its decode completes — with MDS packets,
+        // after any `r − 1` of its `r` sends — so a straggling or dead
+        // sender delays nothing but its own groups' last equation.
+        // `strict_serial_shuffle` and `pipelined_decode` have no meaning
+        // here and are ignored: the quorum loop is inherently pipelined
+        // and unordered.
+        for (gid, members, member_list) in &schedule {
+            if !members.contains(me) {
+                continue;
+            }
+            let (payload, header) = my_packets.remove(gid).expect("one packet per owned group");
+            stats.sent_bytes += payload.len() as u64;
+            comm.multicast_with_overhead(me, member_list, group_tag(*gid), Some(payload), header)?;
+        }
+        let mut pending: Vec<(u64, usize)> = schedule
+            .iter()
+            .filter(|(_, members, _)| members.contains(me))
+            .flat_map(|(gid, _, member_list)| {
+                member_list
+                    .iter()
+                    .filter(|&&sender| sender != me)
+                    .map(move |&sender| (*gid, sender))
+            })
+            .collect();
+        let mut done_groups: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let expected = pipeline.expected_total();
+        let mut last_progress = std::time::Instant::now();
+        while (recovered.len() as u64) < expected {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < pending.len() {
+                let (gid, sender) = pending[i];
+                if done_groups.contains(&gid) {
+                    pending.swap_remove(i);
+                    continue;
+                }
+                match comm.try_recv(sender, group_tag(gid))? {
+                    Some(payload) => {
+                        progressed = true;
+                        stats.recv_bytes += payload.len() as u64;
+                        let before = recovered.len();
+                        decode_one(
+                            &payload,
+                            &mut packet_shell,
+                            &mut pipeline,
+                            &store,
+                            &mut stats,
+                            &mut recovered,
+                        )?;
+                        if recovered.len() > before {
+                            done_groups.insert(gid);
+                        }
+                        pending.swap_remove(i);
+                    }
+                    None => i += 1,
+                }
+            }
+            if progressed {
+                last_progress = std::time::Instant::now();
+            } else if last_progress.elapsed() > QUORUM_IDLE_TIMEOUT {
+                return Err(EngineError::Protocol {
+                    what: format!(
+                        "node {me}: quorum shuffle stalled with {}/{} groups incomplete",
+                        expected - recovered.len() as u64,
+                        expected
+                    ),
+                });
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+        comm.barrier()?;
+        wall.shuffle = timer.stop();
+
+        let timer = StageTimer::start();
+        comm.set_stage(stages::UNPACK_DECODE);
+        wall.unpack_decode = timer.stop();
+        comm.barrier()?;
+        return finish_reduce(workload, comm, &pool, store, recovered, stats, wall);
+    }
     for (gid, members, member_list) in &schedule {
         if !members.contains(me) {
             if cfg.strict_serial_shuffle {
@@ -345,11 +451,24 @@ fn node_main<W: Workload>(
     wall.unpack_decode = timer.stop();
     comm.barrier()?;
 
-    // ---- Reduce ----------------------------------------------------------
+    finish_reduce(workload, comm, &pool, store, recovered, stats, wall)
+}
+
+/// The Reduce stage, shared by the barrier-on-all and quorum shuffle
+/// paths: merge locally mapped and decoded pieces in ascending file order
+/// for a deterministic concatenation, then reduce.
+fn finish_reduce<W: Workload>(
+    workload: &W,
+    comm: &cts_net::Communicator,
+    pool: &WorkerPool,
+    mut store: MapOutputStore,
+    recovered: Vec<(NodeSet, Vec<u8>)>,
+    mut stats: NodeStats,
+    mut wall: NodeWall,
+) -> NodeResult {
+    let me = comm.rank();
     comm.set_stage(stages::REDUCE);
     let timer = StageTimer::start();
-    // Merge locally mapped and decoded pieces in ascending file order for a
-    // deterministic concatenation.
     let mut pieces: Vec<(u64, Bytes)> = store
         .take_for_target(me)
         .into_iter()
@@ -367,7 +486,7 @@ fn node_main<W: Workload>(
         partition_data.extend_from_slice(b);
     }
     stats.reduce_input_bytes = partition_data.len() as u64;
-    let output = workload.reduce_par(me, &partition_data, &pool);
+    let output = workload.reduce_par(me, &partition_data, pool);
     wall.reduce = timer.stop();
     comm.barrier()?;
 
@@ -529,6 +648,50 @@ mod tests {
                     .max(std::time::Duration::from_micros(1))
                     * 50
         );
+    }
+
+    #[test]
+    fn quorum_decode_matches_all_decode() {
+        use cts_core::field::FieldKind;
+        let input = sample_input(2200);
+        for field in FieldKind::ALL {
+            for (k, r) in [(4, 2), (5, 3), (4, 1), (5, 4)] {
+                let cfg = EngineConfig::local(k, r).with_field(field);
+                let all = run_coded(&ByteSort, input.clone(), &cfg).unwrap();
+                let quorum =
+                    run_coded(&ByteSort, input.clone(), &cfg.clone().decode_quorum()).unwrap();
+                assert_eq!(all.outputs, quorum.outputs, "k={k} r={r} field={field}");
+                // Traffic accounting stays sane: one multicast per group
+                // membership either way.
+                assert_eq!(all.stats.num_groups, quorum.stats.num_groups);
+            }
+        }
+    }
+
+    #[test]
+    fn quorum_decode_works_over_tcp_and_threads() {
+        use cts_core::field::FieldKind;
+        let input = sample_input(1500);
+        let reference = run_sequential(&ByteSort, &input, 4);
+        let tcp = run_coded(
+            &ByteSort,
+            input.clone(),
+            &EngineConfig::tcp(4, 3)
+                .with_field(FieldKind::Gf256)
+                .decode_quorum(),
+        )
+        .unwrap();
+        assert_eq!(tcp.outputs, reference);
+        let threaded = run_coded(
+            &ByteSort,
+            input,
+            &EngineConfig::local(4, 3)
+                .with_field(FieldKind::Gf256)
+                .decode_quorum()
+                .with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(threaded.outputs, reference);
     }
 
     #[test]

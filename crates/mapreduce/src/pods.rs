@@ -38,6 +38,12 @@ use crate::workload::Workload;
 /// Runs `workload` with pod-partitioned coding: pods of `pod_size` nodes,
 /// redundancy `cfg.r` within each pod.
 ///
+/// The pod engine always uses barrier-on-all decode regardless of
+/// `cfg.decode`: in-pod groups are small and rack-local, so the quorum
+/// machinery's MDS payload inflation (`total/(r−1)` instead of
+/// `total/r` per packet) buys nothing there — stragglers are a
+/// cross-rack phenomenon, and the flat engine's quorum mode covers it.
+///
 /// # Errors
 /// `BadConfig` unless `pod_size` divides `cfg.k` and `cfg.r < pod_size`.
 pub fn run_coded_pods<W: Workload>(

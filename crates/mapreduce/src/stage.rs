@@ -2,6 +2,7 @@
 
 use std::time::{Duration, Instant};
 
+use cts_core::decode::DecodeMode;
 use cts_core::field::FieldKind;
 use cts_net::cluster::ClusterConfig;
 use cts_net::fabric::ShuffleFabric;
@@ -126,6 +127,12 @@ pub struct EngineConfig {
     /// outputs are byte-identical for either choice; only the coded wire
     /// payloads differ.
     pub field: FieldKind,
+    /// When a receiver releases a decoded group: `All` (the paper's
+    /// barrier-on-all cancel-and-divide, the default) or `Quorum` — with
+    /// GF(256), MDS-mixed packets let any `r − 1` of a group's `r`
+    /// packets reach full rank, so the shuffle proceeds without its
+    /// slowest sender. Sorted outputs are byte-identical either way.
+    pub decode: DecodeMode,
 }
 
 impl EngineConfig {
@@ -139,6 +146,7 @@ impl EngineConfig {
             pipelined_decode: false,
             threads: 1,
             field: FieldKind::Gf2,
+            decode: DecodeMode::All,
         }
     }
 
@@ -152,6 +160,7 @@ impl EngineConfig {
             pipelined_decode: false,
             threads: 1,
             field: FieldKind::Gf2,
+            decode: DecodeMode::All,
         }
     }
 
@@ -174,6 +183,19 @@ impl EngineConfig {
     pub fn with_field(mut self, field: FieldKind) -> Self {
         self.field = field;
         self
+    }
+
+    /// Selects the group release policy (see
+    /// [`EngineConfig::decode`]).
+    pub fn with_decode(mut self, decode: DecodeMode) -> Self {
+        self.decode = decode;
+        self
+    }
+
+    /// Shorthand for quorum decode: release each group as soon as its
+    /// MDS system reaches full rank instead of waiting for every sender.
+    pub fn decode_quorum(self) -> Self {
+        self.with_decode(DecodeMode::Quorum)
     }
 
     /// Selects how the coded shuffle's group sends hit the wire

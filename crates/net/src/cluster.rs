@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use crate::comm::{BcastAlgorithm, Communicator};
 use crate::error::Result;
 use crate::fabric::ShuffleFabric;
+use crate::fault::{FaultRule, FaultyTransport};
 use crate::local::LocalFabric;
 use crate::rate::{Nic, NicProfile};
 use crate::tcp::build_tcp_fabric;
@@ -55,6 +56,27 @@ pub enum TransportKind {
     Udp,
 }
 
+/// A fault injected on one rank's outgoing traffic: the rank's transport
+/// is wrapped in a [`FaultyTransport`] applying `rule` to every send —
+/// the cluster-level hook the straggler/failure tests use to slow down or
+/// kill one node's shuffle egress deterministically.
+#[derive(Clone)]
+pub struct ClusterFault {
+    /// The rank whose sends are faulted.
+    pub rank: usize,
+    /// The rule applied to each of that rank's outgoing messages.
+    pub rule: Arc<FaultRule>,
+}
+
+impl std::fmt::Debug for ClusterFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterFault")
+            .field("rank", &self.rank)
+            .field("rule", &"<rule>")
+            .finish()
+    }
+}
+
 /// Cluster construction parameters.
 #[derive(Clone, Debug)]
 pub struct ClusterConfig {
@@ -76,6 +98,9 @@ pub struct ClusterConfig {
     /// injection, stats sink) for the [`TransportKind::Udp`] fabric;
     /// ignored by the others.
     pub udp: UdpConfig,
+    /// Optional message-level fault on one rank's sends (straggler
+    /// slowdown, blackhole, corruption). Applies on every transport kind.
+    pub fault: Option<ClusterFault>,
 }
 
 impl ClusterConfig {
@@ -89,6 +114,7 @@ impl ClusterConfig {
             fabric: ShuffleFabric::default(),
             trace_enabled: true,
             udp: UdpConfig::default(),
+            fault: None,
         }
     }
 
@@ -157,6 +183,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Injects a message-level fault on `rank`'s outgoing traffic (see
+    /// [`ClusterFault`]).
+    pub fn with_fault(mut self, rank: usize, rule: Arc<FaultRule>) -> Self {
+        self.fault = Some(ClusterFault { rank, rule });
+        self
+    }
+
     /// Enables or disables trace recording.
     pub fn with_trace(mut self, enabled: bool) -> Self {
         self.trace_enabled = enabled;
@@ -210,7 +243,7 @@ where
     let k = config.k;
     let trace = Arc::new(TraceCollector::new(config.trace_enabled));
 
-    let transports: Vec<Arc<dyn Transport>> = match config.resolved_transport() {
+    let mut transports: Vec<Arc<dyn Transport>> = match config.resolved_transport() {
         TransportKind::Local => {
             let fabric = LocalFabric::new(k);
             (0..k)
@@ -226,6 +259,19 @@ where
             .map(|ep| Arc::new(ep) as Arc<dyn Transport>)
             .collect(),
     };
+    if let Some(fault) = &config.fault {
+        assert!(
+            fault.rank < k,
+            "faulted rank {} outside world {k}",
+            fault.rank
+        );
+        let rule = Arc::clone(&fault.rule);
+        let inner = Arc::clone(&transports[fault.rank]);
+        transports[fault.rank] = Arc::new(FaultyTransport::new(
+            inner,
+            Box::new(move |dst, tag, payload, idx| rule(dst, tag, payload, idx)),
+        ));
+    }
 
     let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..k).map(|_| Mutex::new(None)).collect();

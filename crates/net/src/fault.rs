@@ -52,19 +52,33 @@ pub enum DatagramAction {
 }
 
 /// Rule signature for datagram fault injection:
-/// `(group mask, message seq, chunk index, per-endpoint datagram index)`
-/// → action. Retransmitted chunks pass through the rule again (with fresh
-/// datagram indices), so a probabilistic rule exercises repeated-loss
-/// recovery too.
-pub type DatagramRule = dyn Fn(u128, u32, u16, u64) -> DatagramAction + Send + Sync;
+/// `(sender rank, group mask, message seq, chunk index, per-endpoint
+/// datagram index)` → action. Retransmitted chunks pass through the rule
+/// again (with fresh datagram indices), so a probabilistic rule exercises
+/// repeated-loss recovery too; the sender rank lets a rule black out one
+/// node's egress entirely.
+pub type DatagramRule = dyn Fn(usize, u128, u32, u16, u64) -> DatagramAction + Send + Sync;
 
 /// A deterministic ~`percent`% datagram-loss rule: drops when a hash of
 /// the datagram index (mixed with `seed`) lands under the threshold.
 /// Deterministic per `(seed, index)`, so failing runs replay exactly.
 pub fn datagram_loss_rule(percent: u32, seed: u64) -> std::sync::Arc<DatagramRule> {
-    std::sync::Arc::new(move |_mask, _seq, _chunk, idx| {
+    std::sync::Arc::new(move |_sender, _mask, _seq, _chunk, idx| {
         let h = (idx ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
         if h % 100 < percent as u64 {
+            DatagramAction::Drop
+        } else {
+            DatagramAction::Deliver
+        }
+    })
+}
+
+/// A whole-sender blackout: every datagram `victim` sends is dropped —
+/// the node is alive (it receives, maps, reduces) but its egress is dead.
+/// The harshest straggler: quorum decode must complete without it.
+pub fn sender_blackout_rule(victim: usize) -> std::sync::Arc<DatagramRule> {
+    std::sync::Arc::new(move |sender, _mask, _seq, _chunk, _idx| {
+        if sender == victim {
             DatagramAction::Drop
         } else {
             DatagramAction::Deliver
@@ -80,12 +94,45 @@ pub enum FaultAction {
     Drop,
     /// Deliver a corrupted payload instead.
     Corrupt(Bytes),
+    /// Deliver, but only after `Duration` — a slow link or straggling
+    /// sender. The `send` call itself returns immediately (the delay runs
+    /// on a detached thread), modeling a node whose NIC queue drains
+    /// slowly rather than one that blocks its own compute.
+    Delay(Duration),
     /// Fail the `send` call itself with an error.
     FailSend,
 }
 
 /// The rule signature: `(dst, tag, payload, send_index)` → action.
 pub type FaultRule = dyn Fn(usize, Tag, &Bytes, u64) -> FaultAction + Send + Sync;
+
+/// A straggler rule: every coded-shuffle multicast this node sends
+/// (purpose [`Tag::BCAST`]) is delayed by `delay`; barrier and other
+/// control traffic flows normally, so stage synchronization still works —
+/// the node is slow at shuffling, not partitioned.
+pub fn straggler_delay_rule(delay: Duration) -> Arc<FaultRule> {
+    Arc::new(move |_dst, tag: Tag, _payload: &Bytes, _idx| {
+        if tag.purpose() == Tag::BCAST {
+            FaultAction::Delay(delay)
+        } else {
+            FaultAction::Deliver
+        }
+    })
+}
+
+/// The `∞×` straggler: every coded-shuffle multicast this node sends is
+/// silently dropped — its packets never arrive. Control traffic still
+/// flows, so the node participates in barriers and keeps receiving;
+/// only quorum decode can finish a shuffle with such a sender.
+pub fn straggler_blackhole_rule() -> Arc<FaultRule> {
+    Arc::new(move |_dst, tag: Tag, _payload: &Bytes, _idx| {
+        if tag.purpose() == Tag::BCAST {
+            FaultAction::Drop
+        } else {
+            FaultAction::Deliver
+        }
+    })
+}
 
 /// A [`Transport`] wrapper that applies a [`FaultRule`] to outgoing traffic.
 pub struct FaultyTransport {
@@ -94,6 +141,7 @@ pub struct FaultyTransport {
     sends: AtomicU64,
     dropped: AtomicU64,
     corrupted: AtomicU64,
+    delayed: AtomicU64,
 }
 
 impl FaultyTransport {
@@ -105,6 +153,7 @@ impl FaultyTransport {
             sends: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             corrupted: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
         }
     }
 
@@ -116,6 +165,11 @@ impl FaultyTransport {
     /// Number of messages corrupted so far.
     pub fn corrupted(&self) -> u64 {
         self.corrupted.load(Ordering::Relaxed)
+    }
+
+    /// Number of messages delivered late so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
     }
 }
 
@@ -139,6 +193,18 @@ impl Transport for FaultyTransport {
             FaultAction::Corrupt(bad) => {
                 self.corrupted.fetch_add(1, Ordering::Relaxed);
                 self.inner.send(dst, tag, bad)
+            }
+            FaultAction::Delay(d) => {
+                self.delayed.fetch_add(1, Ordering::Relaxed);
+                let inner = Arc::clone(&self.inner);
+                std::thread::spawn(move || {
+                    std::thread::sleep(d);
+                    // The receiver may have shut down by the time a long
+                    // delay drains; a late send failing is the same
+                    // observable as a drop.
+                    let _ = inner.send(dst, tag, payload);
+                });
+                Ok(())
             }
             FaultAction::FailSend => Err(NetError::InjectedFault {
                 what: format!("send #{idx} to {dst} {tag} failed by rule"),
@@ -230,14 +296,73 @@ mod tests {
     #[test]
     fn datagram_loss_rule_is_deterministic_and_roughly_calibrated() {
         let rule = datagram_loss_rule(20, 7);
-        let first: Vec<DatagramAction> = (0..1000).map(|i| rule(0, 0, 0, i)).collect();
-        let second: Vec<DatagramAction> = (0..1000).map(|i| rule(0, 0, 0, i)).collect();
+        let first: Vec<DatagramAction> = (0..1000).map(|i| rule(0, 0, 0, 0, i)).collect();
+        let second: Vec<DatagramAction> = (0..1000).map(|i| rule(0, 0, 0, 0, i)).collect();
         assert_eq!(first, second, "rule must replay identically");
         let drops = first.iter().filter(|a| **a == DatagramAction::Drop).count();
         assert!((100..400).contains(&drops), "~20% of 1000, got {drops}");
         // 0% never drops.
         let never = datagram_loss_rule(0, 7);
-        assert!((0..1000).all(|i| never(0, 0, 0, i) == DatagramAction::Deliver));
+        assert!((0..1000).all(|i| never(0, 0, 0, 0, i) == DatagramAction::Deliver));
+    }
+
+    #[test]
+    fn sender_blackout_drops_only_the_victim() {
+        let rule = sender_blackout_rule(2);
+        assert_eq!(rule(2, 0, 0, 0, 0), DatagramAction::Drop);
+        assert_eq!(rule(2, 5, 9, 1, 77), DatagramAction::Drop);
+        assert_eq!(rule(0, 0, 0, 0, 0), DatagramAction::Deliver);
+        assert_eq!(rule(3, 0, 0, 0, 0), DatagramAction::Deliver);
+    }
+
+    #[test]
+    fn delay_delivers_late_and_counts() {
+        let fabric = LocalFabric::new(2);
+        let faulty = FaultyTransport::new(
+            Arc::new(fabric.endpoint(0)),
+            Box::new(|_, _, _, _| FaultAction::Delay(Duration::from_millis(30))),
+        );
+        let t0 = std::time::Instant::now();
+        faulty
+            .send(1, Tag::new(Tag::BCAST, 0), Bytes::from_static(b"late"))
+            .unwrap();
+        // The send itself returns immediately (detached delivery).
+        assert!(t0.elapsed() < Duration::from_millis(25));
+        assert_eq!(faulty.delayed(), 1);
+        let got = fabric
+            .endpoint(1)
+            .recv_timeout(0, Tag::new(Tag::BCAST, 0), Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(got, "late");
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn straggler_rules_spare_control_traffic() {
+        let delay = straggler_delay_rule(Duration::from_millis(1));
+        let hole = straggler_blackhole_rule();
+        let bcast = Tag::new(Tag::BCAST, 7);
+        let barrier = Tag::new(Tag::BARRIER, 0);
+        assert!(matches!(
+            delay(1, bcast, &Bytes::new(), 0),
+            FaultAction::Delay(_)
+        ));
+        assert!(matches!(
+            delay(1, barrier, &Bytes::new(), 0),
+            FaultAction::Deliver
+        ));
+        assert!(matches!(
+            hole(1, bcast, &Bytes::new(), 0),
+            FaultAction::Drop
+        ));
+        assert!(matches!(
+            hole(1, barrier, &Bytes::new(), 0),
+            FaultAction::Deliver
+        ));
+        assert!(matches!(
+            hole(1, Tag::app(3), &Bytes::new(), 0),
+            FaultAction::Deliver
+        ));
     }
 
     #[test]

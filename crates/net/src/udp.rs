@@ -483,7 +483,7 @@ impl Shared {
             frame.extend_from_slice(&payload[span]);
             let dgi = self.dg_index.fetch_add(1, Ordering::Relaxed);
             if let Some(rule) = &self.cfg.fault {
-                if rule(mask, seq, idx, dgi) == DatagramAction::Drop {
+                if rule(self.rank, mask, seq, idx, dgi) == DatagramAction::Drop {
                     self.core
                         .stats
                         .dropped_by_fault
@@ -1332,7 +1332,7 @@ mod tests {
         }
         // Drop the first 2 data datagrams outright, deliver the rest.
         let cfg = UdpConfig {
-            fault: Some(Arc::new(|_, _, _, idx| {
+            fault: Some(Arc::new(|_, _, _, _, idx| {
                 if idx < 2 {
                     DatagramAction::Drop
                 } else {

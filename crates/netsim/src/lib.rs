@@ -17,6 +17,8 @@
 //!   plus the `MPI_Bcast` tree-cost ablation;
 //! * [`fluid`] — a max-min-fair discrete-event simulator for the §VI
 //!   *asynchronous execution* future-work extension;
+//! * [`straggler`] — makespan brackets for one slow/dead sender under
+//!   barrier-on-all vs MDS quorum decode;
 //! * [`model`] — run statistics + trace → [`breakdown::StageBreakdown`];
 //! * [`breakdown`] — stage breakdowns and paper-style table rendering;
 //! * [`timeline`] — ASCII Fig. 9 schedules.
@@ -33,6 +35,7 @@ pub mod fluid;
 pub mod model;
 pub mod serial;
 pub mod stats;
+pub mod straggler;
 pub mod timeline;
 
 pub use breakdown::{render_table, StageBreakdown, TableRow};
@@ -43,3 +46,4 @@ pub use serial::{
     serial_fabric_makespan, serial_makespan, serial_schedule, transfers_by_sender, Schedule,
 };
 pub use stats::{NodeStats, RunStats};
+pub use straggler::{Bracket, Slowdown, StragglerModel};

@@ -78,6 +78,16 @@ impl SortJob {
         self
     }
 
+    /// Selects the coded driver's decode discipline: `all` (the paper's
+    /// barrier-on-all default) or `quorum` (release each group once any
+    /// `r-1` of its `r` coded packets arrive, via the GF(256) MDS code; the
+    /// shuffle then proceeds without the slowest senders). Sorted output
+    /// is byte-identical either way.
+    pub fn with_decode(mut self, decode: cts_core::decode::DecodeMode) -> Self {
+        self.engine = self.engine.with_decode(decode);
+        self
+    }
+
     /// Uses quantile sampling instead of uniform ranges.
     pub fn with_sampling(mut self, sample_every: usize) -> Self {
         assert!(sample_every >= 1, "sampling stride must be >= 1");

@@ -13,8 +13,12 @@
 //!
 //! Generation is random but **deterministic**: every run draws from a
 //! fixed-seed xoshiro-style stream (override with `PROPTEST_SEED`), so CI
-//! failures reproduce locally. Unlike real proptest there is no shrinking;
-//! failures print the generated inputs instead.
+//! failures reproduce locally. Failures are **shrunk** before reporting:
+//! [`Strategy::shrink`] proposes strictly-simpler candidates (integers
+//! step toward the range start, vectors drop elements toward their
+//! minimum length and simplify elements, tuples shrink component-wise)
+//! and the runner greedily adopts any candidate that still fails, within
+//! a fixed evaluation budget, then reports the minimal failing inputs.
 
 use std::fmt;
 
@@ -116,12 +120,22 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    /// Proposes strictly-simpler candidates for a failing `value`, most
+    /// aggressive first. The runner adopts any candidate that still fails
+    /// and asks again, so returning an empty list (the default) simply
+    /// opts a strategy out of shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -133,6 +147,12 @@ macro_rules! int_range_strategies {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
@@ -147,11 +167,30 @@ macro_rules! int_range_strategies {
                 }
                 (lo as i128 + rng.below(diff as u64 + 1) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
 int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Simpler integers than `v` for a range starting at `lo`: the start
+/// itself, the midpoint, and the predecessor — enough for the greedy
+/// runner to binary-search down to a minimal failing value.
+fn shrink_toward(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    for c in [lo, lo + (v - lo) / 2, v - 1] {
+        if c >= lo && c < v && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
 
 /// `&str` strategies mirror proptest's regex semantics far enough for the
 /// literal patterns the workspace uses: the generated string is the literal.
@@ -171,25 +210,40 @@ impl Strategy for str {
 }
 
 macro_rules! tuple_strategies {
-    ($(($($name:ident),+);)*) => {$(
+    ($(($($name:ident $idx:tt),+);)*) => {$(
         #[allow(non_snake_case)]
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone),+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Component-wise: shrink each slot with the others held.
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
 }
 
 tuple_strategies! {
-    (A);
-    (A, B);
-    (A, B, C);
-    (A, B, C, D);
-    (A, B, C, D, E);
-    (A, B, C, D, E, F);
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
 }
 
 /// Types with a canonical "anything" strategy, mirroring
@@ -289,12 +343,41 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let span = (self.size.hi - self.size.lo) as u64;
             let len = self.size.lo + rng.below(span) as usize;
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            // Shorter first (never below the strategy's minimum length):
+            // the half-length prefix, then dropping one element at a time.
+            if len > self.size.lo {
+                let half = self.size.lo.max(len / 2);
+                if half < len {
+                    out.push(value[..half].to_vec());
+                }
+                for i in (0..len).rev() {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    out.push(v);
+                }
+            }
+            // Then same-length with one element simplified.
+            for i in 0..len {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 
@@ -343,6 +426,50 @@ pub fn describe_inputs(inputs: &dyn fmt::Debug) -> String {
     format!("{inputs:?}")
 }
 
+/// Pins a checker closure's argument type to `&S::Value` so the
+/// [`proptest!`] expansion can write it without naming the (macro-opaque)
+/// tuple type. Identity otherwise.
+pub fn check_fn<S, F>(_strat: &S, check: F) -> F
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    check
+}
+
+/// Greedily minimizes a failing input: repeatedly adopts the first
+/// [`Strategy::shrink`] candidate that still fails, until no candidate
+/// fails or the evaluation budget runs out. `prop_assume!` rejections and
+/// passes both disqualify a candidate. Returns the minimal value and its
+/// failure; used by the [`proptest!`] expansion.
+pub fn shrink_to_minimal<S, F>(
+    strat: &S,
+    mut value: S::Value,
+    mut failure: TestCaseError,
+    check: &F,
+) -> (S::Value, TestCaseError)
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut budget = 512usize;
+    'outer: while budget > 0 {
+        for cand in strat.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(err @ TestCaseError::Fail(_)) = check(&cand) {
+                value = cand;
+                failure = err;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, failure)
+}
+
 /// Defines property tests. See the crate docs for the supported subset.
 #[macro_export]
 macro_rules! proptest {
@@ -359,19 +486,34 @@ macro_rules! proptest {
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
                 $crate::run_cases(stringify!($name), &config, |__rng| {
-                    $(let $arg = $crate::Strategy::generate(&$strat, __rng);)+
-                    let __inputs = $crate::describe_inputs(&($(&$arg,)+));
+                    let __strat = ($(&$strat,)+);
+                    let mut __val = $crate::Strategy::generate(&__strat, __rng);
                     // The immediately-called closure gives prop_assert!/
-                    // prop_assume! an early-return target.
-                    #[allow(clippy::redundant_closure_call)]
-                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
-                        (move || {
-                            $body
-                            Ok(())
-                        })();
+                    // prop_assume! an early-return target; it runs on
+                    // clones so the shrinker can retry candidates.
+                    let __check = $crate::check_fn(&__strat, |__v| {
+                        let ($($arg,)+) = ::std::clone::Clone::clone(__v);
+                        #[allow(clippy::redundant_closure_call)]
+                        let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                            (move || {
+                                $body
+                                Ok(())
+                            })();
+                        __result
+                    });
+                    let __outcome = match __check(&__val) {
+                        Err(__failure @ $crate::TestCaseError::Fail(_)) => {
+                            let (__min, __min_failure) =
+                                $crate::shrink_to_minimal(&__strat, __val, __failure, &__check);
+                            __val = __min;
+                            Err(__min_failure)
+                        }
+                        __other => __other,
+                    };
                     if let Err($crate::TestCaseError::Fail(msg)) = __outcome {
                         return Err($crate::TestCaseError::Fail(format!(
-                            "{msg}\ninputs: {__inputs}"
+                            "{msg}\nminimal failing inputs: {}",
+                            $crate::describe_inputs(&__val)
                         )));
                     }
                     __outcome
@@ -526,6 +668,71 @@ mod tests {
         fn full_width_inclusive_range_is_safe(x in 0u64..=u64::MAX) {
             let _ = x; // any u64 is in range; just must not divide by zero
         }
+    }
+
+    #[test]
+    fn int_shrink_steps_toward_the_range_start() {
+        let s = 3u32..100;
+        let c = crate::Strategy::shrink(&s, &57);
+        assert!(c.contains(&3), "{c:?}");
+        assert!(c.iter().all(|&v| (3..57).contains(&v)), "{c:?}");
+        assert!(crate::Strategy::shrink(&s, &3).is_empty());
+        let si = -5i32..=5;
+        assert!(crate::Strategy::shrink(&si, &0).contains(&-5));
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_minimum_length() {
+        let s = crate::collection::vec(0u8..10, 2..8);
+        let c = crate::Strategy::shrink(&s, &vec![5, 5, 5, 5]);
+        assert!(c.iter().all(|w| w.len() >= 2), "{c:?}");
+        assert!(c.iter().any(|w| w.len() < 4), "{c:?}");
+        // Same-length candidates simplify one element toward the start.
+        assert!(c.iter().any(|w| w.len() == 4 && w.contains(&0)), "{c:?}");
+    }
+
+    #[test]
+    fn tuple_shrink_is_component_wise() {
+        let s = (0u8..10, 0u8..10);
+        let c = crate::Strategy::shrink(&s, &(4, 6));
+        assert!(!c.is_empty());
+        // Every candidate changes exactly one slot.
+        assert!(c.iter().all(|&(a, b)| (a == 4) != (b == 6)), "{c:?}");
+    }
+
+    fn panic_message(result: std::thread::Result<()>) -> String {
+        let payload = result.expect_err("property should have failed");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "<non-string panic>".to_string())
+    }
+
+    #[test]
+    fn failing_int_property_reports_the_minimal_input() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn must_be_small(x in 0u32..1000) {
+                prop_assert!(x < 10);
+            }
+        }
+        let msg = panic_message(std::panic::catch_unwind(must_be_small));
+        assert!(msg.contains("minimal failing inputs"), "{msg}");
+        // Greedy bisection lands exactly on the boundary value.
+        assert!(msg.contains("(10,)"), "{msg}");
+    }
+
+    #[test]
+    fn failing_vec_property_reports_the_minimal_input() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn short_vecs(v in collection::vec(0u32..100, 0..50)) {
+                prop_assert!(v.len() < 5);
+            }
+        }
+        let msg = panic_message(std::panic::catch_unwind(short_vecs));
+        // Minimal = shortest failing length with every element simplified.
+        assert!(msg.contains("([0, 0, 0, 0, 0],)"), "{msg}");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! cts gen    --records 100000 --out data.bin [--seed 7] [--skew 0.6]
 //! cts sort   --input data.bin --k 8 --r 3 [--pods 4] [--sampled 16]
 //!            [--tcp] [--sort-kernel key-index] [--threads 4]
-//!            [--fabric udp-multicast] [--field gf256] [--paper-nic]
+//!            [--fabric udp-multicast] [--field gf256] [--decode quorum]
+//!            [--paper-nic]
 //! cts model  --k 16 --r 3 [--records 120000] [--target-gb 12]
 //! cts theory --k 16 [--tmap 1.86 --tshuffle 945.72 --treduce 10.47]
 //! ```
@@ -61,7 +62,7 @@ USAGE:
                [--tcp] [--radix] [--no-validate]
                [--sort-kernel comparison|lsd-radix|key-index] [--threads T]
                [--fabric serial-unicast|fanout|multicast|udp-multicast]
-               [--field gf2|gf256] [--paper-nic]
+               [--field gf2|gf256] [--decode all|quorum] [--paper-nic]
                sort a file: r=1 → TeraSort, r>1 → CodedTeraSort,
                --pods G → pod-partitioned coded engine,
                --sort-kernel → Reduce sort algorithm (--radix is the
@@ -72,6 +73,10 @@ USAGE:
                  SIMD kernels — same sorted output, different wire bytes),
                --fabric → how multicast groups hit the wire (udp-multicast =
                physical IP multicast; needs kernel multicast support),
+               --decode → coded decode discipline (all = the paper's
+                 barrier-on-all, default; quorum = release each group once
+                 any r-1 of r coded packets arrive — GF(256) MDS code, the
+                 shuffle outruns stragglers; same sorted output),
                --paper-nic → emulate the paper's 100 Mbps NIC in real time
   cts model  --k K --r R [--records N] [--target-gb G]
                modeled paper-scale stage breakdown (EC2 calibration)
@@ -158,6 +163,13 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
         None => cts_core::FieldKind::default(),
         Some(v) => v.parse()?,
     };
+    let decode: cts_core::decode::DecodeMode = match opts.get("decode") {
+        None => cts_core::decode::DecodeMode::default(),
+        Some(v) => v.parse()?,
+    };
+    if decode == cts_core::decode::DecodeMode::Quorum && r <= 1 {
+        return Err("--decode quorum needs --r 2 or more (no coded groups at r = 1)".to_string());
+    }
 
     let raw = std::fs::read(&input_path).map_err(|e| format!("reading {input_path}: {e}"))?;
     let input = Bytes::from(raw);
@@ -194,7 +206,16 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
     if sampled > 0 {
         job = job.with_sampling(sampled);
     }
-    job = job.with_fabric(fabric).with_field(field);
+    job = job
+        .with_fabric(fabric)
+        .with_field(field)
+        .with_decode(decode);
+    if decode == cts_core::decode::DecodeMode::Quorum {
+        println!(
+            "decode: quorum (any {} of {r} coded packets release a group)",
+            cts_core::solve::mds_parts(r + 1)
+        );
+    }
     if field == cts_core::FieldKind::Gf256 {
         println!(
             "coding field: GF(256), kernel {}",

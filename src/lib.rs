@@ -59,7 +59,7 @@ pub use cts_terasort as terasort;
 pub mod prelude {
     pub use cts_core::theory;
     pub use cts_core::{
-        BufPool, CodedPacket, Decoder, EncodeScratch, Encoder, FieldKind, Gf256Kernel,
+        BufPool, CodedPacket, DecodeMode, Decoder, EncodeScratch, Encoder, FieldKind, Gf256Kernel,
         MapOutputStore, MulticastGroups, NodeSet, PlacementPlan, WorkerPool,
     };
     pub use cts_mapreduce::{

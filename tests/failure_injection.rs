@@ -1,7 +1,12 @@
 //! Failure injection: the coding layer must turn transport misbehaviour
-//! into errors, never into silently wrong output.
+//! into errors, never into silently wrong output — and, with the MDS
+//! quorum decode, a straggling or dead sender must not hold the shuffle
+//! hostage. The straggler tests inject deterministic slowdown rules
+//! ({2×, 10×, ∞}) on one rank and hold the measured makespans inside the
+//! `cts_netsim::straggler` model's brackets.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use coded_terasort::coding::decode::DecodePipeline;
@@ -10,9 +15,13 @@ use coded_terasort::coding::intermediate::MapOutputStore;
 use coded_terasort::coding::packet::CodedPacket;
 use coded_terasort::coding::placement::PlacementPlan;
 use coded_terasort::coding::CodedError;
-use coded_terasort::net::fault::{FaultAction, FaultyTransport};
+use coded_terasort::net::fault::{
+    straggler_blackhole_rule, straggler_delay_rule, FaultAction, FaultyTransport,
+};
 use coded_terasort::net::local::LocalFabric;
 use coded_terasort::net::{NetError, Tag, Transport};
+use coded_terasort::netsim::straggler::{Slowdown, StragglerModel};
+use coded_terasort::prelude::*;
 
 /// Builds keep-rule stores for a (k, r) deployment with deterministic
 /// contents.
@@ -133,6 +142,105 @@ fn corrupted_wire_bytes_fail_engine_style_parsing() {
     let raw = fabric.endpoint(1).recv(0, Tag::app(0)).unwrap();
     let err = CodedPacket::from_bytes(&raw).unwrap_err();
     assert!(matches!(err, CodedError::MalformedPacket { .. }));
+}
+
+/// One timed coded sort with an optional fault rule on `victim`.
+fn timed_run(
+    input: &Bytes,
+    k: usize,
+    r: usize,
+    decode: DecodeMode,
+    fault: Option<(usize, Arc<coded_terasort::net::fault::FaultRule>)>,
+) -> (Vec<Vec<u8>>, f64) {
+    let mut job = SortJob::local(k, r)
+        .with_field(FieldKind::Gf256)
+        .with_decode(decode);
+    if let Some((victim, rule)) = fault {
+        job.engine.cluster = job.engine.cluster.with_fault(victim, rule);
+    }
+    let started = Instant::now();
+    let run = run_coded_terasort(input.clone(), &job).expect("coded sort with straggler");
+    let elapsed = started.elapsed().as_secs_f64();
+    run.validate().expect("TeraValidate");
+    (run.outcome.outputs, elapsed)
+}
+
+#[test]
+fn quorum_decode_outruns_delayed_stragglers() {
+    let (k, r) = (5usize, 3usize);
+    let victim = 1usize;
+    let input = teragen::generate(2_000, 2017);
+
+    // Healthy baseline: calibrates the straggler model's brackets.
+    let (reference, healthy_s) = timed_run(&input, k, r, DecodeMode::Quorum, None);
+
+    // Deterministic {2×, 10×} slowdowns: the victim's multicasts arrive
+    // `factor × unit` late, where the unit is the healthy makespan floored
+    // at 40 ms so CI timing noise can't drown the signal, and the whole
+    // sweep is capped to keep the suite fast.
+    let unit_s = healthy_s.max(0.04);
+    for factor in [2.0f64, 10.0] {
+        let delay_s = (factor * unit_s).min(0.4);
+        let model = StragglerModel::new(healthy_s, Slowdown::DelayS(delay_s));
+        let rule = straggler_delay_rule(Duration::from_secs_f64(delay_s));
+
+        let (outputs, quorum_s) = timed_run(
+            &input,
+            k,
+            r,
+            DecodeMode::Quorum,
+            Some((victim, Arc::clone(&rule))),
+        );
+        assert_eq!(outputs, reference, "quorum output diverged at {factor}×");
+        let bracket = model.quorum_bracket();
+        assert!(
+            bracket.contains(quorum_s),
+            "{factor}×: quorum makespan {quorum_s:.3}s outside [{:.3}, {:.3}]s",
+            bracket.lo_s,
+            bracket.hi_s
+        );
+
+        // Contrast: the paper's barrier-on-all decode must eat the delay.
+        let (all_outputs, all_s) = timed_run(&input, k, r, DecodeMode::All, Some((victim, rule)));
+        assert_eq!(
+            all_outputs, reference,
+            "all-mode output diverged at {factor}×"
+        );
+        let all_bracket = model.all_bracket();
+        assert!(
+            all_bracket.contains(all_s),
+            "{factor}×: all-mode makespan {all_s:.3}s below the injected delay {delay_s:.3}s"
+        );
+    }
+}
+
+#[test]
+fn quorum_decode_survives_a_dead_sender() {
+    // The ∞ point of the sweep: the victim's multicasts never arrive.
+    // Only the quorum decode can finish; its makespan must still track
+    // the healthy run, and the output must stay byte-identical.
+    let (k, r) = (5usize, 3usize);
+    let victim = 2usize;
+    let input = teragen::generate(2_000, 4099);
+
+    let (reference, healthy_s) = timed_run(&input, k, r, DecodeMode::Quorum, None);
+    let model = StragglerModel::new(healthy_s, Slowdown::Blackhole);
+    let (outputs, dead_s) = timed_run(
+        &input,
+        k,
+        r,
+        DecodeMode::Quorum,
+        Some((victim, straggler_blackhole_rule())),
+    );
+    assert_eq!(outputs, reference, "output diverged with a dead sender");
+    let bracket = model.quorum_bracket();
+    assert!(
+        bracket.contains(dead_s),
+        "dead-sender makespan {dead_s:.3}s outside [{:.3}, {:.3}]s",
+        bracket.lo_s,
+        bracket.hi_s
+    );
+    assert!(model.predicted_speedup().is_infinite());
 }
 
 #[test]

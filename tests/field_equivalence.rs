@@ -4,6 +4,12 @@
 //! (SIMD and `CTS_FORCE_SCALAR`-forced scalar), thread counts, and the
 //! pod-partitioned engine. The wire payloads themselves *must differ*
 //! (nontrivial coefficients); only the recovered data is invariant.
+//!
+//! The decode discipline is the same kind of knob: `--decode quorum`
+//! (MDS, any `r−1` of `r`) must match `--decode all` byte-for-byte over
+//! every field × fabric × thread-count combination, with the field's
+//! degenerate cases (GF(2) has no nontrivial MDS code → quorum falls back
+//! to polling the classic code) covered too.
 
 use coded_terasort::mapreduce::run_coded_pods;
 use coded_terasort::prelude::*;
@@ -80,6 +86,50 @@ fn gf256_pipelined_decode_matches_batch() {
         sorted_outputs(&pipelined, &input),
         "gf256 batch vs pipelined decode"
     );
+}
+
+#[test]
+fn quorum_decode_matches_all_decode_across_fields_and_fabrics() {
+    let (k, r) = (5, 3);
+    let input = teragen::generate(1_800, 333);
+    let mut fabrics: Vec<ShuffleFabric> = ShuffleFabric::ALL.to_vec();
+    if multicast_available() {
+        fabrics.push(ShuffleFabric::UdpMulticast);
+    }
+    let reference = sorted_outputs(&SortJob::local(k, r), &input);
+    for &fabric in &fabrics {
+        for field in FieldKind::ALL {
+            let job = SortJob::local(k, r)
+                .with_fabric(fabric)
+                .with_field(field)
+                .with_decode(DecodeMode::Quorum);
+            assert_eq!(
+                sorted_outputs(&job, &input),
+                reference,
+                "quorum {field} over {fabric} vs all-mode reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn quorum_decode_matches_all_decode_across_thread_counts() {
+    let (k, r) = (5, 2);
+    let input = teragen::generate(1_500, 41);
+    let reference = sorted_outputs(&SortJob::local(k, r), &input);
+    for threads in [1usize, 2, 4] {
+        for field in FieldKind::ALL {
+            let job = SortJob::local(k, r)
+                .with_threads(threads)
+                .with_field(field)
+                .with_decode(DecodeMode::Quorum);
+            assert_eq!(
+                sorted_outputs(&job, &input),
+                reference,
+                "quorum {field} with {threads} threads"
+            );
+        }
+    }
 }
 
 #[test]

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use coded_terasort::prelude::*;
-use cts_net::fault::datagram_loss_rule;
+use cts_net::fault::{datagram_loss_rule, sender_blackout_rule};
 use cts_net::udp::{skip_without_multicast, UdpConfig};
 
 #[test]
@@ -92,4 +92,56 @@ fn loss_sweep_recovers_byte_identical_output_within_budget() {
             );
         }
     }
+}
+
+#[test]
+fn whole_sender_blackout_needs_no_nacks_under_quorum_decode() {
+    // The hardest loss pattern the NACK layer faces: one rank's datagrams
+    // *never* arrive, so loss recovery could only retransmit forever. The
+    // MDS quorum decode sidesteps recovery entirely — every group missing
+    // the victim's packet reaches rank from the other senders, healthy
+    // groups decode from full receipt, and nobody ever sends a NACK.
+    if skip_without_multicast() {
+        return;
+    }
+    let (k, r) = (5usize, 3usize);
+    let victim = 1usize;
+    let input = teragen::generate(2_000, 2017);
+    let reference = run_coded_terasort(
+        input.clone(),
+        &SortJob::local(k, r).with_field(FieldKind::Gf256),
+    )
+    .expect("lossless reference run");
+    reference.validate().expect("TeraValidate reference");
+
+    let udp = UdpConfig {
+        fault: Some(sender_blackout_rule(victim)),
+        ..Default::default()
+    };
+    let stats = Arc::clone(&udp.stats);
+    let mut job = SortJob::local(k, r)
+        .with_fabric(ShuffleFabric::UdpMulticast)
+        .with_field(FieldKind::Gf256)
+        .with_decode(DecodeMode::Quorum);
+    job.engine.cluster.udp = udp;
+    let run = run_coded_terasort(input.clone(), &job).expect("quorum run under blackout");
+    run.validate().expect("TeraValidate under blackout");
+    assert_eq!(
+        run.outcome.outputs, reference.outcome.outputs,
+        "output diverged under a whole-sender blackout"
+    );
+    assert!(
+        stats.dropped_by_fault() > 0,
+        "the blackout rule must have dropped the victim's datagrams"
+    );
+    assert_eq!(
+        stats.nacks_sent(),
+        0,
+        "quorum decode must finish without a single NACK round"
+    );
+    assert_eq!(
+        stats.mcast_repair_chunks() + stats.tcp_repair_chunks(),
+        0,
+        "no NACKs → no repair traffic"
+    );
 }
