@@ -29,11 +29,15 @@ use cts_core::placement::{FileId, PlacementPlan};
 use cts_core::solve::mds_parts;
 use cts_core::subset::NodeSet;
 use cts_net::cluster::run_spmd_with_inputs;
+use cts_net::fault::CrashPoint;
+use cts_net::health::{HealthBoard, HealthConfig, Heartbeat};
 use cts_net::message::Tag;
+use cts_net::registry::MembershipView;
 use cts_netsim::stats::{NodeStats, RunStats};
 
-use crate::error::{EngineError, Result};
-use crate::stage::{stages, EngineConfig, NodeWall, StageTimer, WallTimes};
+use crate::error::{EngineError, JobReport, Result};
+use crate::recover::{adopt_dead_partitions, alive_sync, CrashPanic, RecoveryAbort};
+use crate::stage::{stages, EngineConfig, NodeWall, RecoveryMode, StageTimer, WallTimes};
 use crate::uncoded::JobOutcome;
 use crate::workload::Workload;
 
@@ -62,10 +66,24 @@ pub fn run_coded<W: Workload>(
             ),
         });
     }
+    if cfg.recovery == RecoveryMode::Speculative
+        && (cfg.decode != DecodeMode::Quorum || !cfg.field.supports_quorum() || r < 2)
+    {
+        return Err(EngineError::BadConfig {
+            what: "speculative recovery requires GF(256), quorum decode, and r >= 2 \
+                   (the MDS quorum absorbs one dead sender per group)"
+                .into(),
+        });
+    }
 
     // Coordinator role: split the input into N = C(K, r) files and stage
     // each node's file set (zero-copy slices of the shared input buffer).
     let n = plan.num_files();
+    if cfg.recovery == RecoveryMode::Speculative && n >= 1 << 16 {
+        return Err(EngineError::BadConfig {
+            what: format!("{n} files exceed the 16-bit recovery tag space"),
+        });
+    }
     let files = workload.format().split(&input, n as usize);
     let per_node: Vec<Vec<(FileId, Bytes)>> = (0..k)
         .map(|node| {
@@ -75,20 +93,72 @@ pub fn run_coded<W: Workload>(
         })
         .collect();
 
-    let run = run_spmd_with_inputs(&cfg.cluster, per_node, |comm, my_files| {
-        node_main(workload, comm, my_files, cfg)
-    })?;
+    let spmd = || {
+        run_spmd_with_inputs(&cfg.cluster, per_node, |comm, my_files| {
+            node_main(workload, comm, my_files, cfg)
+        })
+    };
+    let run = if cfg.crashes.is_empty() {
+        spmd()?
+    } else {
+        // Crash injections with recovery off (and exhausted recovery
+        // capacity with it on) kill the dying rank's thread with a typed
+        // panic payload; the cluster's teardown unblocks everyone else.
+        // Downcast the payload back into a structured error — anything
+        // unexpected keeps propagating as a genuine panic.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(spmd)) {
+            Ok(run) => run?,
+            Err(payload) => {
+                if let Some(c) = payload.downcast_ref::<CrashPanic>() {
+                    return Err(EngineError::RankDied {
+                        rank: c.rank,
+                        point: c.point,
+                    });
+                }
+                if let Some(a) = payload.downcast_ref::<RecoveryAbort>() {
+                    return Err(EngineError::Unrecoverable(a.0.clone()));
+                }
+                std::panic::resume_unwind(payload);
+            }
+        }
+    };
 
-    let mut outputs = Vec::with_capacity(k);
+    let mut outputs: Vec<Option<Vec<u8>>> = (0..k).map(|_| None).collect();
     let mut stats = RunStats::new(k, r);
     stats.num_groups = groups.num_groups();
     let mut walls = Vec::with_capacity(k);
+    let mut adopted_all: Vec<(usize, Vec<u8>)> = Vec::new();
     for (rank, result) in run.results.into_iter().enumerate() {
-        let (output, node_stats, wall) = result?;
-        outputs.push(output);
-        stats.per_node[rank] = node_stats;
-        walls.push(wall);
+        match result? {
+            NodeOutcome::Finished {
+                output,
+                adopted,
+                stats: node_stats,
+                wall,
+            } => {
+                outputs[rank] = Some(output);
+                stats.per_node[rank] = node_stats;
+                walls.push(wall);
+                adopted_all.extend(adopted);
+            }
+            // A crash-injected rank's slot is filled below by its
+            // successor's adopted output; its stats stay default (none of
+            // its work survived).
+            NodeOutcome::Crashed => {}
+        }
     }
+    for (rank, output) in adopted_all {
+        outputs[rank] = Some(output);
+    }
+    let outputs: Vec<Vec<u8>> = outputs
+        .into_iter()
+        .enumerate()
+        .map(|(rank, o)| {
+            o.ok_or_else(|| EngineError::Protocol {
+                what: format!("rank {rank} crashed and no survivor adopted its partition"),
+            })
+        })
+        .collect::<Result<_>>()?;
     Ok(JobOutcome {
         outputs,
         stats,
@@ -100,12 +170,6 @@ pub fn run_coded<W: Workload>(
 fn group_tag(gid: u64) -> Tag {
     Tag::new(Tag::BCAST, (gid & 0x00FF_FFFF) as u32)
 }
-
-/// How long the quorum shuffle's polling loop tolerates zero progress
-/// before declaring the run stalled. Generous: it only fires when *no*
-/// packet arrives at all — a healthy quorum completes without ever
-/// waiting on the slowest sender.
-const QUORUM_IDLE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
 
 /// Parses (zero-copy, reusing `packet`'s shell) and decodes one received
 /// packet (Algorithm 2), accumulating decode-work stats and completed
@@ -129,7 +193,89 @@ fn decode_one(
     Ok(())
 }
 
-type NodeResult = Result<(Vec<u8>, NodeStats, NodeWall)>;
+/// What one rank's thread hands back to the driver: a finished partition
+/// (plus any partitions it adopted on behalf of dead ranks), or the
+/// marker that this rank was crash-injected and recovery carried on
+/// without it.
+// One value exists per rank thread for the duration of the job — the
+// variant size gap costs nothing worth boxing for.
+#[allow(clippy::large_enum_variant)]
+enum NodeOutcome {
+    Finished {
+        output: Vec<u8>,
+        adopted: Vec<(usize, Vec<u8>)>,
+        stats: NodeStats,
+        wall: NodeWall,
+    },
+    Crashed,
+}
+
+type NodeResult = Result<NodeOutcome>;
+
+/// Health-layer state carried by a recovery-mode rank.
+struct Recovery {
+    board: HealthBoard,
+    beat: Heartbeat,
+    epoch: u32,
+}
+
+impl Recovery {
+    fn next_epoch(&mut self) -> u32 {
+        let e = self.epoch;
+        self.epoch += 1;
+        e
+    }
+}
+
+/// Stage synchronization: plain barriers, or the alive-aware dead-mask
+/// exchange when the health layer is running. Every rank walks the same
+/// sequence of sync points, so the recovery epochs line up by
+/// construction.
+enum SyncCtx {
+    Barrier,
+    Recover(Box<Recovery>),
+}
+
+impl SyncCtx {
+    fn sync(&mut self, comm: &cts_net::Communicator) -> Result<u128> {
+        match self {
+            SyncCtx::Barrier => {
+                comm.barrier()?;
+                Ok(0)
+            }
+            SyncCtx::Recover(rec) => {
+                let epoch = rec.next_epoch();
+                alive_sync(comm, &mut rec.board, epoch)
+            }
+        }
+    }
+}
+
+/// Fires a configured crash injection, if this is its point. With
+/// recovery off the rank dies as a panic (the cluster teardown turns it
+/// into a typed fast failure); with recovery on it silences its
+/// heartbeat — the only externally observable signal — and returns
+/// `true` so the caller exits with [`NodeOutcome::Crashed`], leaving its
+/// transport reachable (a fail-stop process, not a severed network).
+fn maybe_crash(cfg: &EngineConfig, me: usize, point: CrashPoint, ctx: &mut SyncCtx) -> bool {
+    if cfg.crash_point_of(me) != Some(point) {
+        return false;
+    }
+    match ctx {
+        SyncCtx::Barrier => std::panic::panic_any(CrashPanic { rank: me, point }),
+        SyncCtx::Recover(rec) => {
+            rec.beat.stop();
+            true
+        }
+    }
+}
+
+/// Borrowed inputs `finish_reduce` needs to run the recovery agreement
+/// and adoption ahead of the reduce.
+struct RecoveryFinish<'a> {
+    plan: &'a PlacementPlan,
+    my_files: &'a [(FileId, Bytes)],
+}
 
 fn node_main<W: Workload>(
     workload: &W,
@@ -143,6 +289,18 @@ fn node_main<W: Workload>(
     let mut stats = NodeStats::default();
     let mut wall = NodeWall::default();
     let pool = WorkerPool::new(cfg.threads);
+    // Recovery mode runs a heartbeat beacon and replaces every barrier
+    // with the alive-aware dead-mask sync, so a dead rank can never
+    // strand a stage transition.
+    let mut ctx = if cfg.recovery == RecoveryMode::Speculative {
+        SyncCtx::Recover(Box::new(Recovery {
+            board: HealthBoard::new(me, k, HealthConfig::from_heartbeat(cfg.heartbeat)),
+            beat: Heartbeat::spawn(comm.transport().clone(), cfg.heartbeat),
+            epoch: 0,
+        }))
+    } else {
+        SyncCtx::Barrier
+    };
 
     // ---- CodeGen -------------------------------------------------------
     comm.set_stage(stages::CODEGEN);
@@ -156,7 +314,7 @@ fn node_main<W: Workload>(
         .map(|(gid, m)| (gid.0, m, m.to_vec()))
         .collect();
     wall.codegen = timer.stop();
-    comm.barrier()?;
+    ctx.sync(comm)?;
 
     // ---- Map -----------------------------------------------------------
     comm.set_stage(stages::MAP);
@@ -178,7 +336,10 @@ fn node_main<W: Workload>(
         }
     }
     wall.map = timer.stop();
-    comm.barrier()?;
+    if maybe_crash(cfg, me, CrashPoint::MidMap, &mut ctx) {
+        return Ok(NodeOutcome::Crashed);
+    }
+    ctx.sync(comm)?;
 
     // ---- Encode (Algorithm 1) -------------------------------------------
     comm.set_stage(stages::PACK_ENCODE);
@@ -233,7 +394,10 @@ fn node_main<W: Workload>(
         my_packets.insert(gid, (wire, overhead));
     }
     wall.pack_encode = timer.stop();
-    comm.barrier()?;
+    if maybe_crash(cfg, me, CrashPoint::MidEncode, &mut ctx) {
+        return Ok(NodeOutcome::Crashed);
+    }
+    ctx.sync(comm)?;
 
     // ---- Multicast Shuffling: serial multicast (Fig. 9(b)) --------------
     // With `pipelined_decode` (the §VI asynchronous-execution step),
@@ -257,14 +421,32 @@ fn node_main<W: Workload>(
         // `strict_serial_shuffle` and `pipelined_decode` have no meaning
         // here and are ignored: the quorum loop is inherently pipelined
         // and unordered.
+        let mut sends_done = 0u64;
         for (gid, members, member_list) in &schedule {
             if !members.contains(me) {
                 continue;
             }
+            if maybe_crash(cfg, me, CrashPoint::AfterSends(sends_done), &mut ctx) {
+                return Ok(NodeOutcome::Crashed);
+            }
             let (payload, header) = my_packets.remove(gid).expect("one packet per owned group");
             stats.sent_bytes += payload.len() as u64;
             comm.multicast_with_overhead(me, member_list, group_tag(*gid), Some(payload), header)?;
+            sends_done += 1;
         }
+        // A budget at or past the last send dies here, having sent
+        // everything but received nothing.
+        if let Some(point @ CrashPoint::AfterSends(n)) = cfg.crash_point_of(me) {
+            if n >= sends_done && maybe_crash(cfg, me, point, &mut ctx) {
+                return Ok(NodeOutcome::Crashed);
+            }
+        }
+        let my_gids: Vec<u64> = schedule
+            .iter()
+            .filter(|(_, members, _)| members.contains(me))
+            .map(|(gid, _, _)| *gid)
+            .collect();
+        let mut got: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
         let mut pending: Vec<(u64, usize)> = schedule
             .iter()
             .filter(|(_, members, _)| members.contains(me))
@@ -279,6 +461,54 @@ fn node_main<W: Workload>(
         let expected = pipeline.expected_total();
         let mut last_progress = std::time::Instant::now();
         while (recovered.len() as u64) < expected {
+            if let SyncCtx::Recover(rec) = &mut ctx {
+                // Drain heartbeats and drop pending receives from ranks
+                // declared dead: the quorum needs only r − 1 of each
+                // group's r senders, so a single death costs nothing. If
+                // any unfinished group no longer has enough live senders
+                // left, the job is unrecoverable — abort the whole
+                // cluster with a structured report rather than stall.
+                rec.board.tick(comm.transport().as_ref());
+                let mut dropped = false;
+                let mut i = 0;
+                while i < pending.len() {
+                    if !rec.board.is_alive(pending[i].1) {
+                        pending.swap_remove(i);
+                        dropped = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if dropped {
+                    let mut alive_pending: std::collections::HashMap<u64, usize> =
+                        std::collections::HashMap::new();
+                    for &(gid, _) in &pending {
+                        *alive_pending.entry(gid).or_insert(0) += 1;
+                    }
+                    let bad: Vec<u64> = my_gids
+                        .iter()
+                        .copied()
+                        .filter(|gid| {
+                            !done_groups.contains(gid)
+                                && got.get(gid).copied().unwrap_or(0)
+                                    + alive_pending.get(gid).copied().unwrap_or(0)
+                                    < r - 1
+                        })
+                        .collect();
+                    if !bad.is_empty() {
+                        let report = JobReport {
+                            dead: MembershipView::new(k, rec.board.dead_mask()).dead_ranks(),
+                            unrecoverable_groups: bad,
+                            what: format!(
+                                "node {me}: group(s) lost more senders than the single-death \
+                                 quorum margin tolerates"
+                            ),
+                        };
+                        rec.beat.stop();
+                        std::panic::panic_any(RecoveryAbort(report));
+                    }
+                }
+            }
             let mut progressed = false;
             let mut i = 0;
             while i < pending.len() {
@@ -290,6 +520,7 @@ fn node_main<W: Workload>(
                 match comm.try_recv(sender, group_tag(gid))? {
                     Some(payload) => {
                         progressed = true;
+                        *got.entry(gid).or_insert(0) += 1;
                         stats.recv_bytes += payload.len() as u64;
                         let before = recovered.len();
                         decode_one(
@@ -310,7 +541,7 @@ fn node_main<W: Workload>(
             }
             if progressed {
                 last_progress = std::time::Instant::now();
-            } else if last_progress.elapsed() > QUORUM_IDLE_TIMEOUT {
+            } else if last_progress.elapsed() > cfg.idle_timeout {
                 return Err(EngineError::Protocol {
                     what: format!(
                         "node {me}: quorum shuffle stalled with {}/{} groups incomplete",
@@ -322,15 +553,33 @@ fn node_main<W: Workload>(
                 std::thread::sleep(std::time::Duration::from_micros(50));
             }
         }
-        comm.barrier()?;
+        ctx.sync(comm)?;
         wall.shuffle = timer.stop();
 
         let timer = StageTimer::start();
         comm.set_stage(stages::UNPACK_DECODE);
         wall.unpack_decode = timer.stop();
-        comm.barrier()?;
-        return finish_reduce(workload, comm, &pool, store, recovered, stats, wall);
+        ctx.sync(comm)?;
+        if maybe_crash(cfg, me, CrashPoint::PreReduce, &mut ctx) {
+            return Ok(NodeOutcome::Crashed);
+        }
+        let fin = RecoveryFinish {
+            plan: &plan,
+            my_files: &my_files,
+        };
+        return finish_reduce(
+            workload,
+            comm,
+            &pool,
+            store,
+            recovered,
+            stats,
+            wall,
+            &mut ctx,
+            Some(fin),
+        );
     }
+    let mut sends_done = 0u64;
     for (gid, members, member_list) in &schedule {
         if !members.contains(me) {
             if cfg.strict_serial_shuffle {
@@ -341,6 +590,10 @@ fn node_main<W: Workload>(
         let tag = group_tag(*gid);
         for &sender in member_list {
             if sender == me {
+                if maybe_crash(cfg, me, CrashPoint::AfterSends(sends_done), &mut ctx) {
+                    return Ok(NodeOutcome::Crashed);
+                }
+                sends_done += 1;
                 let (payload, header) = my_packets.remove(gid).expect("one packet per owned group");
                 stats.sent_bytes += payload.len() as u64;
                 comm.multicast_with_overhead(me, member_list, tag, Some(payload), header)?;
@@ -365,7 +618,12 @@ fn node_main<W: Workload>(
             comm.barrier()?;
         }
     }
-    comm.barrier()?;
+    if let Some(point @ CrashPoint::AfterSends(n)) = cfg.crash_point_of(me) {
+        if n >= sends_done && maybe_crash(cfg, me, point, &mut ctx) {
+            return Ok(NodeOutcome::Crashed);
+        }
+    }
+    ctx.sync(comm)?;
     wall.shuffle = timer.stop();
 
     // ---- Decode (Algorithm 2) --------------------------------------------
@@ -449,14 +707,26 @@ fn node_main<W: Workload>(
         });
     }
     wall.unpack_decode = timer.stop();
-    comm.barrier()?;
+    ctx.sync(comm)?;
 
-    finish_reduce(workload, comm, &pool, store, recovered, stats, wall)
+    if maybe_crash(cfg, me, CrashPoint::PreReduce, &mut ctx) {
+        return Ok(NodeOutcome::Crashed);
+    }
+    finish_reduce(
+        workload, comm, &pool, store, recovered, stats, wall, &mut ctx, None,
+    )
 }
 
 /// The Reduce stage, shared by the barrier-on-all and quorum shuffle
 /// paths: merge locally mapped and decoded pieces in ascending file order
 /// for a deterministic concatenation, then reduce.
+///
+/// In recovery mode this is also where speculative re-execution happens:
+/// the pre-reduce alive-sync fixes the canonical dead set, survivors
+/// rebuild each dead rank's partition on its successor
+/// ([`adopt_dead_partitions`]), and the recovery wall-clock folds into
+/// the Reduce stage.
+#[allow(clippy::too_many_arguments)]
 fn finish_reduce<W: Workload>(
     workload: &W,
     comm: &cts_net::Communicator,
@@ -465,10 +735,33 @@ fn finish_reduce<W: Workload>(
     recovered: Vec<(NodeSet, Vec<u8>)>,
     mut stats: NodeStats,
     mut wall: NodeWall,
+    ctx: &mut SyncCtx,
+    recovery: Option<RecoveryFinish<'_>>,
 ) -> NodeResult {
     let me = comm.rank();
-    comm.set_stage(stages::REDUCE);
+    let k = comm.world_size();
     let timer = StageTimer::start();
+    let mut adopted: Vec<(usize, Vec<u8>)> = Vec::new();
+    if let SyncCtx::Recover(rec) = &mut *ctx {
+        let fin = recovery.expect("recovery mode implies the quorum path");
+        comm.set_stage(stages::RECOVER);
+        let epoch = rec.next_epoch();
+        let agreed = alive_sync(comm, &mut rec.board, epoch)?;
+        if agreed != 0 {
+            let membership = MembershipView::new(k, agreed);
+            adopted = adopt_dead_partitions(
+                workload,
+                comm,
+                fin.plan,
+                &membership,
+                fin.my_files,
+                &store,
+                pool,
+                &mut stats,
+            )?;
+        }
+    }
+    comm.set_stage(stages::REDUCE);
     let mut pieces: Vec<(u64, Bytes)> = store
         .take_for_target(me)
         .into_iter()
@@ -488,9 +781,14 @@ fn finish_reduce<W: Workload>(
     stats.reduce_input_bytes = partition_data.len() as u64;
     let output = workload.reduce_par(me, &partition_data, pool);
     wall.reduce = timer.stop();
-    comm.barrier()?;
+    ctx.sync(comm)?;
 
-    Ok((output, stats, wall))
+    Ok(NodeOutcome::Finished {
+        output,
+        adopted,
+        stats,
+        wall,
+    })
 }
 
 #[cfg(test)]
@@ -692,6 +990,100 @@ mod tests {
         )
         .unwrap();
         assert_eq!(threaded.outputs, reference);
+    }
+
+    #[test]
+    fn speculative_recovery_matches_the_healthy_run() {
+        use cts_core::field::FieldKind;
+        use cts_net::fault::CrashSpec;
+        let input = sample_input(3000);
+        let healthy_cfg = EngineConfig::local(6, 3)
+            .with_field(FieldKind::Gf256)
+            .decode_quorum();
+        let healthy = run_coded(&ByteSort, input.clone(), &healthy_cfg).unwrap();
+        for point in [
+            CrashPoint::MidMap,
+            CrashPoint::MidEncode,
+            CrashPoint::AfterSends(2),
+            CrashPoint::PreReduce,
+        ] {
+            let cfg = healthy_cfg
+                .clone()
+                .with_recovery(RecoveryMode::Speculative)
+                .with_heartbeat(std::time::Duration::from_millis(5))
+                .with_crash(CrashSpec { rank: 2, point });
+            let wounded = run_coded(&ByteSort, input.clone(), &cfg).unwrap();
+            assert_eq!(wounded.outputs, healthy.outputs, "crash at {point}");
+        }
+    }
+
+    #[test]
+    fn recovery_off_fails_fast_with_the_crash_identity() {
+        use cts_core::field::FieldKind;
+        use cts_net::fault::CrashSpec;
+        let input = sample_input(1500);
+        let cfg = EngineConfig::local(5, 2)
+            .with_field(FieldKind::Gf256)
+            .decode_quorum()
+            .with_idle_timeout(std::time::Duration::from_secs(2))
+            .with_crash(CrashSpec {
+                rank: 3,
+                point: CrashPoint::MidMap,
+            });
+        let err = run_coded(&ByteSort, input, &cfg).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::RankDied {
+                rank: 3,
+                point: CrashPoint::MidMap
+            }
+        );
+    }
+
+    #[test]
+    fn two_deaths_exhaust_recovery_with_a_structured_report() {
+        use cts_core::field::FieldKind;
+        use cts_net::fault::CrashSpec;
+        let input = sample_input(1500);
+        let cfg = EngineConfig::local(5, 2)
+            .with_field(FieldKind::Gf256)
+            .decode_quorum()
+            .with_recovery(RecoveryMode::Speculative)
+            .with_heartbeat(std::time::Duration::from_millis(5))
+            .with_crash(CrashSpec {
+                rank: 1,
+                point: CrashPoint::MidMap,
+            })
+            .with_crash(CrashSpec {
+                rank: 4,
+                point: CrashPoint::MidMap,
+            });
+        let err = run_coded(&ByteSort, input, &cfg).unwrap_err();
+        match err {
+            EngineError::Unrecoverable(report) => {
+                assert_eq!(report.dead, vec![1, 4]);
+                assert!(!report.unrecoverable_groups.is_empty());
+            }
+            other => panic!("expected Unrecoverable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn speculative_recovery_requires_quorum_gf256_and_redundancy() {
+        let input = sample_input(500);
+        for cfg in [
+            EngineConfig::local(4, 2).with_recovery(RecoveryMode::Speculative),
+            EngineConfig::local(4, 2)
+                .with_field(cts_core::field::FieldKind::Gf256)
+                .with_recovery(RecoveryMode::Speculative),
+            EngineConfig::local(4, 1)
+                .with_field(cts_core::field::FieldKind::Gf256)
+                .decode_quorum()
+                .with_recovery(RecoveryMode::Speculative),
+        ] {
+            let err = run_coded(&ByteSort, input.clone(), &cfg).unwrap_err();
+            assert!(matches!(err, EngineError::BadConfig { .. }), "{cfg:?}");
+        }
     }
 
     #[test]

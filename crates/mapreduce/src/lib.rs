@@ -37,6 +37,7 @@ pub mod error;
 pub mod grep;
 pub mod invindex;
 pub mod pods;
+pub mod recover;
 pub mod selfjoin;
 pub mod stage;
 pub mod uncoded;
@@ -45,9 +46,9 @@ pub mod wordcount;
 pub mod workload;
 
 pub use coded::run_coded;
-pub use error::{EngineError, Result};
+pub use error::{EngineError, JobReport, Result};
 pub use pods::run_coded_pods;
-pub use stage::{EngineConfig, NodeWall, WallTimes};
+pub use stage::{EngineConfig, NodeWall, RecoveryMode, WallTimes};
 pub use uncoded::{run_uncoded, JobOutcome};
 pub use verify::{diff_outputs, run_sequential};
 pub use workload::{InputFormat, Workload};

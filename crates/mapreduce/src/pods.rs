@@ -63,6 +63,15 @@ pub fn run_coded_pods<W: Workload>(
             what: format!("need 1 <= r < pod size, got r = {r}, g = {g}"),
         });
     }
+    if cfg.recovery != crate::stage::RecoveryMode::Off {
+        // The pod engine's cross-pod exchange has no health layer yet;
+        // recovery is a flat coded-engine feature for now.
+        return Err(EngineError::BadConfig {
+            what: "the pod-scoped engine does not support failure recovery; \
+                   use the flat coded engine"
+                .into(),
+        });
+    }
     let num_pods = k / g;
     let local_plan = PlacementPlan::new(g, r).expect("validated");
     let local_groups = MulticastGroups::new(g, r).expect("validated");

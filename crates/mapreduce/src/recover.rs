@@ -1,0 +1,343 @@
+//! Failure recovery for the coded engine: fail-fast panic payloads, the
+//! alive-aware stage synchronizer, and the speculative re-execution
+//! planner that rebuilds a dead rank's reduce partition on a
+//! deterministic successor.
+//!
+//! The coded engine's recovery story leans on a CDC-specific fact: with
+//! quorum (MDS) decode, a single dead rank costs the shuffle *nothing* —
+//! every multicast group that contained it still fields `r − 1` live
+//! senders, which is exactly the quorum each surviving receiver needs.
+//! The only thing actually lost is the dead rank's own reduce partition,
+//! and the `r`-fold replicated input placement guarantees that for every
+//! file some survivor can either forward the needed intermediate from its
+//! Map output or re-run Map on its local replica
+//! ([`adopt_dead_partitions`]). Recovery is therefore re-execution of
+//! *only the missing work*, never a restart.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use cts_core::exec::WorkerPool;
+use cts_core::intermediate::MapOutputStore;
+use cts_core::placement::{FileId, PlacementPlan};
+use cts_net::fault::CrashPoint;
+use cts_net::health::HealthBoard;
+use cts_net::message::Tag;
+use cts_net::registry::MembershipView;
+use cts_net::Communicator;
+use cts_netsim::stats::NodeStats;
+
+use crate::error::{EngineError, JobReport, Result};
+use crate::workload::Workload;
+
+/// Panic payload thrown by a fail-stop crash injection when recovery is
+/// off. The cluster runner's panic-safe teardown unblocks every other
+/// rank, and `run_coded` downcasts this into
+/// [`EngineError::RankDied`] — a typed fast failure instead of a hang.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPanic {
+    /// The rank that died.
+    pub rank: usize,
+    /// Where in the job it died.
+    pub point: CrashPoint,
+}
+
+/// Panic payload thrown when recovery capacity is exhausted (more dead
+/// senders in a multicast group than the quorum margin tolerates). Rides
+/// the same teardown path as [`CrashPanic`]; `run_coded` downcasts it
+/// into [`EngineError::Unrecoverable`].
+#[derive(Clone, Debug)]
+pub struct RecoveryAbort(
+    /// The structured post-mortem: dead ranks and unsatisfiable groups.
+    pub JobReport,
+);
+
+/// Reads a little-endian dead-mask payload (up to 16 bytes).
+fn le_mask(b: &Bytes) -> u128 {
+    let mut buf = [0u8; 16];
+    let n = b.len().min(16);
+    buf[..n].copy_from_slice(&b[..n]);
+    u128::from_le_bytes(buf)
+}
+
+/// An alive-aware replacement for [`Communicator::barrier`]: ranks
+/// exchange dead-masks through the minimum-alive coordinator, and nobody
+/// ever blocks on a peer its [`HealthBoard`] has declared dead. Returns
+/// the agreed dead mask (the union of every participant's view), already
+/// merged into `board`.
+///
+/// Every rank must call this with the same `epoch` at the same stage
+/// boundary (SPMD). If the coordinator itself is declared dead mid-sync,
+/// non-coordinators re-submit their masks to the next minimum-alive rank,
+/// so the sync converges for any set of fail-stop deaths that leaves at
+/// least one survivor. Control messages ride [`Tag::RBARRIER`] directly
+/// on the transport, keeping the trace and NIC emulation free of
+/// health-protocol noise.
+pub fn alive_sync(comm: &Communicator, board: &mut HealthBoard, epoch: u32) -> Result<u128> {
+    let me = comm.rank();
+    let k = comm.world_size();
+    let tag = Tag::new(Tag::RBARRIER, epoch & 0x00FF_FFFF);
+    let transport = comm.transport();
+    let poll = Duration::from_micros(100);
+    if k == 1 {
+        return Ok(board.dead_mask());
+    }
+    let mut sent_to: Option<usize> = None;
+    loop {
+        board.tick(transport.as_ref());
+        let coord = board.min_alive();
+        if coord == me {
+            // Coordinator: collect a mask from every rank still believed
+            // alive (skipping any declared dead while we wait), then
+            // release everyone with the union.
+            let mut s = 0;
+            while s < k {
+                if s == me || !board.is_alive(s) {
+                    s += 1;
+                    continue;
+                }
+                match transport.try_recv(s, tag)? {
+                    Some(mask) => {
+                        board.merge_dead_mask(le_mask(&mask), transport.as_ref());
+                        s += 1;
+                    }
+                    None => {
+                        board.tick(transport.as_ref());
+                        std::thread::sleep(poll);
+                    }
+                }
+            }
+            let agreed = board.dead_mask();
+            let payload = Bytes::copy_from_slice(&agreed.to_le_bytes());
+            for dst in (0..k).filter(|&d| d != me && board.is_alive(d)) {
+                // A release that cannot be delivered is the dead peer's
+                // problem; its own detector-driven path takes over.
+                let _ = transport.send(dst, tag, payload.clone());
+            }
+            return Ok(agreed);
+        }
+        // Non-coordinator: (re-)submit our mask whenever the coordinator
+        // changes, then poll for its release while watching its health.
+        if sent_to != Some(coord) {
+            let payload = Bytes::copy_from_slice(&board.dead_mask().to_le_bytes());
+            let _ = transport.send(coord, tag, payload);
+            sent_to = Some(coord);
+        }
+        if let Some(release) = transport.try_recv(coord, tag)? {
+            board.merge_dead_mask(le_mask(&release), transport.as_ref());
+            return Ok(board.dead_mask());
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// Rebuilds every dead rank's reduce partition on its deterministic
+/// successor (`MembershipView::successor_of` — the next alive rank
+/// cyclically). This is the speculative re-execution half of recovery.
+///
+/// All survivors call this with the same agreed `membership`, so each
+/// derives the identical `(helper, successor)` role per `(dead rank,
+/// file)` and the unicasts pair up without further coordination. For a
+/// dead rank `d` and file placed on node set `S`, the piece `I^d_S`
+/// comes from one of three sources, per the §IV-B keep rule:
+///
+/// * `d ∉ S` and the successor is in `S`: the successor kept the piece
+///   during its own Map — no traffic;
+/// * `d ∉ S`, successor outside `S`: the minimum-alive member of `S`
+///   forwards its kept copy;
+/// * `d ∈ S`: only `d` itself kept the piece, so the minimum-alive
+///   survivor of `S \ {d}` **re-runs Map** on its local replica of the
+///   file and sends the rebuilt piece (the `r`-fold placement guarantees
+///   such a survivor exists for any single failure at `r ≥ 2`).
+///
+/// Pieces arrive tagged `Tag::RECOVER` with `(dead index << 16) | file`,
+/// so the engine caps recovery jobs at 65 536 files. Returns the
+/// `(dead rank, reduced output)` pairs this rank adopted.
+#[allow(clippy::too_many_arguments)] // mirrors the engine's finish_reduce
+pub fn adopt_dead_partitions<W: Workload>(
+    workload: &W,
+    comm: &Communicator,
+    plan: &PlacementPlan,
+    membership: &MembershipView,
+    my_files: &[(FileId, Bytes)],
+    store: &MapOutputStore,
+    pool: &WorkerPool,
+    stats: &mut NodeStats,
+) -> Result<Vec<(usize, Vec<u8>)>> {
+    let me = comm.rank();
+    let k = comm.world_size();
+    let dead = membership.dead_ranks();
+    let mut adopted = Vec::new();
+    for (dead_idx, &d) in dead.iter().enumerate() {
+        let successor = membership
+            .successor_of(d)
+            .expect("at least one rank survives");
+        let mut pieces: Vec<(u64, Bytes)> = Vec::new();
+        for fid in 0..plan.num_files() {
+            let file = FileId(fid);
+            let file_nodes = plan.nodes_of_file(file);
+            let tag = Tag::new(Tag::RECOVER, ((dead_idx as u32) << 16) | fid as u32);
+            if file_nodes.contains(d) {
+                // Only `d` kept I^d_S: re-execute Map on a replica.
+                let Some(helper) = file_nodes
+                    .iter()
+                    .find(|&u| u != d && membership.is_alive(u))
+                else {
+                    return Err(unrecoverable_file(membership, d, fid));
+                };
+                if helper == me {
+                    let data = &my_files
+                        .iter()
+                        .find(|(f, _)| *f == file)
+                        .expect("placement puts every file of S on all of S")
+                        .1;
+                    let piece = Bytes::from(
+                        workload
+                            .map_file(data, k)
+                            .into_iter()
+                            .nth(d)
+                            .expect("map_file yields one piece per partition"),
+                    );
+                    if successor == me {
+                        pieces.push((file_nodes.bits(), piece));
+                    } else {
+                        stats.sent_bytes += piece.len() as u64;
+                        comm.send(successor, tag, piece)?;
+                    }
+                } else if successor == me {
+                    let piece = comm.recv(helper, tag)?;
+                    stats.recv_bytes += piece.len() as u64;
+                    pieces.push((file_nodes.bits(), piece));
+                }
+            } else if file_nodes.contains(successor) {
+                // The successor kept I^d_S in its own Map output.
+                if successor == me {
+                    let piece = store
+                        .get(d, file_nodes)
+                        .expect("keep rule: members of S hold I^d_S when d is outside S")
+                        .clone();
+                    pieces.push((file_nodes.bits(), piece));
+                }
+            } else {
+                // Some member of S forwards its kept copy.
+                let Some(helper) = file_nodes.iter().find(|&u| membership.is_alive(u)) else {
+                    return Err(unrecoverable_file(membership, d, fid));
+                };
+                if helper == me {
+                    let piece = store
+                        .get(d, file_nodes)
+                        .expect("keep rule: members of S hold I^d_S when d is outside S")
+                        .clone();
+                    stats.sent_bytes += piece.len() as u64;
+                    comm.send(successor, tag, piece)?;
+                } else if successor == me {
+                    let piece = comm.recv(helper, tag)?;
+                    stats.recv_bytes += piece.len() as u64;
+                    pieces.push((file_nodes.bits(), piece));
+                }
+            }
+        }
+        if successor == me {
+            // Identical assembly to `finish_reduce`: ascending file order,
+            // concatenate, reduce — so the adopted output is byte-identical
+            // to what the dead rank would have produced.
+            pieces.sort_unstable_by_key(|(bits, _)| *bits);
+            let total: usize = pieces.iter().map(|(_, b)| b.len()).sum();
+            let mut partition = Vec::with_capacity(total);
+            for (_, b) in &pieces {
+                partition.extend_from_slice(b);
+            }
+            stats.reduce_input_bytes += partition.len() as u64;
+            adopted.push((d, workload.reduce_par(d, &partition, pool)));
+        }
+    }
+    Ok(adopted)
+}
+
+/// Every survivor computes this identically from the agreed membership,
+/// so the whole cluster fails the job in unison — no rank is left
+/// blocked on a recovery exchange that will never happen.
+fn unrecoverable_file(membership: &MembershipView, d: usize, fid: u64) -> EngineError {
+    EngineError::Unrecoverable(JobReport {
+        dead: membership.dead_ranks(),
+        unrecoverable_groups: Vec::new(),
+        what: format!(
+            "no survivor holds a replica of file {fid} needed to rebuild rank {d}'s partition"
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cts_net::cluster::{run_spmd, ClusterConfig};
+    use cts_net::health::HealthConfig;
+
+    #[test]
+    fn mask_payloads_round_trip() {
+        let mask = 0b1010_0110u128 | (1u128 << 100);
+        assert_eq!(le_mask(&Bytes::copy_from_slice(&mask.to_le_bytes())), mask);
+        assert_eq!(le_mask(&Bytes::new()), 0);
+    }
+
+    #[test]
+    fn alive_sync_agrees_on_the_union_of_views() {
+        // Rank 0 has locally declared rank 3 dead; after the sync every
+        // rank must hold the same dead mask.
+        let run = run_spmd(&ClusterConfig::local(4), |comm| {
+            let mut board = HealthBoard::new(
+                comm.rank(),
+                4,
+                HealthConfig::from_heartbeat(Duration::from_millis(5)),
+            );
+            if comm.rank() == 0 {
+                board.declare_dead(3, comm.transport().as_ref());
+            }
+            if comm.rank() == 3 {
+                // The "dead" rank does not participate — it crashed.
+                return 0u128;
+            }
+            alive_sync(comm, &mut board, 7).unwrap()
+        })
+        .unwrap();
+        assert_eq!(run.results[0], 0b1000);
+        assert_eq!(run.results[1], 0b1000);
+        assert_eq!(run.results[2], 0b1000);
+    }
+
+    #[test]
+    fn alive_sync_survives_a_dead_coordinator() {
+        // Rank 0 (the default coordinator) is dead in everyone's view:
+        // rank 1 must take over and the sync must still complete.
+        let run = run_spmd(&ClusterConfig::local(3), |comm| {
+            let mut board = HealthBoard::new(
+                comm.rank(),
+                3,
+                HealthConfig::from_heartbeat(Duration::from_millis(5)),
+            );
+            if comm.rank() == 0 {
+                return 0u128;
+            }
+            board.declare_dead(0, comm.transport().as_ref());
+            alive_sync(comm, &mut board, 1).unwrap()
+        })
+        .unwrap();
+        assert_eq!(run.results[1], 0b1);
+        assert_eq!(run.results[2], 0b1);
+    }
+
+    #[test]
+    fn crash_payloads_are_cloneable_and_structured() {
+        let c = CrashPanic {
+            rank: 3,
+            point: CrashPoint::MidEncode,
+        };
+        assert_eq!(c, c);
+        let a = RecoveryAbort(JobReport {
+            dead: vec![3],
+            unrecoverable_groups: vec![9],
+            what: "test".into(),
+        });
+        assert_eq!(a.0.dead, vec![3]);
+    }
+}

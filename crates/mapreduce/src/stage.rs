@@ -6,6 +6,7 @@ use cts_core::decode::DecodeMode;
 use cts_core::field::FieldKind;
 use cts_net::cluster::ClusterConfig;
 use cts_net::fabric::ShuffleFabric;
+use cts_net::fault::CrashSpec;
 use cts_net::rate::NicProfile;
 
 /// Canonical stage labels (also used as trace stage names).
@@ -23,6 +24,38 @@ pub mod stages {
     pub const UNPACK_DECODE: &str = "UnpackDecode";
     /// Local per-partition reduction.
     pub const REDUCE: &str = "Reduce";
+    /// Speculative re-execution traffic after a rank death (coded engine
+    /// in recovery mode only).
+    pub const RECOVER: &str = "Recover";
+}
+
+/// Whether and how the coded engine recovers from rank deaths.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// No health layer: a dead rank fails the job fast with a typed error
+    /// (the panic-teardown path guarantees no hang). The default.
+    #[default]
+    Off,
+    /// Heartbeat failure detection plus speculative re-execution: a dead
+    /// rank's map responsibilities are re-run by survivors holding the
+    /// r-fold replicated inputs, and its reduce partition is adopted by a
+    /// deterministic successor. Requires GF(256), quorum decode, and
+    /// `r ≥ 2`.
+    Speculative,
+}
+
+impl std::str::FromStr for RecoveryMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s {
+            "off" => Ok(RecoveryMode::Off),
+            "speculative" => Ok(RecoveryMode::Speculative),
+            other => Err(format!(
+                "unknown recovery mode `{other}` (expected `speculative` or `off`)"
+            )),
+        }
+    }
 }
 
 /// Measured wall-clock stage durations for one node.
@@ -133,6 +166,19 @@ pub struct EngineConfig {
     /// packets reach full rank, so the shuffle proceeds without its
     /// slowest sender. Sorted outputs are byte-identical either way.
     pub decode: DecodeMode,
+    /// How long the quorum shuffle's receive loop tolerates zero progress
+    /// before declaring the shuffle stalled. Defaults to 10 s (the old
+    /// hard-coded `QUORUM_IDLE_TIMEOUT`).
+    pub idle_timeout: Duration,
+    /// Rank-death handling (see [`RecoveryMode`]).
+    pub recovery: RecoveryMode,
+    /// Heartbeat interval for the health layer when recovery is on; the
+    /// suspect/death deadlines derive from it
+    /// (see [`cts_net::health::HealthConfig::from_heartbeat`]).
+    pub heartbeat: Duration,
+    /// Crash injection for failure testing: each spec kills one rank
+    /// fail-stop at a stage point. Empty in production.
+    pub crashes: Vec<CrashSpec>,
 }
 
 impl EngineConfig {
@@ -147,6 +193,10 @@ impl EngineConfig {
             threads: 1,
             field: FieldKind::Gf2,
             decode: DecodeMode::All,
+            idle_timeout: Duration::from_secs(10),
+            recovery: RecoveryMode::Off,
+            heartbeat: Duration::from_millis(25),
+            crashes: Vec::new(),
         }
     }
 
@@ -161,6 +211,10 @@ impl EngineConfig {
             threads: 1,
             field: FieldKind::Gf2,
             decode: DecodeMode::All,
+            idle_timeout: Duration::from_secs(10),
+            recovery: RecoveryMode::Off,
+            heartbeat: Duration::from_millis(25),
+            crashes: Vec::new(),
         }
     }
 
@@ -214,6 +268,44 @@ impl EngineConfig {
         self.cluster = self.cluster.with_nic(nic);
         self
     }
+
+    /// Sets the quorum shuffle's receive-idle deadline (how long zero
+    /// progress is tolerated before the shuffle is declared stalled).
+    pub fn with_idle_timeout(mut self, idle_timeout: Duration) -> Self {
+        self.idle_timeout = idle_timeout;
+        self
+    }
+
+    /// Selects the rank-death handling mode. `Speculative` requires
+    /// GF(256), quorum decode, and `r ≥ 2` — validated when the job runs
+    /// (`BadConfig` otherwise), since `field`/`decode`/`r` may be set
+    /// after this call.
+    pub fn with_recovery(mut self, recovery: RecoveryMode) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Sets the health layer's heartbeat interval (recovery mode only).
+    /// Death is declared after ~36 silent intervals (suspect deadline
+    /// plus three exponentially backed-off probe windows).
+    pub fn with_heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = heartbeat;
+        self
+    }
+
+    /// Adds a crash-at-point injection (failure testing).
+    pub fn with_crash(mut self, spec: CrashSpec) -> Self {
+        self.crashes.push(spec);
+        self
+    }
+
+    /// The crash point at which `rank` dies under this config, if any.
+    pub fn crash_point_of(&self, rank: usize) -> Option<cts_net::fault::CrashPoint> {
+        self.crashes
+            .iter()
+            .find(|s| s.rank == rank)
+            .map(|s| s.point)
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +340,29 @@ mod tests {
             reduce: Duration::from_millis(6),
         };
         assert_eq!(n.total(), Duration::from_millis(21));
+    }
+
+    #[test]
+    fn recovery_knobs_round_trip() {
+        let cfg = EngineConfig::local(4, 2)
+            .with_recovery(RecoveryMode::Speculative)
+            .with_heartbeat(Duration::from_millis(10))
+            .with_idle_timeout(Duration::from_secs(3))
+            .with_crash(CrashSpec {
+                rank: 2,
+                point: cts_net::fault::CrashPoint::MidMap,
+            });
+        assert_eq!(cfg.recovery, RecoveryMode::Speculative);
+        assert_eq!(cfg.heartbeat, Duration::from_millis(10));
+        assert_eq!(cfg.idle_timeout, Duration::from_secs(3));
+        assert_eq!(
+            cfg.crash_point_of(2),
+            Some(cts_net::fault::CrashPoint::MidMap)
+        );
+        assert_eq!(cfg.crash_point_of(1), None);
+        assert_eq!("speculative".parse(), Ok(RecoveryMode::Speculative));
+        assert_eq!("off".parse(), Ok(RecoveryMode::Off));
+        assert!("on".parse::<RecoveryMode>().is_err());
     }
 
     #[test]

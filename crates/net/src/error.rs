@@ -39,6 +39,30 @@ pub enum NetError {
         /// Description supplied by the fault rule.
         what: String,
     },
+    /// The health layer declared this peer dead: its heartbeats stopped
+    /// and the bounded probe budget expired. Unlike [`Disconnected`]
+    /// (whole-fabric teardown), this names the one peer that will never
+    /// speak again, so callers can recover around it.
+    ///
+    /// [`Disconnected`]: NetError::Disconnected
+    PeerDead {
+        /// Which endpoint observed the death.
+        rank: usize,
+        /// The peer declared dead.
+        peer: usize,
+    },
+    /// A lazy TCP dial exhausted its bounded retry budget without the
+    /// peer ever accepting.
+    ConnectFailed {
+        /// The rank that could not be reached.
+        rank: usize,
+        /// The address dialed (stringified socket address).
+        addr: String,
+        /// How many connect attempts were made before giving up.
+        attempts: u32,
+        /// The last OS error, stringified.
+        last: String,
+    },
 }
 
 impl std::fmt::Display for NetError {
@@ -54,6 +78,18 @@ impl std::fmt::Display for NetError {
             NetError::Io { what } => write!(f, "I/O error: {what}"),
             NetError::CollectiveMisuse { what } => write!(f, "collective misuse: {what}"),
             NetError::InjectedFault { what } => write!(f, "injected fault: {what}"),
+            NetError::PeerDead { rank, peer } => {
+                write!(f, "endpoint {rank}: peer {peer} declared dead")
+            }
+            NetError::ConnectFailed {
+                rank,
+                addr,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "connect to rank {rank} at {addr} failed after {attempts} attempts: {last}"
+            ),
         }
     }
 }
@@ -87,6 +123,23 @@ mod tests {
         assert!(NetError::InvalidRank { rank: 9, world: 4 }
             .to_string()
             .contains("world of 4"));
+    }
+
+    #[test]
+    fn dead_and_connect_failures_name_the_peer() {
+        let dead = NetError::PeerDead { rank: 0, peer: 7 };
+        assert_eq!(dead.to_string(), "endpoint 0: peer 7 declared dead");
+        let conn = NetError::ConnectFailed {
+            rank: 3,
+            addr: "127.0.0.1:4242".into(),
+            attempts: 8,
+            last: "connection refused".into(),
+        };
+        let msg = conn.to_string();
+        assert!(msg.contains("rank 3"));
+        assert!(msg.contains("127.0.0.1:4242"));
+        assert!(msg.contains("8 attempts"));
+        assert!(msg.contains("refused"));
     }
 
     #[test]

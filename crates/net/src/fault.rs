@@ -134,6 +134,67 @@ pub fn straggler_blackhole_rule() -> Arc<FaultRule> {
     })
 }
 
+/// Where in a job's lifecycle an injected crash fires. Points map to the
+/// coded engine's stage sequence; the engine checks its crash spec at each
+/// one and dies there — fail-stop, never Byzantine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After computing map outputs, before the post-Map synchronization —
+    /// the rank's replicated inputs are mapped but nothing was shared.
+    MidMap,
+    /// After encoding coded packets, before any of them is multicast.
+    MidEncode,
+    /// During the shuffle, after the rank's first `n` group multicasts —
+    /// peers hold a partial view of its traffic.
+    AfterSends(u64),
+    /// After the shuffle completes, before the rank reduces its partition.
+    PreReduce,
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashPoint::MidMap => write!(f, "mid-map"),
+            CrashPoint::MidEncode => write!(f, "mid-encode"),
+            CrashPoint::AfterSends(n) => write!(f, "after-{n}-sends"),
+            CrashPoint::PreReduce => write!(f, "pre-reduce"),
+        }
+    }
+}
+
+/// A crash-at-point injection: `rank` dies fail-stop at `point`. The coded
+/// engine interprets this spec directly (it knows where stage boundaries
+/// are); [`rank_crash_rule`] is the transport-level flavor for tests that
+/// only need a node's egress to go silent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// The rank that dies.
+    pub rank: usize,
+    /// Where it dies.
+    pub point: CrashPoint,
+}
+
+impl CrashSpec {
+    /// True if this spec kills `rank` at `point`.
+    pub fn fires(&self, rank: usize, point: CrashPoint) -> bool {
+        self.rank == rank && self.point == point
+    }
+}
+
+/// Transport-level crash rule: the node's egress dies after its first
+/// `after_sends` messages — everything later is silently dropped, exactly
+/// what peers of a fail-stop crash observe on the wire. Pair with
+/// [`CrashSpec`] when the compute side should die too.
+pub fn rank_crash_rule(after_sends: u64) -> Arc<FaultRule> {
+    Arc::new(move |_dst, _tag: Tag, _payload: &Bytes, idx| {
+        if idx >= after_sends {
+            FaultAction::Drop
+        } else {
+            FaultAction::Deliver
+        }
+    })
+}
+
 /// A [`Transport`] wrapper that applies a [`FaultRule`] to outgoing traffic.
 pub struct FaultyTransport {
     inner: Arc<dyn Transport>,
@@ -226,6 +287,10 @@ impl Transport for FaultyTransport {
 
     fn shutdown(&self) {
         self.inner.shutdown()
+    }
+
+    fn mark_peer_dead(&self, peer: usize) {
+        self.inner.mark_peer_dead(peer)
     }
 }
 
@@ -363,6 +428,39 @@ mod tests {
             hole(1, Tag::app(3), &Bytes::new(), 0),
             FaultAction::Deliver
         ));
+    }
+
+    #[test]
+    fn rank_crash_rule_silences_egress_after_budget() {
+        let fabric = LocalFabric::new(2);
+        let rule = rank_crash_rule(2);
+        let faulty = FaultyTransport::new(
+            Arc::new(fabric.endpoint(0)),
+            Box::new(move |d, t, p, i| rule(d, t, p, i)),
+        );
+        for msg in [&b"one"[..], b"two", b"three", b"four"] {
+            faulty
+                .send(1, Tag::app(0), Bytes::copy_from_slice(msg))
+                .unwrap();
+        }
+        assert_eq!(faulty.dropped(), 2);
+        let rx = fabric.endpoint(1);
+        assert_eq!(rx.recv(0, Tag::app(0)).unwrap(), "one");
+        assert_eq!(rx.recv(0, Tag::app(0)).unwrap(), "two");
+        assert_eq!(rx.try_recv(0, Tag::app(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn crash_spec_matches_rank_and_point() {
+        let spec = CrashSpec {
+            rank: 3,
+            point: CrashPoint::MidMap,
+        };
+        assert!(spec.fires(3, CrashPoint::MidMap));
+        assert!(!spec.fires(2, CrashPoint::MidMap));
+        assert!(!spec.fires(3, CrashPoint::PreReduce));
+        assert_eq!(CrashPoint::AfterSends(5).to_string(), "after-5-sends");
+        assert_eq!(CrashPoint::MidEncode.to_string(), "mid-encode");
     }
 
     #[test]

@@ -31,7 +31,12 @@
 //!   `cts-netsim`'s calibrated network model;
 //! * [`cluster`] — SPMD runners ([`run_spmd`]) spawning
 //!   one thread per rank over either fabric, with panic-safe teardown;
-//! * [`fault`] — transport-level fault injection for failure testing.
+//! * [`fault`] — transport-level fault injection for failure testing,
+//!   including crash-at-point specs ([`fault::CrashSpec`]);
+//! * [`health`] — per-rank liveness (Alive/Suspect/Dead) driven by
+//!   heartbeat deadlines with bounded exponential backoff, feeding
+//!   [`registry::MembershipView`]s and typed
+//!   [`NetError::PeerDead`] receive failures.
 //!
 //! ```
 //! use bytes::Bytes;
@@ -59,6 +64,7 @@ pub mod comm;
 pub mod error;
 pub mod fabric;
 pub mod fault;
+pub mod health;
 pub mod local;
 pub mod mailbox;
 pub mod message;
@@ -74,9 +80,10 @@ pub use cluster::{run_spmd, run_spmd_with_inputs, ClusterConfig, ClusterRun, Tra
 pub use comm::{BcastAlgorithm, Communicator};
 pub use error::{NetError, Result};
 pub use fabric::ShuffleFabric;
+pub use health::{HealthBoard, HealthConfig, Heartbeat, Liveness};
 pub use message::{Message, Tag};
 pub use rate::{Nic, NicProfile};
-pub use registry::RankRegistry;
+pub use registry::{MembershipView, RankRegistry};
 pub use trace::{EventKind, Trace, TraceCollector, TraceEvent};
 pub use transport::Transport;
 pub use udp::{build_udp_fabric, UdpConfig, UdpEndpoint, UdpFabricStats};

@@ -149,11 +149,15 @@ impl Transport for LocalEndpoint {
 
     fn try_recv(&self, src: usize, tag: Tag) -> Result<Option<Bytes>> {
         self.check(src)?;
-        Ok(self.mailboxes[self.rank].try_recv(src, tag))
+        self.mailboxes[self.rank].try_recv_checked(src, tag)
     }
 
     fn shutdown(&self) {
         self.mailboxes[self.rank].close();
+    }
+
+    fn mark_peer_dead(&self, peer: usize) {
+        self.mailboxes[self.rank].mark_dead(peer);
     }
 }
 

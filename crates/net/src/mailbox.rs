@@ -33,6 +33,10 @@ struct Inner {
     /// Per-source disconnect bits (bit `s` set = no further messages will
     /// ever arrive from source `s`; world sizes are ≤ 128).
     gone: u128,
+    /// Per-source death bits set by the health layer: like `gone`, but the
+    /// receiver learns *which* peer failed via `PeerDead` instead of the
+    /// anonymous `Disconnected`.
+    dead: u128,
 }
 
 /// A blocking, tag-matched message queue for one endpoint.
@@ -88,6 +92,12 @@ impl Mailbox {
                     return Ok(payload);
                 }
             }
+            if src < 128 && inner.dead & (1u128 << src) != 0 {
+                return Err(NetError::PeerDead {
+                    rank: self.rank,
+                    peer: src,
+                });
+            }
             if inner.closed || (src < 128 && inner.gone & (1u128 << src) != 0) {
                 return Err(NetError::Disconnected { rank: self.rank });
             }
@@ -108,6 +118,12 @@ impl Mailbox {
                     return Ok(payload);
                 }
             }
+            if src < 128 && inner.dead & (1u128 << src) != 0 {
+                return Err(NetError::PeerDead {
+                    rank: self.rank,
+                    peer: src,
+                });
+            }
             if inner.closed || (src < 128 && inner.gone & (1u128 << src) != 0) {
                 return Err(NetError::Disconnected { rank: self.rank });
             }
@@ -124,6 +140,33 @@ impl Mailbox {
             .queues
             .get_mut(&(src, tag.0))
             .and_then(|q| q.pop_front())
+    }
+
+    /// Non-blocking receive that also reports terminal states. A queued
+    /// message always drains first; with nothing queued, a source the
+    /// health layer declared dead surfaces as `PeerDead` and a closed
+    /// mailbox (or per-source disconnect) as `Disconnected` — so polling
+    /// loops fail fast on teardown instead of spinning `Ok(None)` until
+    /// an idle deadline expires.
+    pub fn try_recv_checked(&self, src: usize, tag: Tag) -> Result<Option<Bytes>> {
+        let mut inner = self.inner.lock();
+        if let Some(payload) = inner
+            .queues
+            .get_mut(&(src, tag.0))
+            .and_then(|q| q.pop_front())
+        {
+            return Ok(Some(payload));
+        }
+        if src < 128 && inner.dead & (1u128 << src) != 0 {
+            return Err(NetError::PeerDead {
+                rank: self.rank,
+                peer: src,
+            });
+        }
+        if inner.closed || (src < 128 && inner.gone & (1u128 << src) != 0) {
+            return Err(NetError::Disconnected { rank: self.rank });
+        }
+        Ok(None)
     }
 
     /// Total queued messages (diagnostics).
@@ -154,6 +197,21 @@ impl Mailbox {
         }
         let mut inner = self.inner.lock();
         inner.gone |= 1u128 << src;
+        drop(inner);
+        self.available.notify_all();
+    }
+
+    /// Marks one source as *dead* (declared by the health layer): queued
+    /// messages from it still drain, then blocked and future `recv`s
+    /// matching that source fail with the typed `PeerDead` error — the
+    /// receiver learns exactly which peer will never speak again instead
+    /// of blocking until a generic timeout.
+    pub fn mark_dead(&self, src: usize) {
+        if src >= 128 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.dead |= 1u128 << src;
         drop(inner);
         self.available.notify_all();
     }
@@ -270,6 +328,43 @@ mod tests {
     }
 
     #[test]
+    fn mark_dead_surfaces_typed_peer_death_after_drain() {
+        let mb = Arc::new(Mailbox::new(2));
+        mb.deliver(msg(0, Tag::app(0), b"queued"));
+        mb.mark_dead(0);
+        // Already-queued traffic from the dead peer still drains …
+        assert_eq!(mb.recv(0, Tag::app(0)).unwrap(), "queued");
+        // … then the death is typed, naming the peer.
+        assert!(matches!(
+            mb.recv(0, Tag::app(0)),
+            Err(NetError::PeerDead { rank: 2, peer: 0 })
+        ));
+        assert!(matches!(
+            mb.recv_timeout(0, Tag::app(0), Duration::from_millis(5)),
+            Err(NetError::PeerDead { rank: 2, peer: 0 })
+        ));
+        // Other sources are unaffected.
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv(1, Tag::app(0)).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        mb.deliver(msg(1, Tag::app(0), b"alive"));
+        assert_eq!(handle.join().unwrap(), "alive");
+    }
+
+    #[test]
+    fn mark_dead_wakes_blocked_receiver() {
+        let mb = Arc::new(Mailbox::new(6));
+        let mb2 = Arc::clone(&mb);
+        let handle = std::thread::spawn(move || mb2.recv(3, Tag::app(0)));
+        std::thread::sleep(Duration::from_millis(20));
+        mb.mark_dead(3);
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(NetError::PeerDead { rank: 6, peer: 3 })
+        ));
+    }
+
+    #[test]
     fn close_drops_future_deliveries() {
         let mb = Mailbox::new(0);
         mb.close();
@@ -284,6 +379,31 @@ mod tests {
         mb.deliver(msg(1, Tag::app(0), b"now"));
         assert_eq!(mb.try_recv(1, Tag::app(0)).unwrap(), "now");
         assert_eq!(mb.queued(), 0);
+    }
+
+    #[test]
+    fn checked_try_recv_drains_then_reports_terminal_states() {
+        let mb = Mailbox::new(3);
+        assert_eq!(mb.try_recv_checked(1, Tag::app(0)).unwrap(), None);
+        // Queued traffic drains even after the terminal mark …
+        mb.deliver(msg(1, Tag::app(0), b"last-words"));
+        mb.mark_dead(1);
+        assert_eq!(
+            mb.try_recv_checked(1, Tag::app(0)).unwrap().unwrap(),
+            "last-words"
+        );
+        // … then the death is typed, while other sources stay pollable.
+        assert!(matches!(
+            mb.try_recv_checked(1, Tag::app(0)),
+            Err(NetError::PeerDead { rank: 3, peer: 1 })
+        ));
+        assert_eq!(mb.try_recv_checked(2, Tag::app(0)).unwrap(), None);
+        // Closure fails every source fast — the poll loop cannot spin.
+        mb.close();
+        assert!(matches!(
+            mb.try_recv_checked(2, Tag::app(0)),
+            Err(NetError::Disconnected { rank: 3 })
+        ));
     }
 
     #[test]

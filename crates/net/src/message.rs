@@ -38,6 +38,15 @@ impl Tag {
     /// UDP-fabric repair data: chunks retransmitted over TCP unicast after
     /// the bounded multicast-retransmit budget is exhausted.
     pub const UDP_REPAIR: u8 = 0xC2;
+    /// Heartbeat beacons from the health layer (one fixed sub-tag; the
+    /// monitor drains the whole queue on every tick).
+    pub const HEARTBEAT: u8 = 0xC3;
+    /// Liveness-aware barrier control messages (recovery mode): arrivals
+    /// carry the sender's dead-mask, releases carry the coordinator's.
+    pub const RBARRIER: u8 = 0xC4;
+    /// Recovery-plan data: re-executed or forwarded intermediate values
+    /// unicast from a helper to a dead rank's successor (sub-tag = file id).
+    pub const RECOVER: u8 = 0xC5;
 
     /// Builds a tag in the given purpose namespace with a 24-bit sequence.
     ///

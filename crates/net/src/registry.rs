@@ -84,6 +84,81 @@ impl RankRegistry {
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
     }
+
+    /// The membership view of this registry's world under a dead-mask from
+    /// the health layer: who is still in, and who deterministically adopts
+    /// each dead rank's responsibilities.
+    pub fn membership(&self, dead_mask: u128) -> MembershipView {
+        MembershipView::new(self.world_size(), dead_mask)
+    }
+}
+
+/// A point-in-time membership view: the registry's world filtered by the
+/// health layer's dead-mask. Successor choice is deterministic (next
+/// surviving rank, cyclically), so every survivor computes the same
+/// adoption plan without further coordination.
+///
+/// ```
+/// use cts_net::registry::MembershipView;
+///
+/// let view = MembershipView::new(4, 0b0100); // rank 2 is dead
+/// assert!(view.is_alive(1) && !view.is_alive(2));
+/// assert_eq!(view.alive_ranks(), vec![0, 1, 3]);
+/// assert_eq!(view.successor_of(2), Some(3));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MembershipView {
+    world: usize,
+    dead_mask: u128,
+}
+
+impl MembershipView {
+    /// A view over `world` ranks with the given dead-mask (bit `i` set =
+    /// rank `i` is dead). Bits at or above `world` are ignored.
+    pub fn new(world: usize, dead_mask: u128) -> Self {
+        let keep = if world >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << world) - 1
+        };
+        MembershipView {
+            world,
+            dead_mask: dead_mask & keep,
+        }
+    }
+
+    /// The registered world size (alive and dead).
+    pub fn world_size(&self) -> usize {
+        self.world
+    }
+
+    /// True if `rank` has not been declared dead.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        rank < self.world && self.dead_mask & (1u128 << rank) == 0
+    }
+
+    /// The dead-mask this view was built from.
+    pub fn dead_mask(&self) -> u128 {
+        self.dead_mask
+    }
+
+    /// Surviving ranks, ascending.
+    pub fn alive_ranks(&self) -> Vec<usize> {
+        (0..self.world).filter(|&r| self.is_alive(r)).collect()
+    }
+
+    /// Dead ranks, ascending.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        (0..self.world).filter(|&r| !self.is_alive(r)).collect()
+    }
+
+    /// The deterministic successor of `rank`: the next surviving rank
+    /// cyclically after it. `None` if nobody survives.
+    pub fn successor_of(&self, rank: usize) -> Option<usize> {
+        (1..=self.world)
+            .map(|step| (rank + step) % self.world)
+            .find(|&r| self.is_alive(r))
+    }
 }
 
 /// Deterministic multicast-group addressing for the UDP fabric.
@@ -237,6 +312,32 @@ mod tests {
         assert!(seen.len() > 1, "all masks collapsed onto one group");
         // Degenerate pool of one still works.
         assert_eq!(UdpGroupPlan::new(1, 0).pool().len(), 1);
+    }
+
+    #[test]
+    fn membership_views_pick_deterministic_successors() {
+        let view = MembershipView::new(5, 0);
+        assert_eq!(view.alive_ranks(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(view.successor_of(4), Some(0), "succession wraps");
+
+        let holey = MembershipView::new(5, 0b11000); // 3 and 4 dead
+        assert_eq!(holey.dead_ranks(), vec![3, 4]);
+        assert_eq!(holey.successor_of(3), Some(0), "skips dead 4, wraps");
+        assert_eq!(holey.successor_of(2), Some(0));
+
+        // Out-of-world bits are masked off; a fully dead world has no
+        // successor.
+        assert_eq!(MembershipView::new(3, !0b111).dead_mask(), 0);
+        assert_eq!(MembershipView::new(3, 0b111).successor_of(0), None);
+    }
+
+    #[test]
+    fn registry_surfaces_membership() {
+        let (registry, _listeners) = RankRegistry::bind_loopback(3).unwrap();
+        let view = registry.membership(0b010);
+        assert_eq!(view.world_size(), 3);
+        assert_eq!(view.alive_ranks(), vec![0, 2]);
+        assert_eq!(view.successor_of(1), Some(2));
     }
 
     #[test]

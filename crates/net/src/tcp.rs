@@ -207,7 +207,7 @@ impl TcpEndpoint {
         if let Some(link) = self.outbound.lock().get(&dst) {
             return Ok(Arc::clone(link)); // raced: the other dialer won
         }
-        let mut stream = TcpStream::connect(addr)?;
+        let mut stream = dial_with_retry(self.rank, dst, addr)?;
         stream.set_nodelay(true)?;
         stream.write_all(&(self.rank as u32).to_le_bytes())?;
         stream.set_nonblocking(true)?;
@@ -228,6 +228,53 @@ impl TcpEndpoint {
             let _ = handle.join();
         }
     }
+}
+
+/// Maximum connect attempts for one lazy dial before the typed
+/// [`NetError::ConnectFailed`] surfaces.
+const DIAL_ATTEMPTS: u32 = 8;
+/// First retry backoff; doubles per attempt, capped at
+/// [`DIAL_BACKOFF_CAP`].
+const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Upper bound on a single backoff sleep.
+const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(100);
+
+/// Dials `addr` with a bounded retry budget: a peer whose listener is not
+/// accepting yet (refused/reset during staggered bring-up) gets
+/// exponentially backed-off retries with deterministic per-(dialer, peer,
+/// attempt) jitter so simultaneous dialers decorrelate identically on
+/// every run. Exhausting the budget yields the typed `ConnectFailed`
+/// naming the rank and address instead of a raw I/O error.
+fn dial_with_retry(me: usize, dst: usize, addr: std::net::SocketAddr) -> Result<TcpStream> {
+    let mut backoff = DIAL_BACKOFF_BASE;
+    let mut last = String::new();
+    for attempt in 0..DIAL_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = e.to_string(),
+        }
+        if attempt + 1 < DIAL_ATTEMPTS {
+            // Deterministic jitter in [0, backoff/2): a hash of (dialer,
+            // peer, attempt), not a clock or RNG, so failing bring-ups
+            // replay exactly.
+            let h = ((me as u64) << 24 ^ (dst as u64) << 8 ^ attempt as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                >> 33;
+            let jitter_us = if backoff.as_micros() >= 2 {
+                h % (backoff.as_micros() as u64 / 2)
+            } else {
+                0
+            };
+            std::thread::sleep(backoff + Duration::from_micros(jitter_us));
+            backoff = (backoff * 2).min(DIAL_BACKOFF_CAP);
+        }
+    }
+    Err(NetError::ConnectFailed {
+        rank: dst,
+        addr: addr.to_string(),
+        attempts: DIAL_ATTEMPTS,
+        last,
+    })
 }
 
 /// The per-endpoint event loop: accepts inbound connections (reading each
@@ -471,7 +518,7 @@ impl Transport for TcpEndpoint {
                 world: self.world_size(),
             });
         }
-        Ok(self.mailbox.try_recv(src, tag))
+        self.mailbox.try_recv_checked(src, tag)
     }
 
     fn shutdown(&self) {
@@ -486,6 +533,10 @@ impl Transport for TcpEndpoint {
             handle.thread().unpark();
         }
         self.mailbox.close();
+    }
+
+    fn mark_peer_dead(&self, peer: usize) {
+        self.mailbox.mark_dead(peer);
     }
 }
 
@@ -635,6 +686,52 @@ mod tests {
         assert!(matches!(err, NetError::InvalidRank { rank: 9, .. }));
         // Nothing was sent to the valid destination either.
         assert!(endpoints[1].try_recv(0, Tag::app(0)).unwrap().is_none());
+    }
+
+    #[test]
+    fn exhausted_dial_budget_is_a_typed_error() {
+        // A bound-then-dropped listener leaves a port that refuses every
+        // connect: the retry budget must drain with backoff, then surface
+        // ConnectFailed naming the rank and address — not a raw Io error.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let started = std::time::Instant::now();
+        let err = dial_with_retry(0, 3, addr).unwrap_err();
+        // Backoffs 1+2+4+8+16+32+64 ms floor the failure path's duration.
+        assert!(
+            started.elapsed() >= Duration::from_millis(100),
+            "retries must back off before giving up"
+        );
+        match err {
+            NetError::ConnectFailed {
+                rank,
+                addr: dialed,
+                attempts,
+                ..
+            } => {
+                assert_eq!(rank, 3);
+                assert_eq!(dialed, addr.to_string());
+                assert_eq!(attempts, 8);
+            }
+            other => panic!("expected ConnectFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dial_retry_rides_out_late_bring_up() {
+        // The listener only starts accepting after the first attempts have
+        // failed: the bounded retry must land the connection.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let opener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            TcpListener::bind(addr).unwrap()
+        });
+        let stream = dial_with_retry(1, 0, addr).expect("late listener must be reached");
+        assert_eq!(stream.peer_addr().unwrap(), addr);
+        drop(opener.join().unwrap());
     }
 
     #[test]

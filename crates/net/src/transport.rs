@@ -84,4 +84,11 @@ pub trait Transport: Send + Sync {
     /// `Disconnected`. Used for orderly shutdown and for aborting a fabric
     /// when a peer panics.
     fn shutdown(&self);
+
+    /// Records that `peer` has been declared dead by the health layer:
+    /// receives matching that source fail with the typed
+    /// [`PeerDead`](crate::error::NetError::PeerDead) once its queued
+    /// traffic drains, instead of blocking until a generic timeout.
+    /// Default: no-op, for transports without a per-source wait path.
+    fn mark_peer_dead(&self, _peer: usize) {}
 }

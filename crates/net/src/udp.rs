@@ -969,6 +969,15 @@ impl Transport for UdpEndpoint {
             handle.thread().unpark();
         }
     }
+
+    fn mark_peer_dead(&self, peer: usize) {
+        // Both wait paths learn about the death: the UDP data mailbox and
+        // the TCP control channel the polling recv also blocks on.
+        self.shared.core.rx[self.shared.rank]
+            .mailbox
+            .mark_dead(peer);
+        self.shared.tcp.mark_peer_dead(peer);
+    }
 }
 
 impl Drop for UdpEndpoint {

@@ -19,6 +19,8 @@
 //!   *asynchronous execution* future-work extension;
 //! * [`straggler`] — makespan brackets for one slow/dead sender under
 //!   barrier-on-all vs MDS quorum decode;
+//! * [`recovery`] — makespan brackets for a rank death: detection
+//!   latency plus speculative re-execution vs the fail-fast path;
 //! * [`model`] — run statistics + trace → [`breakdown::StageBreakdown`];
 //! * [`breakdown`] — stage breakdowns and paper-style table rendering;
 //! * [`timeline`] — ASCII Fig. 9 schedules.
@@ -33,6 +35,7 @@ pub mod breakdown;
 pub mod config;
 pub mod fluid;
 pub mod model;
+pub mod recovery;
 pub mod serial;
 pub mod stats;
 pub mod straggler;
@@ -42,6 +45,7 @@ pub use breakdown::{render_table, StageBreakdown, TableRow};
 pub use config::{ComputeModelConfig, NetModelConfig, PerfModelConfig};
 pub use fluid::{fabric_queues, predict_fabric_shuffle_s, simulate_parallel, FluidOutcome};
 pub use model::{PerfModel, SHUFFLE_STAGE};
+pub use recovery::RecoveryModel;
 pub use serial::{
     serial_fabric_makespan, serial_makespan, serial_schedule, transfers_by_sender, Schedule,
 };

@@ -113,6 +113,31 @@ impl SortJob {
         self
     }
 
+    /// Selects rank-death handling for the coded driver: `off` (a death
+    /// fails the job fast with a typed error, the default) or
+    /// `speculative` (heartbeat detection plus re-execution of the dead
+    /// rank's work on survivors; requires `gf256`, `quorum`, and
+    /// `r >= 2`). The recovered sort output is byte-identical to a
+    /// healthy run's.
+    pub fn with_recovery(mut self, recovery: cts_mapreduce::stage::RecoveryMode) -> Self {
+        self.engine = self.engine.with_recovery(recovery);
+        self
+    }
+
+    /// Sets the health layer's heartbeat interval (recovery mode only);
+    /// death is declared after ~36 silent intervals.
+    pub fn with_heartbeat(mut self, heartbeat: std::time::Duration) -> Self {
+        self.engine = self.engine.with_heartbeat(heartbeat);
+        self
+    }
+
+    /// Sets the quorum shuffle's receive-idle deadline (zero-progress
+    /// tolerance before the run is declared stalled).
+    pub fn with_idle_timeout(mut self, idle_timeout: std::time::Duration) -> Self {
+        self.engine = self.engine.with_idle_timeout(idle_timeout);
+        self
+    }
+
     fn workload(&self, input: &Bytes) -> TeraSortWorkload {
         let w = match self.partitioner {
             PartitionerKind::Range => TeraSortWorkload::range(self.k),

@@ -5,7 +5,8 @@
 //! cts sort   --input data.bin --k 8 --r 3 [--pods 4] [--sampled 16]
 //!            [--tcp] [--sort-kernel key-index] [--threads 4]
 //!            [--fabric udp-multicast] [--field gf256] [--decode quorum]
-//!            [--paper-nic]
+//!            [--recovery speculative] [--heartbeat-ms 25]
+//!            [--idle-timeout-ms 10000] [--paper-nic]
 //! cts model  --k 16 --r 3 [--records 120000] [--target-gb 12]
 //! cts theory --k 16 [--tmap 1.86 --tshuffle 945.72 --treduce 10.47]
 //! ```
@@ -77,6 +78,15 @@ USAGE:
                  barrier-on-all, default; quorum = release each group once
                  any r-1 of r coded packets arrive — GF(256) MDS code, the
                  shuffle outruns stragglers; same sorted output),
+               --recovery off|speculative → rank-death handling (off =
+                 fail fast with a typed error, default; speculative =
+                 heartbeat failure detection + re-execution of the dead
+                 rank's work on survivors; needs --field gf256
+                 --decode quorum and r >= 2; same sorted output),
+               --heartbeat-ms N → health beacon interval (death declared
+                 after ~36 silent intervals; default 25),
+               --idle-timeout-ms N → quorum shuffle zero-progress
+                 deadline (default 10000),
                --paper-nic → emulate the paper's 100 Mbps NIC in real time
   cts model  --k K --r R [--records N] [--target-gb G]
                modeled paper-scale stage breakdown (EC2 calibration)
@@ -170,6 +180,28 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
     if decode == cts_core::decode::DecodeMode::Quorum && r <= 1 {
         return Err("--decode quorum needs --r 2 or more (no coded groups at r = 1)".to_string());
     }
+    let recovery: coded_terasort::mapreduce::RecoveryMode = opt(
+        opts,
+        "recovery",
+        coded_terasort::mapreduce::RecoveryMode::Off,
+    )
+    .map_err(|e| format!("{e} (expected `speculative` or `off`)"))?;
+    let heartbeat_ms: u64 = opt(opts, "heartbeat-ms", 25)?;
+    let idle_timeout_ms: u64 = opt(opts, "idle-timeout-ms", 10_000)?;
+    if recovery == coded_terasort::mapreduce::RecoveryMode::Speculative
+        && (field != cts_core::FieldKind::Gf256
+            || decode != cts_core::decode::DecodeMode::Quorum
+            || r < 2)
+    {
+        return Err(
+            "--recovery speculative needs --field gf256, --decode quorum, and --r 2 or more \
+             (the MDS quorum absorbs one dead sender per group)"
+                .to_string(),
+        );
+    }
+    if recovery != coded_terasort::mapreduce::RecoveryMode::Off && pods > 0 {
+        return Err("--recovery is not supported with --pods".to_string());
+    }
 
     let raw = std::fs::read(&input_path).map_err(|e| format!("reading {input_path}: {e}"))?;
     let input = Bytes::from(raw);
@@ -209,7 +241,16 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
     job = job
         .with_fabric(fabric)
         .with_field(field)
-        .with_decode(decode);
+        .with_decode(decode)
+        .with_recovery(recovery)
+        .with_heartbeat(std::time::Duration::from_millis(heartbeat_ms))
+        .with_idle_timeout(std::time::Duration::from_millis(idle_timeout_ms));
+    if recovery == coded_terasort::mapreduce::RecoveryMode::Speculative {
+        println!(
+            "recovery: speculative ({heartbeat_ms} ms heartbeats; a dead rank's partition is \
+             re-executed on its successor)"
+        );
+    }
     if decode == cts_core::decode::DecodeMode::Quorum {
         println!(
             "decode: quorum (any {} of {r} coded packets release a group)",

@@ -15,13 +15,18 @@ use coded_terasort::coding::intermediate::MapOutputStore;
 use coded_terasort::coding::packet::CodedPacket;
 use coded_terasort::coding::placement::PlacementPlan;
 use coded_terasort::coding::CodedError;
+use coded_terasort::mapreduce::{EngineError, RecoveryMode};
 use coded_terasort::net::fault::{
-    straggler_blackhole_rule, straggler_delay_rule, FaultAction, FaultyTransport,
+    straggler_blackhole_rule, straggler_delay_rule, CrashPoint, CrashSpec, FaultAction,
+    FaultyTransport,
 };
 use coded_terasort::net::local::LocalFabric;
-use coded_terasort::net::{NetError, Tag, Transport};
+use coded_terasort::net::{HealthConfig, NetError, Tag, Transport};
 use coded_terasort::netsim::straggler::{Slowdown, StragglerModel};
+use coded_terasort::netsim::RecoveryModel;
 use coded_terasort::prelude::*;
+use coded_terasort::terasort::SortRun;
+use proptest::prelude::*;
 
 /// Builds keep-rule stores for a (k, r) deployment with deterministic
 /// contents.
@@ -241,6 +246,231 @@ fn quorum_decode_survives_a_dead_sender() {
         bracket.hi_s
     );
     assert!(model.predicted_speedup().is_infinite());
+}
+
+/// One timed coded sort at (k, r) with GF(256) + quorum decode, optional
+/// fail-stop crash injection, and the given recovery mode. `tcp` selects
+/// the loopback-TCP cluster instead of the in-memory fabric.
+fn crash_run(
+    input: &Bytes,
+    k: usize,
+    r: usize,
+    tcp: bool,
+    recovery: RecoveryMode,
+    heartbeat: Duration,
+    crashes: &[CrashSpec],
+) -> (coded_terasort::mapreduce::Result<SortRun>, f64) {
+    let mut job = SortJob::local(k, r);
+    if tcp {
+        job.engine = coded_terasort::mapreduce::EngineConfig::tcp(k, r);
+    }
+    let mut job = job
+        .with_field(FieldKind::Gf256)
+        .with_decode(DecodeMode::Quorum)
+        .with_recovery(recovery)
+        .with_heartbeat(heartbeat);
+    for spec in crashes {
+        job.engine = job.engine.with_crash(*spec);
+    }
+    let started = Instant::now();
+    let run = run_coded_terasort(input.clone(), &job);
+    (run, started.elapsed().as_secs_f64())
+}
+
+/// The tentpole acceptance sweep on one fabric: K = 16, r = 3, one rank
+/// killed fail-stop mid-Map.
+///
+/// * `--recovery speculative` must finish with output byte-identical to
+///   the healthy run's, with the makespan inside the
+///   [`RecoveryModel::speculative_bracket`] calibrated from the measured
+///   healthy makespan and the health layer's death deadline;
+/// * `--recovery off` must fail fast with the crash's identity as a typed
+///   [`EngineError::RankDied`] — no deadline waits, no hang — inside
+///   [`RecoveryModel::failfast_bracket`].
+fn kill_mid_map_acceptance(tcp: bool) {
+    let (k, r) = (16usize, 3usize);
+    let victim = 5usize;
+    // TCP runs 16 socket-fed ranks; under full-suite parallel load a
+    // heartbeat thread can starve long enough to miss a tight deadline,
+    // so the real-socket leg gets a wider interval than the in-memory one.
+    let heartbeat = Duration::from_millis(if tcp { 25 } else { 10 });
+    let crash = CrashSpec {
+        rank: victim,
+        point: CrashPoint::MidMap,
+    };
+    let input = teragen::generate(3_000, 1617);
+
+    // Healthy baseline under the same config (recovery armed, heartbeats
+    // flowing, nobody dies): calibrates the recovery model's brackets.
+    let (healthy, healthy_s) =
+        crash_run(&input, k, r, tcp, RecoveryMode::Speculative, heartbeat, &[]);
+    let healthy = healthy.expect("healthy baseline");
+    healthy.validate().expect("TeraValidate healthy");
+
+    let detect_s = HealthConfig::from_heartbeat(heartbeat)
+        .death_deadline()
+        .as_secs_f64();
+    let model = RecoveryModel::new(healthy_s, detect_s);
+
+    // Speculative: survivors adopt the victim's partition; output is
+    // byte-identical and the makespan pays at most detection + headroom.
+    let (recovered, recovered_s) = crash_run(
+        &input,
+        k,
+        r,
+        tcp,
+        RecoveryMode::Speculative,
+        heartbeat,
+        &[crash],
+    );
+    let recovered = recovered.expect("speculative recovery must complete");
+    recovered.validate().expect("TeraValidate recovered");
+    assert_eq!(
+        recovered.outcome.outputs, healthy.outcome.outputs,
+        "recovered output diverged from the healthy run"
+    );
+    let bracket = model.speculative_bracket();
+    assert!(
+        bracket.contains(recovered_s),
+        "recovery makespan {recovered_s:.3}s outside [{:.3}, {:.3}]s",
+        bracket.lo_s,
+        bracket.hi_s
+    );
+
+    // Recovery off: the same death is a fast typed error, never a hang.
+    let (failed, failed_s) = crash_run(&input, k, r, tcp, RecoveryMode::Off, heartbeat, &[crash]);
+    match failed {
+        Err(EngineError::RankDied { rank, point }) => {
+            assert_eq!(rank, victim);
+            assert_eq!(point, CrashPoint::MidMap);
+        }
+        other => panic!("recovery off must fail with RankDied, got {other:?}"),
+    }
+    let bracket = model.failfast_bracket();
+    assert!(
+        bracket.contains(failed_s),
+        "fail-fast took {failed_s:.3}s, outside [{:.3}, {:.3}]s",
+        bracket.lo_s,
+        bracket.hi_s
+    );
+}
+
+#[test]
+fn killed_mid_map_rank_recovers_byte_identically_on_the_local_fabric() {
+    kill_mid_map_acceptance(false);
+}
+
+#[test]
+fn killed_mid_map_rank_recovers_byte_identically_on_the_tcp_fabric() {
+    kill_mid_map_acceptance(true);
+}
+
+#[test]
+fn more_deaths_than_the_code_tolerates_degrade_gracefully() {
+    // Two fail-stop deaths exceed the quorum code's one-dead-sender
+    // capacity: the job must abort with a structured report naming the
+    // dead ranks and the starved groups — quickly, never hanging on the
+    // idle deadline.
+    let (k, r) = (8usize, 3usize);
+    let heartbeat = Duration::from_millis(5);
+    let input = teragen::generate(1_200, 4242);
+    let crashes = [
+        CrashSpec {
+            rank: 1,
+            point: CrashPoint::MidMap,
+        },
+        CrashSpec {
+            rank: 6,
+            point: CrashPoint::MidMap,
+        },
+    ];
+    let started = Instant::now();
+    let (outcome, _) = crash_run(
+        &input,
+        k,
+        r,
+        false,
+        RecoveryMode::Speculative,
+        heartbeat,
+        &crashes,
+    );
+    match outcome {
+        Err(EngineError::Unrecoverable(report)) => {
+            assert_eq!(report.dead, vec![1, 6]);
+            assert!(
+                !report.unrecoverable_groups.is_empty(),
+                "the report must name the starved groups"
+            );
+        }
+        other => panic!("two deaths must be Unrecoverable, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "graceful degradation must not hang"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Chaos sweep over (K, r, victim, crash point): any single fail-stop
+    /// death under speculative recovery sorts byte-identically to the
+    /// healthy run, and the same death with recovery off surfaces as the
+    /// typed crash identity — structured errors, never hangs.
+    #[test]
+    fn chaos_single_death_recovers_or_fails_typed(
+        k in 4usize..=6,
+        r_sel in 0usize..2,
+        victim_sel in any::<u64>(),
+        point_sel in 0usize..4,
+        records in 200usize..600,
+        seed in any::<u64>(),
+    ) {
+        let r = 2 + r_sel;
+        prop_assume!(r < k);
+        let victim = (victim_sel as usize) % k;
+        let point = match point_sel {
+            0 => CrashPoint::MidMap,
+            1 => CrashPoint::MidEncode,
+            2 => CrashPoint::AfterSends(victim_sel % 4),
+            _ => CrashPoint::PreReduce,
+        };
+        let heartbeat = Duration::from_millis(5);
+        let crash = CrashSpec { rank: victim, point };
+        let input = teragen::generate(records, seed);
+
+        let (healthy, _) = crash_run(
+            &input, k, r, false, RecoveryMode::Speculative, heartbeat, &[],
+        );
+        let healthy = healthy.expect("healthy chaos baseline");
+
+        let (recovered, _) = crash_run(
+            &input, k, r, false, RecoveryMode::Speculative, heartbeat, &[crash],
+        );
+        let recovered = recovered.expect("single death must be recoverable");
+        recovered.validate().expect("TeraValidate chaos");
+        prop_assert_eq!(
+            &recovered.outcome.outputs,
+            &healthy.outcome.outputs,
+            "k={} r={} victim={} point={}",
+            k, r, victim, point
+        );
+
+        let (failed, _) = crash_run(
+            &input, k, r, false, RecoveryMode::Off, heartbeat, &[crash],
+        );
+        match failed {
+            Err(EngineError::RankDied { rank, point: p }) => {
+                prop_assert_eq!(rank, victim);
+                prop_assert_eq!(p, point);
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "recovery off must fail typed, got {other:?}"
+                )));
+            }
+        }
+    }
 }
 
 #[test]
