@@ -170,16 +170,11 @@ pub mod results {
     use serde::json::Value;
     use serde::Serialize;
 
-    /// Serializes experiment rows (per-stage breakdowns + speedups) and
-    /// writes them as `BENCH_<target>.json` inside `$CTS_BENCH_JSON_DIR`.
-    /// No-op (returning `None`) when the variable is unset, so plain
-    /// `cargo bench` runs leave no files behind.
-    pub fn write_rows_json(target: &str, rows: &[TableRow]) -> Option<std::path::PathBuf> {
+    /// Writes an arbitrary JSON document as `BENCH_<target>.json` inside
+    /// `$CTS_BENCH_JSON_DIR`. No-op (returning `None`) when the variable
+    /// is unset, so plain `cargo bench` runs leave no files behind.
+    pub fn write_json(target: &str, doc: &Value) -> Option<std::path::PathBuf> {
         let dir = std::env::var_os("CTS_BENCH_JSON_DIR")?;
-        let doc = Value::object([
-            ("target", Value::Str(target.to_string())),
-            ("rows", rows.to_json()),
-        ]);
         let path = std::path::Path::new(&dir).join(format!("BENCH_{target}.json"));
         match std::fs::write(&path, doc.render()) {
             Ok(()) => {
@@ -191,6 +186,16 @@ pub mod results {
                 None
             }
         }
+    }
+
+    /// Serializes experiment rows (per-stage breakdowns + speedups) and
+    /// writes them as `BENCH_<target>.json` via [`write_json`].
+    pub fn write_rows_json(target: &str, rows: &[TableRow]) -> Option<std::path::PathBuf> {
+        let doc = Value::object([
+            ("target", Value::Str(target.to_string())),
+            ("rows", rows.to_json()),
+        ]);
+        write_json(target, &doc)
     }
 
     #[cfg(test)]

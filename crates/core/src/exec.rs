@@ -9,10 +9,19 @@
 //!   output is byte-identical for *any* thread count (asserted by
 //!   `tests/compute_equivalence.rs`).
 //! * **Bounded parallelism** — extra worker threads are leased from a
-//!   process-wide budget (defaulting to the machine's available
-//!   parallelism). When 64 emulated nodes all request 4 threads at once,
-//!   the budget grants what exists and the rest run inline on the node's
-//!   own thread; outputs are unaffected.
+//!   [`Budget`] (by default the process-wide one, sized to the machine's
+//!   available parallelism). When 64 emulated nodes all request 4 threads
+//!   at once, the budget grants what exists and the rest run inline on the
+//!   node's own thread; outputs are unaffected.
+//! * **Cooperative sharing** — a pool built
+//!   [`with_yield`](WorkerPool::with_yield) splits each `map`/`map_with`
+//!   into item slices and releases its lease between slices, so long jobs
+//!   (encode/decode loops over thousands of coded groups) take turns on
+//!   the budget instead of holding it end to end. Cooperative acquires are
+//!   FIFO-ordered with a bounded patience, so two long jobs interleave
+//!   leases deterministically instead of serializing. Slicing never
+//!   changes which item maps to which output index, so results stay
+//!   byte-identical to the non-cooperative pool.
 //!
 //! ```
 //! use cts_core::exec::WorkerPool;
@@ -24,12 +33,14 @@
 //! assert_eq!(squares, WorkerPool::serial().map(8, |i| i * i));
 //! ```
 
-use std::sync::{Mutex, OnceLock};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
-/// The process-wide extra-thread budget.
-fn budget() -> &'static Mutex<usize> {
-    static BUDGET: OnceLock<Mutex<usize>> = OnceLock::new();
-    BUDGET.get_or_init(|| Mutex::new(default_parallelism()))
+/// The process-wide extra-thread budget (the default lease source).
+pub fn global_budget() -> &'static Arc<Budget> {
+    static BUDGET: OnceLock<Arc<Budget>> = OnceLock::new();
+    BUDGET.get_or_init(|| Arc::new(Budget::new(default_parallelism())))
 }
 
 /// The machine's available parallelism (fallback 4 when undetectable).
@@ -39,39 +50,194 @@ pub fn default_parallelism() -> usize {
         .unwrap_or(4)
 }
 
-/// Leases up to `want` extra threads from the process budget.
-fn acquire(want: usize) -> usize {
-    let mut b = budget().lock().expect("exec budget lock");
-    let granted = want.min(*b);
-    *b -= granted;
-    granted
+/// One observed lease grant: which caller (keyed by its thread) asked and
+/// how many extra threads it got. Recorded only while the probe is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseEvent {
+    /// Stable key of the acquiring thread (hash of its `ThreadId`).
+    pub owner: u64,
+    /// Extra threads granted (0 = the caller runs inline).
+    pub granted: usize,
 }
 
-/// Returns leased threads to the budget. Paired with [`acquire`] via
-/// [`Lease`] so panics cannot strand permits.
-fn release(n: usize) {
-    if n > 0 {
-        *budget().lock().expect("exec budget lock") += n;
+struct BudgetState {
+    avail: usize,
+    /// FIFO ticket counter for cooperative acquires.
+    next_ticket: u64,
+    /// The ticket currently allowed to take threads.
+    serving: u64,
+    /// Cooperative tickets whose owner gave up waiting; skipped when
+    /// `serving` reaches them so the queue cannot stall.
+    abandoned: VecDeque<u64>,
+}
+
+/// A leasable extra-thread budget.
+///
+/// Pools usually share the [`global_budget`]; a multi-tenant runtime can
+/// own a private `Budget` so its jobs contend only with each other. Plain
+/// [`acquire`](Budget::acquire) never blocks (legacy all-or-nothing
+/// semantics); [`acquire_coop`](Budget::acquire_coop) waits briefly in
+/// FIFO order so yielded leases hand off fairly between jobs.
+pub struct Budget {
+    state: Mutex<BudgetState>,
+    cv: Condvar,
+    probe: Mutex<Option<Vec<LeaseEvent>>>,
+}
+
+impl std::fmt::Debug for Budget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let avail = self.state.lock().map(|s| s.avail).unwrap_or(0);
+        f.debug_struct("Budget").field("avail", &avail).finish()
+    }
+}
+
+impl Budget {
+    /// A budget holding `n` extra threads.
+    pub fn new(n: usize) -> Budget {
+        Budget {
+            state: Mutex::new(BudgetState {
+                avail: n,
+                next_ticket: 0,
+                serving: 0,
+                abandoned: VecDeque::new(),
+            }),
+            cv: Condvar::new(),
+            probe: Mutex::new(None),
+        }
+    }
+
+    /// Starts recording lease grants (for fairness tests and diagnostics).
+    pub fn enable_probe(&self) {
+        *self.probe.lock().expect("budget probe lock") = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the grant log in acquisition order.
+    pub fn take_probe(&self) -> Vec<LeaseEvent> {
+        self.probe
+            .lock()
+            .expect("budget probe lock")
+            .take()
+            .unwrap_or_default()
+    }
+
+    fn record(&self, owner: u64, granted: usize) {
+        if let Some(log) = self.probe.lock().expect("budget probe lock").as_mut() {
+            log.push(LeaseEvent { owner, granted });
+        }
+    }
+
+    /// Leases up to `want` extra threads without blocking: grants whatever
+    /// is available right now (possibly 0). Ignores the cooperative FIFO.
+    pub fn acquire(&self, want: usize, owner: u64) -> usize {
+        let granted = {
+            let mut s = self.state.lock().expect("exec budget lock");
+            let granted = want.min(s.avail);
+            s.avail -= granted;
+            granted
+        };
+        self.record(owner, granted);
+        granted
+    }
+
+    /// Cooperative lease: takes a FIFO ticket and waits up to `patience`
+    /// for its turn *and* for threads to be available. On timeout the
+    /// caller proceeds with whatever is free (possibly 0) — cooperative
+    /// acquires never deadlock, they only wait politely.
+    pub fn acquire_coop(&self, want: usize, patience: Duration, owner: u64) -> usize {
+        let deadline = Instant::now() + patience;
+        let mut s = self.state.lock().expect("exec budget lock");
+        let ticket = s.next_ticket;
+        s.next_ticket += 1;
+        let granted = loop {
+            Self::skip_abandoned(&mut s);
+            if s.serving == ticket && s.avail > 0 {
+                let granted = want.min(s.avail);
+                s.avail -= granted;
+                s.serving += 1;
+                self.cv.notify_all();
+                break granted;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                if s.serving == ticket {
+                    // Our turn, nothing free: give up and run inline.
+                    s.serving += 1;
+                    self.cv.notify_all();
+                } else {
+                    // Still queued behind others: abandon the ticket so the
+                    // queue flows past it.
+                    s.abandoned.push_back(ticket);
+                    self.cv.notify_all();
+                }
+                break 0;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(s, deadline - now)
+                .expect("exec budget wait");
+            s = guard;
+        };
+        drop(s);
+        self.record(owner, granted);
+        granted
+    }
+
+    fn skip_abandoned(s: &mut BudgetState) {
+        while let Some(pos) = s.abandoned.iter().position(|&t| t == s.serving) {
+            s.abandoned.remove(pos);
+            s.serving += 1;
+        }
+    }
+
+    /// Returns leased threads. Paired with the acquire methods via
+    /// an RAII `Lease` so panics cannot strand permits.
+    pub fn release(&self, n: usize) {
+        if n > 0 {
+            let mut s = self.state.lock().expect("exec budget lock");
+            s.avail += n;
+            Self::skip_abandoned(&mut s);
+            drop(s);
+            self.cv.notify_all();
+        }
     }
 }
 
 /// RAII lease on extra worker threads.
-struct Lease(usize);
+struct Lease<'a> {
+    budget: &'a Budget,
+    granted: usize,
+}
 
-impl Drop for Lease {
+impl Drop for Lease<'_> {
     fn drop(&mut self) {
-        release(self.0);
+        self.budget.release(self.granted);
     }
 }
+
+/// Stable per-thread owner key for lease accounting.
+fn owner_key() -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish()
+}
+
+/// How long a cooperative acquire waits for its FIFO turn before running
+/// inline. Long enough to bridge another job's slice, short enough that a
+/// non-cooperative lease holder cannot stall the caller noticeably.
+const DEFAULT_YIELD_PATIENCE: Duration = Duration::from_millis(20);
 
 /// A deterministic chunked worker pool.
 ///
 /// The pool itself is a lightweight value (no threads are kept alive
 /// between calls); `map`/`map_with` spawn scoped workers per call, bounded
-/// by both the configured thread count and the process-wide budget.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// by both the configured thread count and the lease budget.
+#[derive(Clone, Debug)]
 pub struct WorkerPool {
     threads: usize,
+    yield_slices: usize,
+    yield_patience: Duration,
+    budget: Option<Arc<Budget>>,
 }
 
 impl Default for WorkerPool {
@@ -90,17 +256,55 @@ impl WorkerPool {
             } else {
                 threads
             },
+            yield_slices: 1,
+            yield_patience: DEFAULT_YIELD_PATIENCE,
+            budget: None,
         }
     }
 
     /// The single-threaded pool: every `map` runs inline.
     pub fn serial() -> Self {
-        WorkerPool { threads: 1 }
+        WorkerPool::new(1)
+    }
+
+    /// Makes the pool cooperative: each `map`/`map_with` call is split
+    /// into up to `slices` item slices with the lease released between
+    /// them, so concurrent long jobs interleave instead of one holding the
+    /// whole budget end to end. `slices <= 1` keeps the legacy
+    /// single-lease behavior. Slices never shrink below the pool's thread
+    /// count in items, so intra-slice parallelism is unaffected, and the
+    /// item→output mapping is unchanged (byte-identical results).
+    pub fn with_yield(mut self, slices: usize) -> Self {
+        self.yield_slices = slices.max(1);
+        self
+    }
+
+    /// Sets how long cooperative acquires wait for their FIFO turn.
+    pub fn with_yield_patience(mut self, patience: Duration) -> Self {
+        self.yield_patience = patience;
+        self
+    }
+
+    /// Leases from `budget` instead of the process-wide [`global_budget`]
+    /// (a job runtime owns one budget and hands it to every job's pool).
+    pub fn with_budget(mut self, budget: Arc<Budget>) -> Self {
+        self.budget = Some(budget);
+        self
     }
 
     /// The configured (requested) worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The cooperative slice count (1 = non-cooperative).
+    pub fn yield_slices(&self) -> usize {
+        self.yield_slices
+    }
+
+    /// The lease source this pool draws from.
+    pub fn budget(&self) -> &Arc<Budget> {
+        self.budget.as_ref().unwrap_or_else(|| global_budget())
     }
 
     /// Applies `f` to every index in `0..n`, returning results in index
@@ -160,25 +364,65 @@ impl WorkerPool {
             let mut state = init();
             return (0..n).map(|i| f(&mut state, i)).collect();
         }
+        // Cooperative pools slice the items and re-lease per slice; slices
+        // never hold fewer items than the pool has threads, so a slice's
+        // internal parallelism matches the non-cooperative pool's.
+        let slice_len = if self.yield_slices > 1 {
+            n.div_ceil(self.yield_slices).max(self.threads.min(n))
+        } else {
+            n
+        };
+        let owner = owner_key();
+        let mut out: Vec<T> = Vec::with_capacity(n);
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + slice_len).min(n);
+            self.run_slice(start..end, owner, &init, &f, &mut out);
+            start = end;
+        }
+        out
+    }
+
+    /// Runs one leased slice of items, appending results in index order.
+    fn run_slice<S, T, I, F>(
+        &self,
+        range: std::ops::Range<usize>,
+        owner: u64,
+        init: &I,
+        f: &F,
+        out: &mut Vec<T>,
+    ) where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        let n = range.len();
+        let budget: &Budget = self.budget().as_ref();
         // Lease extra workers; our own thread always counts as one.
-        let lease = Lease(acquire(self.threads.min(n) - 1));
-        let workers = lease.0 + 1;
+        let want = self.threads.min(n) - 1;
+        let granted = if self.yield_slices > 1 {
+            budget.acquire_coop(want, self.yield_patience, owner)
+        } else {
+            budget.acquire(want, owner)
+        };
+        let lease = Lease { budget, granted };
+        let workers = lease.granted + 1;
         if workers == 1 {
             let mut state = init();
-            return (0..n).map(|i| f(&mut state, i)).collect();
+            for i in range {
+                out.push(f(&mut state, i));
+            }
+            return;
         }
         let chunk = n.div_ceil(workers);
-        let mut out: Vec<T> = Vec::with_capacity(n);
         std::thread::scope(|scope| {
-            let f = &f;
-            let init = &init;
             let mut handles = Vec::with_capacity(workers - 1);
             for w in 1..workers {
-                let lo = w * chunk;
-                if lo >= n {
+                let lo = range.start + w * chunk;
+                if lo >= range.end {
                     break;
                 }
-                let hi = (lo + chunk).min(n);
+                let hi = (lo + chunk).min(range.end);
                 handles.push(scope.spawn(move || {
                     let mut state = init();
                     (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
@@ -186,7 +430,7 @@ impl WorkerPool {
             }
             // This thread processes the first chunk while workers run.
             let mut state = init();
-            for i in 0..chunk.min(n) {
+            for i in range.start..(range.start + chunk).min(range.end) {
                 out.push(f(&mut state, i));
             }
             for h in handles {
@@ -196,7 +440,6 @@ impl WorkerPool {
                 }
             }
         });
-        out
     }
 }
 
@@ -204,6 +447,7 @@ impl WorkerPool {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
 
     #[test]
     fn map_preserves_index_order() {
@@ -290,6 +534,98 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn cooperative_map_matches_serial_output() {
+        let expected: Vec<usize> = (0..257usize).map(|i| i.wrapping_mul(31)).collect();
+        for slices in [1usize, 2, 4, 16, 300] {
+            let budget = Arc::new(Budget::new(3));
+            let pool = WorkerPool::new(4).with_budget(budget).with_yield(slices);
+            assert_eq!(pool.map(257, |i| i.wrapping_mul(31)), expected, "{slices}");
+        }
+    }
+
+    /// The PR 3 leftover, demonstrated: two long jobs on a shared
+    /// one-thread budget. Without yield the first lease spans a job's whole
+    /// map, so exactly one job ever holds the budget (the other runs inline
+    /// start to finish). With cooperative yield the lease is released
+    /// between slices and the FIFO handoff bounces it between the jobs.
+    #[test]
+    fn cooperative_yield_interleaves_two_long_jobs() {
+        let work = |i: usize| {
+            std::thread::sleep(Duration::from_millis(2));
+            i
+        };
+        let run_pair = |slices: usize, budget: &Arc<Budget>| {
+            let start = Barrier::new(2);
+            std::thread::scope(|s| {
+                for _ in 0..2 {
+                    let budget = Arc::clone(budget);
+                    let start = &start;
+                    s.spawn(move || {
+                        let pool = WorkerPool::new(2)
+                            .with_budget(budget)
+                            .with_yield(slices)
+                            .with_yield_patience(Duration::from_millis(500));
+                        start.wait();
+                        assert_eq!(pool.map(8, work), (0..8).collect::<Vec<_>>());
+                    });
+                }
+            });
+        };
+
+        // Cooperative: the lone extra thread must serve BOTH jobs, and the
+        // holder sequence must alternate (A…B…A or B…A…B), not serialize.
+        let budget = Arc::new(Budget::new(1));
+        budget.enable_probe();
+        run_pair(4, &budget);
+        let events = budget.take_probe();
+        let holders: Vec<u64> = events
+            .iter()
+            .filter(|e| e.granted > 0)
+            .map(|e| e.owner)
+            .collect();
+        let mut owners: Vec<u64> = holders.clone();
+        owners.sort_unstable();
+        owners.dedup();
+        assert_eq!(owners.len(), 2, "both jobs must hold a lease: {events:?}");
+        let sandwiched = holders
+            .iter()
+            .enumerate()
+            .any(|(i, &h)| holders[..i].contains(&h) && holders[..i].iter().any(|&o| o != h));
+        assert!(sandwiched, "lease never bounced between jobs: {holders:?}");
+
+        // Legacy (slices = 1): the first job to acquire keeps the budget
+        // for its entire map, so exactly one distinct owner ever holds it.
+        let budget = Arc::new(Budget::new(1));
+        budget.enable_probe();
+        run_pair(1, &budget);
+        let events = budget.take_probe();
+        let mut holders: Vec<u64> = events
+            .iter()
+            .filter(|e| e.granted > 0)
+            .map(|e| e.owner)
+            .collect();
+        holders.sort_unstable();
+        holders.dedup();
+        assert_eq!(
+            holders.len(),
+            1,
+            "all-or-nothing lease serialized: {events:?}"
+        );
+    }
+
+    #[test]
+    fn coop_acquire_times_out_instead_of_deadlocking() {
+        let budget = Budget::new(0);
+        let t0 = Instant::now();
+        // Nothing will ever be released; the coop acquire must give up.
+        assert_eq!(budget.acquire_coop(2, Duration::from_millis(10), 7), 0);
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        // The abandoned ticket must not wedge later acquires.
+        budget.release(1);
+        assert_eq!(budget.acquire_coop(1, Duration::from_millis(50), 7), 1);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use cts_core::packet::CodedPacket;
 use cts_core::placement::{FileId, PlacementPlan};
 use cts_core::solve::mds_parts;
 use cts_core::subset::NodeSet;
-use cts_net::cluster::run_spmd_with_inputs;
+use cts_net::cluster::{JobBinding, SharedFabric};
 use cts_net::fault::CrashPoint;
 use cts_net::health::{HealthBoard, HealthConfig, Heartbeat};
 use cts_net::message::Tag;
@@ -44,6 +44,10 @@ use crate::workload::Workload;
 /// Runs `workload` over `input` with the coded engine at redundancy
 /// `cfg.r`.
 ///
+/// Builds an ephemeral [`SharedFabric`] and submits the job at
+/// [`JobBinding::ROOT`] — the one-shot path and the resident runtime's
+/// per-job path are the same code.
+///
 /// # Errors
 /// `BadConfig` for invalid `(K, r)`; transport and protocol failures
 /// propagate.
@@ -52,15 +56,54 @@ pub fn run_coded<W: Workload>(
     input: Bytes,
     cfg: &EngineConfig,
 ) -> Result<JobOutcome> {
+    // Validate (K, r) before paying for fabric bring-up.
+    PlacementPlan::new(cfg.k, cfg.r).map_err(|e| EngineError::BadConfig {
+        what: e.to_string(),
+    })?;
+    let fabric = SharedFabric::build(&cfg.cluster)?;
+    run_coded_on(&fabric, JobBinding::ROOT, workload, input, cfg)
+}
+
+/// Runs the coded engine as one job on an existing [`SharedFabric`],
+/// isolated under `binding`.
+///
+/// Jobs on nonzero slots live in an 18-bit tag-sequence space
+/// ([`Tag::JOB_SEQ_BITS`]), which bounds `C(K, r+1)`; and they cannot use
+/// [`RecoveryMode::Speculative`] — the health layer's heartbeats and
+/// repair traffic run on raw, unscoped transports and declaring a peer
+/// dead would poison every cohabiting job, so recovery is reserved for
+/// exclusive (slot-0) fabrics.
+///
+/// # Errors
+/// `BadConfig` for invalid `(K, r)`, world-size mismatch, or the
+/// shared-fabric restrictions above; transport and protocol failures
+/// propagate.
+pub fn run_coded_on<W: Workload>(
+    fabric: &SharedFabric,
+    binding: JobBinding,
+    workload: &W,
+    input: Bytes,
+    cfg: &EngineConfig,
+) -> Result<JobOutcome> {
     let (k, r) = (cfg.k, cfg.r);
+    if k != fabric.k() {
+        return Err(EngineError::BadConfig {
+            what: format!("job wants K = {k} on a fabric of {} ranks", fabric.k()),
+        });
+    }
     let plan = PlacementPlan::new(k, r).map_err(|e| EngineError::BadConfig {
         what: e.to_string(),
     })?;
     let groups = MulticastGroups::new(k, r).expect("validated by plan");
-    if groups.num_groups() >= 1 << 24 {
+    let (tag_bits, tag_space) = if binding.slot == 0 {
+        (24, "24-bit tag")
+    } else {
+        (Tag::JOB_SEQ_BITS, "18-bit job-scoped tag")
+    };
+    if groups.num_groups() >= 1 << tag_bits {
         return Err(EngineError::BadConfig {
             what: format!(
-                "C({k},{}) = {} multicast groups exceed the 24-bit tag space",
+                "C({k},{}) = {} multicast groups exceed the {tag_space} space",
                 r + 1,
                 groups.num_groups()
             ),
@@ -72,6 +115,14 @@ pub fn run_coded<W: Workload>(
         return Err(EngineError::BadConfig {
             what: "speculative recovery requires GF(256), quorum decode, and r >= 2 \
                    (the MDS quorum absorbs one dead sender per group)"
+                .into(),
+        });
+    }
+    if cfg.recovery == RecoveryMode::Speculative && binding.slot != 0 {
+        return Err(EngineError::BadConfig {
+            what: "speculative recovery requires an exclusive (slot-0) fabric: \
+                   heartbeats and repair traffic are unscoped and would poison \
+                   cohabiting jobs"
                 .into(),
         });
     }
@@ -94,7 +145,7 @@ pub fn run_coded<W: Workload>(
         .collect();
 
     let spmd = || {
-        run_spmd_with_inputs(&cfg.cluster, per_node, |comm, my_files| {
+        fabric.run_job(binding, cfg.cluster.nic, per_node, |comm, my_files| {
             node_main(workload, comm, my_files, cfg)
         })
     };
@@ -288,7 +339,7 @@ fn node_main<W: Workload>(
     let me = comm.rank();
     let mut stats = NodeStats::default();
     let mut wall = NodeWall::default();
-    let pool = WorkerPool::new(cfg.threads);
+    let pool = cfg.worker_pool();
     // Recovery mode runs a heartbeat beacon and replaces every barrier
     // with the alive-aware dead-mask sync, so a dead rank can never
     // strand a stage transition.

@@ -66,6 +66,13 @@ pub enum EngineError {
     /// Recovery capacity was exhausted — the structured report names the
     /// dead ranks and the groups whose quorum became unsatisfiable.
     Unrecoverable(JobReport),
+    /// The runtime refused the job at admission: its bounded queue is full
+    /// (or it is shutting down). Backpressure surfaces here, at the
+    /// submitter, instead of as a silent stall inside the runtime.
+    Busy {
+        /// Why admission refused (queue depth, shutdown, …).
+        what: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -81,6 +88,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Unrecoverable(report) => {
                 write!(f, "unrecoverable failure: {report}")
             }
+            EngineError::Busy { what } => write!(f, "job refused at admission: {what}"),
         }
     }
 }
@@ -104,6 +112,14 @@ impl From<NetError> for EngineError {
 impl From<CodedError> for EngineError {
     fn from(e: CodedError) -> Self {
         EngineError::Coded(e)
+    }
+}
+
+impl From<cts_net::admission::AdmissionError> for EngineError {
+    fn from(e: cts_net::admission::AdmissionError) -> Self {
+        EngineError::Busy {
+            what: e.to_string(),
+        }
     }
 }
 

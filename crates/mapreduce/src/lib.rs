@@ -38,6 +38,7 @@ pub mod grep;
 pub mod invindex;
 pub mod pods;
 pub mod recover;
+pub mod runtime;
 pub mod selfjoin;
 pub mod stage;
 pub mod uncoded;
@@ -45,10 +46,11 @@ pub mod verify;
 pub mod wordcount;
 pub mod workload;
 
-pub use coded::run_coded;
+pub use coded::{run_coded, run_coded_on};
 pub use error::{EngineError, JobReport, Result};
 pub use pods::run_coded_pods;
+pub use runtime::{JobContext, JobHandle, JobRuntime, JobStatus, RuntimeConfig};
 pub use stage::{EngineConfig, NodeWall, RecoveryMode, WallTimes};
-pub use uncoded::{run_uncoded, JobOutcome};
+pub use uncoded::{run_uncoded, run_uncoded_on, JobOutcome};
 pub use verify::{diff_outputs, run_sequential};
 pub use workload::{InputFormat, Workload};

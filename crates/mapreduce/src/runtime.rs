@@ -1,0 +1,648 @@
+//! The resident job runtime: ownership inverted.
+//!
+//! The one-shot engines ([`run_uncoded`](crate::run_uncoded),
+//! [`run_coded`](crate::run_coded)) let each job build and tear down its
+//! own cluster, fabric, and thread pool. A [`JobRuntime`] turns that
+//! inside out: *it* owns the [`SharedFabric`] (transports + trace
+//! collector), the thread-lease [`Budget`], the bounded admission queue,
+//! and the pool of job tag-namespace slots — and jobs are **submitted
+//! into it**:
+//!
+//! ```text
+//!                 ┌────────────────────────── JobRuntime ─┐
+//!  submit ──────▶ │ AdmissionQueue (bounded, refuses when │
+//!  (JobHandle)    │   full → EngineError::Busy)           │
+//!                 │   │ dequeue                           │
+//!                 │   ▼                                   │
+//!                 │ dispatchers (max_concurrent threads)  │
+//!                 │   │ lease slot 1..=63 (SlotPool)      │
+//!                 │   ▼                                   │
+//!                 │ SharedFabric::run_job(binding, …)     │
+//!                 │   tags/trace/NIC scoped per job       │
+//!                 │ Budget: all jobs' WorkerPools lease   │
+//!                 │   threads cooperatively (yield_slices)│
+//!                 └───────────────────────────────────────┘
+//! ```
+//!
+//! **Exclusive mode** (`max_concurrent == 1`) runs every job at slot 0:
+//! the full 24-bit tag space and speculative recovery stay available,
+//! exactly like a one-shot run, just resident. **Multi mode** leases
+//! nonzero slots, giving up recovery (unscoped heartbeats would poison
+//! neighbors) and 6 tag-sequence bits in exchange for true concurrency.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use cts_core::exec::Budget;
+use cts_net::admission::{AdmissionQueue, SlotPool};
+use cts_net::cluster::{JobBinding, SharedFabric};
+use parking_lot::{Condvar, Mutex};
+
+use crate::coded::run_coded_on;
+use crate::error::{EngineError, Result};
+use crate::stage::EngineConfig;
+use crate::uncoded::{run_uncoded_on, JobOutcome};
+use crate::workload::Workload;
+
+/// Construction parameters for a [`JobRuntime`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// The engine configuration every job starts from (cluster shape,
+    /// fabric, field, threads, …). Jobs may refine their own copy via
+    /// [`JobContext::cfg`] but the cluster world is fixed at build time.
+    pub template: EngineConfig,
+    /// Bound on jobs waiting for a dispatcher. Submissions beyond it fail
+    /// fast with [`EngineError::Busy`].
+    pub queue_capacity: usize,
+    /// Dispatcher threads = jobs actually running at once, `1..=63`.
+    /// `1` selects exclusive mode (slot 0: full tag space, recovery
+    /// allowed); `> 1` leases nonzero job slots.
+    pub max_concurrent: usize,
+    /// Cooperative yield granularity applied to every job's worker pools
+    /// (see [`EngineConfig::yield_slices`]).
+    pub yield_slices: usize,
+    /// Size of the runtime-owned thread-lease [`Budget`] all jobs share.
+    /// `0` (the default) uses the machine's available parallelism.
+    pub pool_threads: usize,
+}
+
+impl RuntimeConfig {
+    /// A runtime serving jobs shaped like `template`: queue of 16, up to
+    /// 4 concurrent jobs, 8 yield slices, machine-sized budget.
+    pub fn new(template: EngineConfig) -> Self {
+        RuntimeConfig {
+            template,
+            queue_capacity: 16,
+            max_concurrent: 4,
+            yield_slices: 8,
+            pool_threads: 0,
+        }
+    }
+
+    /// Sets the admission-queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the concurrent-job cap (dispatcher count).
+    pub fn with_max_concurrent(mut self, max: usize) -> Self {
+        self.max_concurrent = max;
+        self
+    }
+
+    /// Sets the cooperative yield granularity for all jobs.
+    pub fn with_yield_slices(mut self, slices: usize) -> Self {
+        self.yield_slices = slices;
+        self
+    }
+
+    /// Sets the shared budget size (`0` = available parallelism).
+    pub fn with_pool_threads(mut self, threads: usize) -> Self {
+        self.pool_threads = threads;
+        self
+    }
+}
+
+/// Where a submitted job is in its lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a dispatcher.
+    Queued,
+    /// A dispatcher is running it on the fabric.
+    Running,
+    /// Finished successfully; the outcome is (or was) available.
+    Done,
+    /// Finished with the contained error message.
+    Failed(String),
+}
+
+impl JobStatus {
+    /// True once the job will make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed(_))
+    }
+}
+
+/// What a dispatcher hands a job when it runs: the shared fabric, the
+/// job's binding on it, and a ready-to-use engine configuration (the
+/// runtime template with this job's binding, budget, and yield slices
+/// applied).
+pub struct JobContext<'a> {
+    /// The resident fabric the job runs over.
+    pub fabric: &'a SharedFabric,
+    /// This job's slot + trace id.
+    pub binding: JobBinding,
+    /// Per-job engine configuration. Jobs may clone and refine it (e.g.
+    /// installing a per-tenant NIC profile) before calling the `_with`
+    /// runners.
+    pub cfg: EngineConfig,
+}
+
+impl JobContext<'_> {
+    /// Runs `workload` uncoded on this job's binding with [`Self::cfg`].
+    pub fn run_uncoded<W: Workload>(&self, workload: &W, input: Bytes) -> Result<JobOutcome> {
+        run_uncoded_on(self.fabric, self.binding, workload, input, &self.cfg)
+    }
+
+    /// Runs `workload` coded on this job's binding with [`Self::cfg`].
+    pub fn run_coded<W: Workload>(&self, workload: &W, input: Bytes) -> Result<JobOutcome> {
+        run_coded_on(self.fabric, self.binding, workload, input, &self.cfg)
+    }
+
+    /// Like [`Self::run_uncoded`] but with a caller-refined configuration
+    /// (keep `k` and the cluster world unchanged).
+    pub fn run_uncoded_with<W: Workload>(
+        &self,
+        workload: &W,
+        input: Bytes,
+        cfg: &EngineConfig,
+    ) -> Result<JobOutcome> {
+        run_uncoded_on(self.fabric, self.binding, workload, input, cfg)
+    }
+
+    /// Like [`Self::run_coded`] but with a caller-refined configuration.
+    pub fn run_coded_with<W: Workload>(
+        &self,
+        workload: &W,
+        input: Bytes,
+        cfg: &EngineConfig,
+    ) -> Result<JobOutcome> {
+        run_coded_on(self.fabric, self.binding, workload, input, cfg)
+    }
+}
+
+type BoxedJob = Box<dyn FnOnce(&JobContext<'_>) -> Result<JobOutcome> + Send>;
+
+struct Submission {
+    id: u32,
+    run: BoxedJob,
+}
+
+struct JobEntry {
+    status: JobStatus,
+    outcome: Option<Result<JobOutcome>>,
+}
+
+struct Shared {
+    jobs: Mutex<HashMap<u32, JobEntry>>,
+    cv: Condvar,
+}
+
+impl Shared {
+    fn set_status(&self, id: u32, status: JobStatus) {
+        if let Some(entry) = self.jobs.lock().get_mut(&id) {
+            entry.status = status;
+        }
+        self.cv.notify_all();
+    }
+
+    fn finish(&self, id: u32, outcome: Result<JobOutcome>) {
+        let mut jobs = self.jobs.lock();
+        if let Some(entry) = jobs.get_mut(&id) {
+            entry.status = match &outcome {
+                Ok(_) => JobStatus::Done,
+                Err(e) => JobStatus::Failed(e.to_string()),
+            };
+            entry.outcome = Some(outcome);
+        }
+        drop(jobs);
+        self.cv.notify_all();
+    }
+}
+
+/// A submitted job's ticket: poll its [`status`](JobHandle::status) or
+/// block in [`wait`](JobHandle::wait) for the outcome. Dropping the
+/// handle does not cancel the job.
+pub struct JobHandle {
+    id: u32,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle").field("id", &self.id).finish()
+    }
+}
+
+impl JobHandle {
+    /// The job's runtime-unique id (also its trace id).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The job's current lifecycle state.
+    pub fn status(&self) -> JobStatus {
+        self.shared
+            .jobs
+            .lock()
+            .get(&self.id)
+            .map(|e| e.status.clone())
+            .expect("submitted job has an entry")
+    }
+
+    /// Blocks until the job finishes and returns its outcome.
+    pub fn wait(self) -> Result<JobOutcome> {
+        let mut jobs = self.shared.jobs.lock();
+        loop {
+            if let Some(outcome) = jobs
+                .get_mut(&self.id)
+                .expect("submitted job has an entry")
+                .outcome
+                .take()
+            {
+                return outcome;
+            }
+            self.shared.cv.wait(&mut jobs);
+        }
+    }
+}
+
+/// The resident multi-tenant runtime (see the module docs).
+pub struct JobRuntime {
+    fabric: Arc<SharedFabric>,
+    queue: Arc<AdmissionQueue<Submission>>,
+    shared: Arc<Shared>,
+    budget: Arc<Budget>,
+    next_id: AtomicU32,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl JobRuntime {
+    /// Builds the fabric and starts `max_concurrent` dispatcher threads.
+    ///
+    /// # Errors
+    /// `BadConfig` for an out-of-range configuration; fabric bring-up
+    /// failures propagate.
+    pub fn start(cfg: RuntimeConfig) -> Result<JobRuntime> {
+        if cfg.max_concurrent == 0 || cfg.max_concurrent > usize::from(cts_net::Tag::MAX_JOB_SLOT) {
+            return Err(EngineError::BadConfig {
+                what: format!(
+                    "max_concurrent {} outside 1..={}",
+                    cfg.max_concurrent,
+                    cts_net::Tag::MAX_JOB_SLOT
+                ),
+            });
+        }
+        if cfg.queue_capacity == 0 {
+            return Err(EngineError::BadConfig {
+                what: "queue_capacity must be >= 1".into(),
+            });
+        }
+        let fabric = Arc::new(SharedFabric::build(&cfg.template.cluster)?);
+        let pool_threads = if cfg.pool_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.pool_threads
+        };
+        let budget = Arc::new(Budget::new(pool_threads));
+        let queue: Arc<AdmissionQueue<Submission>> =
+            Arc::new(AdmissionQueue::new(cfg.queue_capacity));
+        let shared = Arc::new(Shared {
+            jobs: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        });
+        // Exclusive mode: the single dispatcher keeps slot 0, so one-shot
+        // semantics (full tag space, recovery) survive residency.
+        let exclusive = cfg.max_concurrent == 1;
+        let slots = Arc::new(SlotPool::new(cfg.max_concurrent.max(1) as u8));
+
+        let mut job_template = cfg.template.clone();
+        job_template.yield_slices = cfg.yield_slices;
+        job_template.budget = Some(Arc::clone(&budget));
+
+        let dispatchers = (0..cfg.max_concurrent)
+            .map(|_| {
+                let fabric = Arc::clone(&fabric);
+                let queue = Arc::clone(&queue);
+                let shared = Arc::clone(&shared);
+                let slots = Arc::clone(&slots);
+                let template = job_template.clone();
+                std::thread::spawn(move || {
+                    while let Some(sub) = queue.dequeue() {
+                        shared.set_status(sub.id, JobStatus::Running);
+                        let slot = if exclusive { 0 } else { slots.acquire() };
+                        let ctx = JobContext {
+                            fabric: &fabric,
+                            binding: JobBinding { slot, id: sub.id },
+                            cfg: template.clone(),
+                        };
+                        // A panicking job takes the fabric down with it
+                        // (SharedFabric policy); keep the dispatcher alive
+                        // so queued jobs fail with errors, not a hang.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| (sub.run)(&ctx)))
+                            .unwrap_or_else(|payload| {
+                                let what = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| (*s).to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "job panicked".into());
+                                Err(EngineError::Protocol {
+                                    what: format!("job panicked: {what}"),
+                                })
+                            });
+                        if !exclusive {
+                            slots.release(slot);
+                        }
+                        shared.finish(sub.id, outcome);
+                    }
+                })
+            })
+            .collect();
+
+        Ok(JobRuntime {
+            fabric,
+            queue,
+            shared,
+            budget,
+            next_id: AtomicU32::new(1),
+            dispatchers,
+        })
+    }
+
+    /// Convenience: a resident runtime around `template` with the default
+    /// [`RuntimeConfig`] knobs.
+    pub fn with_template(template: EngineConfig) -> Result<JobRuntime> {
+        JobRuntime::start(RuntimeConfig::new(template))
+    }
+
+    /// Submits a job. `f` runs on a dispatcher thread with this job's
+    /// [`JobContext`]; returns immediately with a [`JobHandle`].
+    ///
+    /// # Errors
+    /// [`EngineError::Busy`] when the bounded queue is full or the
+    /// runtime is shutting down.
+    pub fn submit<F>(&self, f: F) -> Result<JobHandle>
+    where
+        F: FnOnce(&JobContext<'_>) -> Result<JobOutcome> + Send + 'static,
+    {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.jobs.lock().insert(
+            id,
+            JobEntry {
+                status: JobStatus::Queued,
+                outcome: None,
+            },
+        );
+        let sub = Submission {
+            id,
+            run: Box::new(f),
+        };
+        if let Err(e) = self.queue.try_enqueue(sub) {
+            self.shared.jobs.lock().remove(&id);
+            return Err(e.into());
+        }
+        Ok(JobHandle {
+            id,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// The job's current status, if the id is known.
+    pub fn status(&self, id: u32) -> Option<JobStatus> {
+        self.shared.jobs.lock().get(&id).map(|e| e.status.clone())
+    }
+
+    /// Takes a finished job's outcome without blocking. `None` if the id
+    /// is unknown, the job is still in flight, or the outcome was already
+    /// taken.
+    pub fn take_outcome(&self, id: u32) -> Option<Result<JobOutcome>> {
+        self.shared.jobs.lock().get_mut(&id)?.outcome.take()
+    }
+
+    /// Blocks until job `id` finishes and returns its outcome.
+    ///
+    /// # Errors
+    /// `Protocol` for an unknown id (or an outcome already taken).
+    pub fn wait(&self, id: u32) -> Result<JobOutcome> {
+        let mut jobs = self.shared.jobs.lock();
+        loop {
+            let entry = jobs.get_mut(&id).ok_or_else(|| EngineError::Protocol {
+                what: format!("unknown job id {id}"),
+            })?;
+            if let Some(outcome) = entry.outcome.take() {
+                return outcome;
+            }
+            if entry.status.is_terminal() {
+                return Err(EngineError::Protocol {
+                    what: format!("job {id}'s outcome was already taken"),
+                });
+            }
+            self.shared.cv.wait(&mut jobs);
+        }
+    }
+
+    /// Current admission-queue depth (jobs admitted, not yet dispatched).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// The resident fabric (e.g. for all-jobs trace snapshots).
+    pub fn fabric(&self) -> &SharedFabric {
+        &self.fabric
+    }
+
+    /// The runtime-owned thread-lease budget all jobs draw from.
+    pub fn budget(&self) -> &Arc<Budget> {
+        &self.budget
+    }
+
+    /// Stops admission, drains queued jobs, and joins the dispatchers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.queue.close();
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for JobRuntime {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::run_sequential;
+    use crate::wordcount::WordCount;
+    use crate::workload::InputFormat;
+
+    struct ByteSort;
+
+    impl Workload for ByteSort {
+        fn name(&self) -> &str {
+            "bytesort"
+        }
+        fn format(&self) -> InputFormat {
+            InputFormat::FixedWidth(1)
+        }
+        fn map_file(&self, file: &[u8], num_partitions: usize) -> Vec<Vec<u8>> {
+            let mut out = vec![Vec::new(); num_partitions];
+            for &b in file {
+                out[b as usize % num_partitions].push(b);
+            }
+            out
+        }
+        fn reduce(&self, _partition: usize, data: &[u8]) -> Vec<u8> {
+            let mut v = data.to_vec();
+            v.sort_unstable();
+            v
+        }
+    }
+
+    fn sample_input(len: usize) -> Bytes {
+        Bytes::from(
+            (0..len)
+                .map(|i| ((i * 149 + 11) % 239) as u8)
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    #[test]
+    fn concurrent_jobs_match_one_shot_runs() {
+        let runtime =
+            JobRuntime::start(RuntimeConfig::new(EngineConfig::local(4, 2)).with_max_concurrent(4))
+                .unwrap();
+        let inputs: Vec<Bytes> = (0..6).map(|i| sample_input(600 + i * 37)).collect();
+        let handles: Vec<JobHandle> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, input)| {
+                let input = input.clone();
+                runtime
+                    .submit(move |ctx| {
+                        if i % 2 == 0 {
+                            ctx.run_coded(&ByteSort, input)
+                        } else {
+                            ctx.run_uncoded(&ByteSort, input)
+                        }
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for (i, (handle, input)) in handles.into_iter().zip(&inputs).enumerate() {
+            let outcome = handle.wait().unwrap();
+            assert_eq!(
+                outcome.outputs,
+                run_sequential(&ByteSort, input, 4),
+                "job {i}"
+            );
+        }
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn admission_queue_refuses_when_full() {
+        // One dispatcher, tiny queue: the first job occupies the
+        // dispatcher, the second fills the queue, the third must bounce.
+        let runtime = JobRuntime::start(
+            RuntimeConfig::new(EngineConfig::local(2, 1))
+                .with_max_concurrent(1)
+                .with_queue_capacity(1),
+        )
+        .unwrap();
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        let first = runtime
+            .submit(move |ctx| {
+                let (lock, cv) = &*g;
+                let mut open = lock.lock();
+                while !*open {
+                    cv.wait(&mut open);
+                }
+                drop(open);
+                ctx.run_uncoded(&ByteSort, sample_input(64))
+            })
+            .unwrap();
+        // Wait until the first job actually holds the dispatcher.
+        while runtime.status(first.id()) != Some(JobStatus::Running) {
+            std::thread::yield_now();
+        }
+        let second = runtime
+            .submit(|ctx| ctx.run_uncoded(&ByteSort, sample_input(64)))
+            .unwrap();
+        let refused = runtime.submit(|ctx| ctx.run_uncoded(&ByteSort, sample_input(64)));
+        assert!(
+            matches!(refused, Err(EngineError::Busy { .. })),
+            "{refused:?}"
+        );
+        let (lock, cv) = &*gate;
+        *lock.lock() = true;
+        cv.notify_all();
+        first.wait().unwrap();
+        second.wait().unwrap();
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn mixed_workloads_share_one_runtime() {
+        let runtime =
+            JobRuntime::start(RuntimeConfig::new(EngineConfig::local(3, 2)).with_max_concurrent(3))
+                .unwrap();
+        let text = Bytes::from_static(b"to be or not to be\nthat is the question\n");
+        let bytes = sample_input(500);
+        let wc = {
+            let text = text.clone();
+            runtime
+                .submit(move |ctx| ctx.run_coded(&WordCount, text))
+                .unwrap()
+        };
+        let sort = {
+            let bytes = bytes.clone();
+            runtime
+                .submit(move |ctx| ctx.run_uncoded(&ByteSort, bytes))
+                .unwrap()
+        };
+        let wc_out = wc.wait().unwrap();
+        let sort_out = sort.wait().unwrap();
+        assert_eq!(wc_out.outputs, run_sequential(&WordCount, &text, 3));
+        assert_eq!(sort_out.outputs, run_sequential(&ByteSort, &bytes, 3));
+        // Per-job traces stayed separate: each outcome's trace carries
+        // only its own job id.
+        assert_eq!(wc_out.trace.jobs().len(), 1);
+        assert_eq!(sort_out.trace.jobs().len(), 1);
+        runtime.shutdown();
+    }
+
+    #[test]
+    fn runtime_rejects_bad_shapes() {
+        assert!(matches!(
+            JobRuntime::start(RuntimeConfig::new(EngineConfig::local(2, 1)).with_max_concurrent(0)),
+            Err(EngineError::BadConfig { .. })
+        ));
+        assert!(matches!(
+            JobRuntime::start(RuntimeConfig::new(EngineConfig::local(2, 1)).with_queue_capacity(0)),
+            Err(EngineError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_fabric_jobs_cannot_use_speculative_recovery() {
+        use crate::stage::RecoveryMode;
+        let template = EngineConfig::local(4, 2)
+            .with_field(cts_core::field::FieldKind::Gf256)
+            .decode_quorum()
+            .with_recovery(RecoveryMode::Speculative);
+        let runtime =
+            JobRuntime::start(RuntimeConfig::new(template).with_max_concurrent(2)).unwrap();
+        let err = runtime
+            .submit(|ctx| ctx.run_coded(&ByteSort, sample_input(200)))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BadConfig { .. }), "{err}");
+        runtime.shutdown();
+    }
+}

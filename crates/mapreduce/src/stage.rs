@@ -1,8 +1,10 @@
 //! Stage names, wall-clock timing, and engine configuration.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cts_core::decode::DecodeMode;
+use cts_core::exec::{Budget, WorkerPool};
 use cts_core::field::FieldKind;
 use cts_net::cluster::ClusterConfig;
 use cts_net::fabric::ShuffleFabric;
@@ -179,6 +181,18 @@ pub struct EngineConfig {
     /// Crash injection for failure testing: each spec kills one rank
     /// fail-stop at a stage point. Empty in production.
     pub crashes: Vec<CrashSpec>,
+    /// Cooperative yield granularity for this job's worker pools: `1` (the
+    /// default) keeps the legacy hold-for-the-whole-call lease behavior;
+    /// `n > 1` splits each pool call into up to `n` slices, releasing and
+    /// re-acquiring the thread lease between slices so concurrent jobs
+    /// sharing one [`Budget`] interleave instead of serializing. Outputs
+    /// are byte-identical for any value.
+    pub yield_slices: usize,
+    /// The thread-lease budget this job's pools draw from. `None` (the
+    /// default) uses the process-wide [`cts_core::exec::global_budget`];
+    /// a resident runtime installs its own budget here so *it* owns the
+    /// compute that all tenant jobs share.
+    pub budget: Option<Arc<Budget>>,
 }
 
 impl EngineConfig {
@@ -197,24 +211,16 @@ impl EngineConfig {
             recovery: RecoveryMode::Off,
             heartbeat: Duration::from_millis(25),
             crashes: Vec::new(),
+            yield_slices: 1,
+            budget: None,
         }
     }
 
     /// Loopback-TCP cluster, redundancy `r`.
     pub fn tcp(k: usize, r: usize) -> Self {
         EngineConfig {
-            k,
-            r,
             cluster: ClusterConfig::tcp(k),
-            strict_serial_shuffle: false,
-            pipelined_decode: false,
-            threads: 1,
-            field: FieldKind::Gf2,
-            decode: DecodeMode::All,
-            idle_timeout: Duration::from_secs(10),
-            recovery: RecoveryMode::Off,
-            heartbeat: Duration::from_millis(25),
-            crashes: Vec::new(),
+            ..EngineConfig::local(k, r)
         }
     }
 
@@ -297,6 +303,33 @@ impl EngineConfig {
     pub fn with_crash(mut self, spec: CrashSpec) -> Self {
         self.crashes.push(spec);
         self
+    }
+
+    /// Sets the cooperative yield granularity (see
+    /// [`EngineConfig::yield_slices`]).
+    pub fn with_yield_slices(mut self, slices: usize) -> Self {
+        self.yield_slices = slices;
+        self
+    }
+
+    /// Installs the thread-lease budget this job's pools draw from (see
+    /// [`EngineConfig::budget`]).
+    pub fn with_budget(mut self, budget: Arc<Budget>) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Builds the worker pool every engine stage of this job uses,
+    /// honoring `threads`, `yield_slices`, and `budget`.
+    pub fn worker_pool(&self) -> WorkerPool {
+        let mut pool = WorkerPool::new(self.threads);
+        if self.yield_slices > 1 {
+            pool = pool.with_yield(self.yield_slices);
+        }
+        if let Some(budget) = &self.budget {
+            pool = pool.with_budget(Arc::clone(budget));
+        }
+        pool
     }
 
     /// The crash point at which `rank` dies under this config, if any.

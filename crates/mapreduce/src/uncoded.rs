@@ -13,7 +13,7 @@
 //!    reduces its partition.
 
 use bytes::Bytes;
-use cts_net::cluster::run_spmd_with_inputs;
+use cts_net::cluster::{JobBinding, SharedFabric};
 use cts_net::message::Tag;
 use cts_net::trace::Trace;
 use cts_netsim::stats::{NodeStats, RunStats};
@@ -37,6 +37,10 @@ pub struct JobOutcome {
 
 /// Runs `workload` over `input` with conventional uncoded execution.
 ///
+/// Builds an ephemeral [`SharedFabric`] and submits the job at
+/// [`JobBinding::ROOT`] — the one-shot path and the resident runtime's
+/// per-job path are the same code.
+///
 /// # Errors
 /// Propagates transport failures; panics in worker closures propagate as
 /// panics (after fabric teardown).
@@ -45,15 +49,45 @@ pub fn run_uncoded<W: Workload>(
     input: Bytes,
     cfg: &EngineConfig,
 ) -> Result<JobOutcome> {
-    let k = cfg.k;
+    check_k(cfg.k)?;
+    let fabric = SharedFabric::build(&cfg.cluster)?;
+    run_uncoded_on(&fabric, JobBinding::ROOT, workload, input, cfg)
+}
+
+fn check_k(k: usize) -> Result<()> {
     if k == 0 || k > 64 {
         return Err(EngineError::BadConfig {
             what: format!("K must be in 1..=64, got {k}"),
         });
     }
+    Ok(())
+}
+
+/// Runs `workload` as one job on an existing [`SharedFabric`], isolated
+/// under `binding` (tags, trace events, and the returned trace are scoped
+/// to it). The job's emulated NIC comes from `cfg.cluster.nic`, so a
+/// throttled tenant paces only its own sends.
+///
+/// # Errors
+/// `BadConfig` if `cfg.k` does not match the fabric's world size;
+/// otherwise as [`run_uncoded`].
+pub fn run_uncoded_on<W: Workload>(
+    fabric: &SharedFabric,
+    binding: JobBinding,
+    workload: &W,
+    input: Bytes,
+    cfg: &EngineConfig,
+) -> Result<JobOutcome> {
+    let k = cfg.k;
+    check_k(k)?;
+    if k != fabric.k() {
+        return Err(EngineError::BadConfig {
+            what: format!("job wants K = {k} on a fabric of {} ranks", fabric.k()),
+        });
+    }
     let files = workload.format().split(&input, k);
 
-    let run = run_spmd_with_inputs(&cfg.cluster, files, |comm, file: Bytes| {
+    let run = fabric.run_job(binding, cfg.cluster.nic, files, |comm, file: Bytes| {
         node_main(workload, comm, file, cfg)
     })?;
 
@@ -86,7 +120,7 @@ fn node_main<W: Workload>(
     let me = comm.rank();
     let mut stats = NodeStats::default();
     let mut wall = NodeWall::default();
-    let pool = cts_core::exec::WorkerPool::new(cfg.threads);
+    let pool = cfg.worker_pool();
 
     // ---- Map ----------------------------------------------------------
     comm.set_stage(stages::MAP);

@@ -202,8 +202,219 @@ impl ClusterConfig {
 pub struct ClusterRun<R> {
     /// Per-rank return values, rank order.
     pub results: Vec<R>,
-    /// Recorded transfer trace (empty if tracing was disabled).
+    /// Recorded transfer trace (empty if tracing was disabled). On a
+    /// [`SharedFabric`] this is already filtered to the submitting job.
     pub trace: Trace,
+}
+
+/// A job's identity on a [`SharedFabric`]: the tag-namespace `slot`
+/// (0 = exclusive, [`Tag::scoped`](crate::message::Tag::scoped)) and a
+/// process-unique `id` stamped on trace events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobBinding {
+    /// Tag-namespace slot, `0..=`[`Tag::MAX_JOB_SLOT`](crate::message::Tag::MAX_JOB_SLOT).
+    pub slot: u8,
+    /// Trace/job identifier (need not be dense; must be unique per live job).
+    pub id: u32,
+}
+
+impl JobBinding {
+    /// The exclusive binding used by one-shot runs: slot 0 (identity tag
+    /// scoping, full 24-bit sequence space), job id 0.
+    pub const ROOT: JobBinding = JobBinding { slot: 0, id: 0 };
+}
+
+/// A resident cluster fabric that outlives any single job.
+///
+/// This inverts the one-shot ownership model: [`run_spmd`] builds a fabric,
+/// runs one job, and tears it down, while a `SharedFabric` is built once
+/// (transports, trace collector, optional per-rank fault wrapping) and then
+/// serves many [`run_job`](SharedFabric::run_job) calls — concurrently, from
+/// multiple threads — each isolated by its [`JobBinding`]:
+///
+/// - **tags**: every `Communicator` entry point rewrites tags into the
+///   job's slot namespace, so two jobs using `Tag::app(0)` on the same
+///   mailbox never cross-match;
+/// - **traces**: events are stamped with the job id and the returned
+///   [`ClusterRun::trace`] is pre-filtered to it;
+/// - **pacing**: each job gets its own emulated [`Nic`] token buckets
+///   (from `nic_override` or the cluster default), so one tenant
+///   saturating its egress budget stalls only its own sends.
+///
+/// A panicking job is catastrophic: it shuts down the whole fabric (to
+/// unblock every peer, including other jobs' ranks) before re-raising the
+/// panic. Engine-level failures should surface as `Err` results instead.
+pub struct SharedFabric {
+    transports: Vec<Arc<dyn Transport>>,
+    trace: Arc<TraceCollector>,
+    config: ClusterConfig,
+}
+
+impl std::fmt::Debug for SharedFabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedFabric")
+            .field("k", &self.config.k)
+            .field("transport", &self.config.resolved_transport())
+            .finish()
+    }
+}
+
+impl SharedFabric {
+    /// Builds the fabric for `config`: transports for all `k` ranks, the
+    /// shared trace collector, and any configured per-rank fault wrapper.
+    pub fn build(config: &ClusterConfig) -> Result<SharedFabric> {
+        let k = config.k;
+        assert!(
+            (1..=crate::registry::MAX_WORLD).contains(&k),
+            "world size {k} outside 1..={} (trace masks are 128-bit)",
+            crate::registry::MAX_WORLD
+        );
+        let trace = Arc::new(TraceCollector::new(config.trace_enabled));
+        let mut transports: Vec<Arc<dyn Transport>> = match config.resolved_transport() {
+            TransportKind::Local => {
+                let fabric = LocalFabric::new(k);
+                (0..k)
+                    .map(|r| Arc::new(fabric.endpoint(r)) as Arc<dyn Transport>)
+                    .collect()
+            }
+            TransportKind::Tcp => build_tcp_fabric(k)?
+                .into_iter()
+                .map(|ep| Arc::new(ep) as Arc<dyn Transport>)
+                .collect(),
+            TransportKind::Udp => build_udp_fabric_with(k, config.udp.clone())?
+                .into_iter()
+                .map(|ep| Arc::new(ep) as Arc<dyn Transport>)
+                .collect(),
+        };
+        if let Some(fault) = &config.fault {
+            assert!(
+                fault.rank < k,
+                "faulted rank {} outside world {k}",
+                fault.rank
+            );
+            let rule = Arc::clone(&fault.rule);
+            let inner = Arc::clone(&transports[fault.rank]);
+            transports[fault.rank] = Arc::new(FaultyTransport::new(
+                inner,
+                Box::new(move |dst, tag, payload, idx| rule(dst, tag, payload, idx)),
+            ));
+        }
+        Ok(SharedFabric {
+            transports,
+            trace,
+            config: config.clone(),
+        })
+    }
+
+    /// World size `K`.
+    pub fn k(&self) -> usize {
+        self.config.k
+    }
+
+    /// The configuration the fabric was built from.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Rank `rank`'s transport endpoint (for health monitors that need raw
+    /// transport access on exclusive fabrics).
+    pub fn transport(&self, rank: usize) -> Arc<dyn Transport> {
+        Arc::clone(&self.transports[rank])
+    }
+
+    /// A snapshot of the full (all-jobs) trace recorded so far.
+    pub fn trace_snapshot(&self) -> Trace {
+        self.trace.snapshot()
+    }
+
+    /// Shuts down every transport, waking any blocked receiver. Irreversible.
+    pub fn shutdown(&self) {
+        for t in &self.transports {
+            t.shutdown();
+        }
+    }
+
+    /// Runs one SPMD job over the shared fabric: `f` on every rank with
+    /// `inputs[rank]`, each rank's [`Communicator`] scoped to `binding`.
+    ///
+    /// `nic_override` replaces the cluster-default NIC profile for this job
+    /// only — the per-job backpressure hook: a throttled tenant's token
+    /// buckets pace that tenant's sends without touching anyone else's.
+    ///
+    /// Safe to call concurrently from multiple threads as long as each live
+    /// job uses a distinct nonzero slot (slot 0 is reserved for exclusive
+    /// runs). If any rank panics the whole fabric is shut down and the
+    /// first panic re-raised.
+    ///
+    /// # Panics
+    /// Panics if `inputs.len() != k`.
+    pub fn run_job<I, R, F>(
+        &self,
+        binding: JobBinding,
+        nic_override: Option<NicProfile>,
+        inputs: Vec<I>,
+        f: F,
+    ) -> Result<ClusterRun<R>>
+    where
+        I: Send,
+        R: Send,
+        F: Fn(&Communicator, I) -> R + Send + Sync,
+    {
+        let k = self.config.k;
+        assert_eq!(inputs.len(), k, "need exactly one input per node");
+        let profile = nic_override.or(self.config.nic);
+
+        let slots: Vec<Mutex<Option<I>>> =
+            inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..k).map(|_| Mutex::new(None)).collect();
+        let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for rank in 0..k {
+                let transport = Arc::clone(&self.transports[rank]);
+                let trace = Arc::clone(&self.trace);
+                let nic = profile.map(|p| Arc::new(Nic::new(p)));
+                let bcast = self.config.bcast;
+                let fabric = self.config.fabric;
+                let slots = &slots;
+                let results = &results;
+                let panics = &panics;
+                let this = &*self;
+                let f = &f;
+                scope.spawn(move || {
+                    let comm = Communicator::new(transport, trace, nic, bcast)
+                        .with_fabric(fabric)
+                        .with_job(binding.slot, binding.id);
+                    let input = slots[rank].lock().take().expect("input taken once");
+                    match catch_unwind(AssertUnwindSafe(|| f(&comm, input))) {
+                        Ok(r) => {
+                            *results[rank].lock() = Some(r);
+                        }
+                        Err(payload) => {
+                            // Unblock every peer — including other jobs'
+                            // ranks — before propagating.
+                            this.shutdown();
+                            panics.lock().push(payload);
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut panics = panics.into_inner();
+        if let Some(first) = panics.drain(..).next() {
+            resume_unwind(first);
+        }
+
+        let results = results
+            .into_iter()
+            .map(|m| m.into_inner().expect("every rank produced a result"))
+            .collect();
+        Ok(ClusterRun {
+            results,
+            trace: self.trace.snapshot().for_job(binding.id),
+        })
+    }
 }
 
 /// Runs `f` on every rank of a fresh fabric, SPMD style.
@@ -221,6 +432,10 @@ where
 /// Like [`run_spmd`] but hands `inputs[rank]` to each node — the
 /// coordinator's file-placement step.
 ///
+/// Implemented as an ephemeral [`SharedFabric`] running a single job at
+/// [`JobBinding::ROOT`], so every one-shot caller exercises the same code
+/// path the resident runtime uses.
+///
 /// # Panics
 /// Panics if `inputs.len() != config.k`.
 pub fn run_spmd_with_inputs<I, R, F>(
@@ -233,94 +448,8 @@ where
     R: Send,
     F: Fn(&Communicator, I) -> R + Send + Sync,
 {
-    assert_eq!(inputs.len(), config.k, "need exactly one input per node");
-    assert!(
-        (1..=crate::registry::MAX_WORLD).contains(&config.k),
-        "world size {} outside 1..={} (trace masks are 128-bit)",
-        config.k,
-        crate::registry::MAX_WORLD
-    );
-    let k = config.k;
-    let trace = Arc::new(TraceCollector::new(config.trace_enabled));
-
-    let mut transports: Vec<Arc<dyn Transport>> = match config.resolved_transport() {
-        TransportKind::Local => {
-            let fabric = LocalFabric::new(k);
-            (0..k)
-                .map(|r| Arc::new(fabric.endpoint(r)) as Arc<dyn Transport>)
-                .collect()
-        }
-        TransportKind::Tcp => build_tcp_fabric(k)?
-            .into_iter()
-            .map(|ep| Arc::new(ep) as Arc<dyn Transport>)
-            .collect(),
-        TransportKind::Udp => build_udp_fabric_with(k, config.udp.clone())?
-            .into_iter()
-            .map(|ep| Arc::new(ep) as Arc<dyn Transport>)
-            .collect(),
-    };
-    if let Some(fault) = &config.fault {
-        assert!(
-            fault.rank < k,
-            "faulted rank {} outside world {k}",
-            fault.rank
-        );
-        let rule = Arc::clone(&fault.rule);
-        let inner = Arc::clone(&transports[fault.rank]);
-        transports[fault.rank] = Arc::new(FaultyTransport::new(
-            inner,
-            Box::new(move |dst, tag, payload, idx| rule(dst, tag, payload, idx)),
-        ));
-    }
-
-    let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..k).map(|_| Mutex::new(None)).collect();
-    let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
-
-    std::thread::scope(|scope| {
-        for rank in 0..k {
-            let transport = Arc::clone(&transports[rank]);
-            let all_transports = &transports;
-            let trace = Arc::clone(&trace);
-            let nic = config.nic.map(|profile| Arc::new(Nic::new(profile)));
-            let bcast = config.bcast;
-            let fabric = config.fabric;
-            let slots = &slots;
-            let results = &results;
-            let panics = &panics;
-            let f = &f;
-            scope.spawn(move || {
-                let comm = Communicator::new(transport, trace, nic, bcast).with_fabric(fabric);
-                let input = slots[rank].lock().take().expect("input taken once");
-                match catch_unwind(AssertUnwindSafe(|| f(&comm, input))) {
-                    Ok(r) => {
-                        *results[rank].lock() = Some(r);
-                    }
-                    Err(payload) => {
-                        // Unblock every peer before propagating.
-                        for t in all_transports.iter() {
-                            t.shutdown();
-                        }
-                        panics.lock().push(payload);
-                    }
-                }
-            });
-        }
-    });
-
-    let mut panics = panics.into_inner();
-    if let Some(first) = panics.drain(..).next() {
-        resume_unwind(first);
-    }
-
-    let results = results
-        .into_iter()
-        .map(|m| m.into_inner().expect("every rank produced a result"))
-        .collect();
-    Ok(ClusterRun {
-        results,
-        trace: trace.snapshot(),
-    })
+    let fabric = SharedFabric::build(config)?;
+    fabric.run_job(JobBinding::ROOT, None, inputs, f)
 }
 
 #[cfg(test)]
@@ -445,6 +574,69 @@ mod tests {
             })
             .unwrap();
             assert_eq!(run.results, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn shared_fabric_runs_concurrent_jobs_isolated() {
+        // Two jobs, same world, same tags, interleaved on one fabric: each
+        // must see only its own traffic and its own trace events.
+        let fabric = SharedFabric::build(&ClusterConfig::local(3)).unwrap();
+        let run_ring = |slot: u8, id: u32, byte: u8| {
+            fabric
+                .run_job(
+                    JobBinding { slot, id },
+                    None,
+                    vec![byte; 3],
+                    |comm: &Communicator, b: u8| {
+                        comm.set_stage("Shuffle");
+                        let next = (comm.rank() + 1) % 3;
+                        let prev = (comm.rank() + 2) % 3;
+                        for _ in 0..16 {
+                            comm.send(next, Tag::app(0), Bytes::copy_from_slice(&[b]))
+                                .unwrap();
+                            assert_eq!(comm.recv(prev, Tag::app(0)).unwrap()[0], b);
+                            comm.barrier().unwrap();
+                        }
+                        b
+                    },
+                )
+                .unwrap()
+        };
+        let (a, b) = std::thread::scope(|s| {
+            let ja = s.spawn(|| run_ring(1, 0xA1, 0x11));
+            let jb = s.spawn(|| run_ring(2, 0xB2, 0x22));
+            (ja.join().unwrap(), jb.join().unwrap())
+        });
+        assert_eq!(a.results, vec![0x11; 3]);
+        assert_eq!(b.results, vec![0x22; 3]);
+        // Per-job traces are disjoint and each accounts only its own bytes.
+        assert_eq!(a.trace.jobs(), vec![0xA1]);
+        assert_eq!(b.trace.jobs(), vec![0xB2]);
+        assert_eq!(a.trace.stage_bytes("Shuffle"), 16 * 3);
+        assert_eq!(b.trace.stage_bytes("Shuffle"), 16 * 3);
+        // The fabric-wide trace saw both.
+        let all = fabric.trace_snapshot();
+        assert_eq!(all.jobs(), vec![0xA1, 0xB2]);
+    }
+
+    #[test]
+    fn shared_fabric_reuses_transports_across_sequential_jobs() {
+        let fabric = SharedFabric::build(&ClusterConfig::tcp(2)).unwrap();
+        for (slot, id) in [(1u8, 7u32), (2, 8), (1, 9)] {
+            let run = fabric
+                .run_job(JobBinding { slot, id }, None, vec![(); 2], |comm, ()| {
+                    if comm.rank() == 0 {
+                        comm.send(1, Tag::app(3), Bytes::from(vec![id as u8; 4]))
+                            .unwrap();
+                        0
+                    } else {
+                        comm.recv(0, Tag::app(3)).unwrap()[0] as u32
+                    }
+                })
+                .unwrap();
+            assert_eq!(run.results, vec![0, id]);
+            assert_eq!(run.trace.jobs(), vec![id]);
         }
     }
 

@@ -77,6 +77,10 @@ pub struct Communicator {
     stage: AtomicU16,
     barrier_epoch: AtomicU32,
     bcast_epoch: AtomicU32,
+    /// Job slot scoped into every tag (0 = exclusive, tags unchanged).
+    job_slot: u8,
+    /// Job id stamped on every trace event.
+    job_id: u32,
 }
 
 impl Communicator {
@@ -100,6 +104,8 @@ impl Communicator {
             stage: AtomicU16::new(stage),
             barrier_epoch: AtomicU32::new(0),
             bcast_epoch: AtomicU32::new(0),
+            job_slot: 0,
+            job_id: 0,
         }
     }
 
@@ -107,6 +113,48 @@ impl Communicator {
     pub fn with_fabric(mut self, fabric: ShuffleFabric) -> Self {
         self.fabric = fabric;
         self
+    }
+
+    /// Scopes this communicator to a job: every tag passing through any
+    /// public method is rewritten into `slot`'s namespace (see
+    /// [`Tag::scoped`]) and every trace event is stamped with `id`, so
+    /// concurrent jobs on one shared fabric neither cross-match messages
+    /// nor blur each other's traces. Slot 0 (the default) leaves tags
+    /// byte-identical to an unscoped communicator — the exclusive one-shot
+    /// path. Scoping is applied exactly once, here at the API boundary;
+    /// raw [`transport`](Self::transport) users (the health/recovery
+    /// layer) bypass it and therefore require an exclusive fabric.
+    pub fn with_job(mut self, slot: u8, id: u32) -> Self {
+        assert!(
+            slot <= Tag::MAX_JOB_SLOT,
+            "job slot {slot} exceeds {}",
+            Tag::MAX_JOB_SLOT
+        );
+        self.job_slot = slot;
+        self.job_id = id;
+        self
+    }
+
+    /// The `(slot, id)` of the job this communicator is scoped to.
+    pub fn job(&self) -> (u8, u32) {
+        (self.job_slot, self.job_id)
+    }
+
+    /// Applies the job-slot namespace to a caller-supplied tag.
+    #[inline]
+    fn scope(&self, tag: Tag) -> Tag {
+        tag.scoped(self.job_slot)
+    }
+
+    /// The epoch mask for internally generated tags: job-scoped
+    /// communicators must leave room for the slot bits.
+    #[inline]
+    fn epoch_mask(&self) -> u32 {
+        if self.job_slot == 0 {
+            0x00FF_FFFF
+        } else {
+            (1 << Tag::JOB_SEQ_BITS) - 1
+        }
     }
 
     /// The shuffle fabric in effect.
@@ -157,15 +205,18 @@ impl Communicator {
             });
         }
         let bytes = payload.len() as u64;
-        self.transport.send(dst, tag, payload)?;
+        self.transport.send(dst, self.scope(tag), payload)?;
         // Recorded only after the fabric accepted the payload, so a failed
         // send leaves no phantom traffic in the trace (the multicast path
         // keeps the same invariant).
-        self.trace.record(
+        self.trace.record_transfer_for(
+            self.job_id,
             self.stage.load(Ordering::Relaxed),
             self.rank(),
             1u128 << dst,
             bytes,
+            0,
+            1,
             EventKind::AppUnicast,
         );
         if let Some(nic) = &self.nic {
@@ -188,13 +239,16 @@ impl Communicator {
 
     /// Internal send carrying an explicit protocol-overhead byte count
     /// (tree relays of a coded packet inherit the packet's header size).
+    /// Callers pass an already-scoped tag (collectives scope at entry).
     fn send_internal_oh(&self, dst: usize, tag: Tag, payload: Bytes, overhead: u64) -> Result<()> {
-        self.trace.record_with_overhead(
+        self.trace.record_transfer_for(
+            self.job_id,
             self.stage.load(Ordering::Relaxed),
             self.rank(),
             1u128 << dst,
             payload.len() as u64,
             overhead,
+            1,
             EventKind::Internal,
         );
         self.shape(payload.len());
@@ -203,24 +257,24 @@ impl Communicator {
 
     /// Blocking receive matched on `(src, tag)`.
     pub fn recv(&self, src: usize, tag: Tag) -> Result<Bytes> {
-        self.transport.recv(src, tag)
+        self.transport.recv(src, self.scope(tag))
     }
 
     /// Blocking receive with a deadline.
     pub fn recv_timeout(&self, src: usize, tag: Tag, timeout: Duration) -> Result<Bytes> {
-        self.transport.recv_timeout(src, tag, timeout)
+        self.transport.recv_timeout(src, self.scope(tag), timeout)
     }
 
     /// Non-blocking receive.
     pub fn try_recv(&self, src: usize, tag: Tag) -> Result<Option<Bytes>> {
-        self.transport.try_recv(src, tag)
+        self.transport.try_recv(src, self.scope(tag))
     }
 
     /// Global barrier across all ranks (flat coordinator pattern through
     /// rank 0, like the paper's synchronous stage transitions).
     pub fn barrier(&self) -> Result<()> {
         let epoch = self.barrier_epoch.fetch_add(1, Ordering::Relaxed);
-        let tag = Tag::new(Tag::BARRIER, epoch & 0x00FF_FFFF);
+        let tag = self.scope(Tag::new(Tag::BARRIER, epoch & self.epoch_mask()));
         let k = self.world_size();
         if k == 1 {
             return Ok(());
@@ -271,6 +325,7 @@ impl Communicator {
         data: Option<Bytes>,
         overhead: u64,
     ) -> Result<Bytes> {
+        let tag = self.scope(tag);
         let m = members.len();
         let (my_pos, root_pos) = self.validate_group(root, members, &data)?;
         let is_root = self.rank() == root;
@@ -279,7 +334,8 @@ impl Communicator {
             // A *logical* multicast record: bytes counted once, and zero
             // wire copies of its own — the constituent hops are traced as
             // `Internal` events below (the tree-cost ablation reads them).
-            self.trace.record_transfer(
+            self.trace.record_transfer_for(
+                self.job_id,
                 self.stage.load(Ordering::Relaxed),
                 self.rank(),
                 group_mask(members, root),
@@ -347,7 +403,7 @@ impl Communicator {
         data: Option<Bytes>,
     ) -> Result<Bytes> {
         let epoch = self.bcast_epoch.fetch_add(1, Ordering::Relaxed);
-        let tag = Tag::new(Tag::BCAST, epoch & 0x00FF_FFFF);
+        let tag = Tag::new(Tag::BCAST, epoch & self.epoch_mask());
         self.broadcast(root, members, tag, data)
     }
 
@@ -439,6 +495,7 @@ impl Communicator {
         data: Option<Bytes>,
         overhead: u64,
     ) -> Result<Bytes> {
+        let tag = self.scope(tag);
         self.validate_group(root, members, &data)?;
         if self.rank() != root {
             return self.transport.recv(root, tag);
@@ -450,7 +507,8 @@ impl Communicator {
         // copy, so a failed dispatch leaves no phantom traffic behind for
         // the accounting and the netsim oracle.
         let record = |comm: &Self| {
-            comm.trace.record_transfer(
+            comm.trace.record_transfer_for(
+                comm.job_id,
                 comm.stage.load(Ordering::Relaxed),
                 comm.rank(),
                 group_mask(members, root),
@@ -516,6 +574,7 @@ impl Communicator {
         tag: Tag,
         data: Bytes,
     ) -> Result<Option<Vec<Bytes>>> {
+        let tag = self.scope(tag);
         if !members.contains(&self.rank()) || !members.contains(&root) {
             return Err(NetError::CollectiveMisuse {
                 what: "gather: caller and root must both be members".into(),
@@ -552,6 +611,7 @@ impl Communicator {
         tag: Tag,
         chunks: Option<Vec<Bytes>>,
     ) -> Result<Bytes> {
+        let tag = self.scope(tag);
         if !members.contains(&self.rank()) || !members.contains(&root) {
             return Err(NetError::CollectiveMisuse {
                 what: "scatter: caller and root must both be members".into(),
@@ -930,6 +990,77 @@ mod tests {
                 assert_eq!(payload[1] as usize, i / 3);
             }
         }
+    }
+
+    #[test]
+    fn job_scoping_isolates_identical_tags_on_one_fabric() {
+        // Two "jobs" share one fabric and both use Tag::app(7). Without
+        // scoping the receives could match either sender's payload; with
+        // per-job slots each job sees exactly its own bytes.
+        let fabric = LocalFabric::new(2);
+        let trace = Arc::new(TraceCollector::new(true));
+        let comm_for = |rank: usize, slot: u8, id: u32| {
+            Communicator::new(
+                Arc::new(fabric.endpoint(rank)),
+                Arc::clone(&trace),
+                None,
+                BcastAlgorithm::default(),
+            )
+            .with_job(slot, id)
+        };
+        let (a0, a1) = (comm_for(0, 1, 101), comm_for(1, 1, 101));
+        let (b0, b1) = (comm_for(0, 2, 202), comm_for(1, 2, 202));
+        // Job B's payload is already queued when job A sends on the same
+        // logical (src, tag); A must still receive A's payload.
+        b0.send(1, Tag::app(7), Bytes::from_static(b"job-b"))
+            .unwrap();
+        a0.send(1, Tag::app(7), Bytes::from_static(b"job-a"))
+            .unwrap();
+        assert_eq!(a1.recv(0, Tag::app(7)).unwrap(), "job-a");
+        assert_eq!(b1.recv(0, Tag::app(7)).unwrap(), "job-b");
+        // The shared trace separates per job id.
+        let t = trace.snapshot();
+        assert_eq!(t.jobs(), vec![101, 202]);
+        assert_eq!(t.for_job(101).total_bytes(), 5);
+        assert_eq!(t.for_job(202).total_bytes(), 5);
+    }
+
+    #[test]
+    fn job_scoped_collectives_do_not_cross_jobs() {
+        let fabric = LocalFabric::new(3);
+        let trace = Arc::new(TraceCollector::new(false));
+        let job_comms = |slot: u8| -> Vec<Communicator> {
+            (0..3)
+                .map(|r| {
+                    Communicator::new(
+                        Arc::new(fabric.endpoint(r)),
+                        Arc::clone(&trace),
+                        None,
+                        BcastAlgorithm::default(),
+                    )
+                    .with_job(slot, slot as u32)
+                })
+                .collect()
+        };
+        let a = job_comms(1);
+        let b = job_comms(2);
+        // Run both jobs' broadcasts concurrently over the same endpoints
+        // with the same tag; payloads must stay within their job.
+        std::thread::scope(|s| {
+            for comms in [&a, &b] {
+                for c in comms.iter() {
+                    s.spawn(move || {
+                        let (_, id) = c.job();
+                        let data = (c.rank() == 0).then(|| Bytes::from(vec![id as u8; 8]));
+                        let got = c
+                            .multicast(0, &[0, 1, 2], Tag::new(Tag::BCAST, 3), data)
+                            .unwrap();
+                        assert_eq!(got, Bytes::from(vec![id as u8; 8]), "job {id}");
+                        c.barrier().unwrap();
+                    });
+                }
+            }
+        });
     }
 
     #[test]

@@ -30,7 +30,12 @@
 //!   labels, byte counts, and per-fabric egress frame counts, consumed by
 //!   `cts-netsim`'s calibrated network model;
 //! * [`cluster`] — SPMD runners ([`run_spmd`]) spawning
-//!   one thread per rank over either fabric, with panic-safe teardown;
+//!   one thread per rank over either fabric, with panic-safe teardown,
+//!   plus the resident [`SharedFabric`] that runs many concurrent
+//!   job-scoped SPMD programs over one set of transports;
+//! * [`admission`] — admission control for the resident runtime: a
+//!   bounded job queue that refuses (rather than stalls) when full, and
+//!   the pool of per-job tag-namespace slots;
 //! * [`fault`] — transport-level fault injection for failure testing,
 //!   including crash-at-point specs ([`fault::CrashSpec`]);
 //! * [`health`] — per-rank liveness (Alive/Suspect/Dead) driven by
@@ -59,6 +64,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod cluster;
 pub mod comm;
 pub mod error;
@@ -76,7 +82,11 @@ pub mod trace;
 pub mod transport;
 pub mod udp;
 
-pub use cluster::{run_spmd, run_spmd_with_inputs, ClusterConfig, ClusterRun, TransportKind};
+pub use admission::{AdmissionError, AdmissionQueue, SlotPool};
+pub use cluster::{
+    run_spmd, run_spmd_with_inputs, ClusterConfig, ClusterRun, JobBinding, SharedFabric,
+    TransportKind,
+};
 pub use comm::{BcastAlgorithm, Communicator};
 pub use error::{NetError, Result};
 pub use fabric::ShuffleFabric;

@@ -46,13 +46,28 @@ pub struct RankRegistry {
 }
 
 impl RankRegistry {
+    /// How many times a single listener bind is retried before the error
+    /// propagates. Ephemeral-port allocation (`127.0.0.1:0`) cannot collide
+    /// with another bound socket, but under rapid-sequence cluster churn
+    /// the kernel can still transiently refuse (ephemeral range pressure,
+    /// `TIME_WAIT` buildup at high fabric turnover); a short bounded retry
+    /// with linear backoff absorbs that without masking real failures.
+    pub const BIND_RETRIES: usize = 8;
+
     /// Binds `k` loopback listeners and records their addresses. Returns
     /// the registry plus the listeners (in rank order) to pass to
     /// [`connect_mesh`].
     ///
+    /// Ports are always kernel-assigned ephemerals (never fixed offsets),
+    /// so any number of clusters can come up concurrently in one process
+    /// or in rapid sequence without port collisions. Rust's std sets
+    /// `SO_REUSEADDR` on listeners on Unix, so a recycled address in
+    /// `TIME_WAIT` does not block a fresh bind; transient refusals are
+    /// retried up to [`BIND_RETRIES`](Self::BIND_RETRIES) times.
+    ///
     /// # Errors
-    /// I/O errors from binding; `InvalidRank` if `k` is 0 or exceeds
-    /// [`MAX_WORLD`].
+    /// I/O errors from binding (after retries); `InvalidRank` if `k` is 0
+    /// or exceeds [`MAX_WORLD`].
     pub fn bind_loopback(k: usize) -> Result<(RankRegistry, Vec<TcpListener>)> {
         if k == 0 || k > MAX_WORLD {
             return Err(NetError::InvalidRank {
@@ -63,11 +78,27 @@ impl RankRegistry {
         let mut listeners = Vec::with_capacity(k);
         let mut addrs = Vec::with_capacity(k);
         for _ in 0..k {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let listener = Self::bind_one_with_retry()?;
             addrs.push(listener.local_addr()?);
             listeners.push(listener);
         }
         Ok((RankRegistry { addrs }, listeners))
+    }
+
+    fn bind_one_with_retry() -> Result<TcpListener> {
+        let mut last_err = None;
+        for attempt in 0..Self::BIND_RETRIES {
+            match TcpListener::bind("127.0.0.1:0") {
+                Ok(listener) => return Ok(listener),
+                Err(e) => {
+                    last_err = Some(e);
+                    // Linear backoff: 1, 2, 3, … ms. Total worst case stays
+                    // well under 50 ms for BIND_RETRIES = 8.
+                    std::thread::sleep(std::time::Duration::from_millis(attempt as u64 + 1));
+                }
+            }
+        }
+        Err(last_err.expect("at least one bind attempt").into())
     }
 
     /// Number of registered ranks.
@@ -338,6 +369,32 @@ mod tests {
         assert_eq!(view.world_size(), 3);
         assert_eq!(view.alive_ranks(), vec![0, 2]);
         assert_eq!(view.successor_of(1), Some(2));
+    }
+
+    #[test]
+    fn rapid_sequence_and_concurrent_bringup_never_collides() {
+        // Rapid-sequence churn: bring whole worlds up and down back to
+        // back. Ephemeral ports + SO_REUSEADDR mean no run may fail.
+        for _ in 0..20 {
+            let (registry, listeners) = RankRegistry::bind_loopback(8).unwrap();
+            assert_eq!(registry.world_size(), 8);
+            drop(listeners);
+        }
+        // Concurrent bring-up: several clusters binding simultaneously in
+        // one process must each get disjoint address sets.
+        let registries: Vec<RankRegistry> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|_| s.spawn(|| RankRegistry::bind_loopback(6).unwrap().0))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all_addrs = std::collections::HashSet::new();
+        for registry in &registries {
+            for addr in registry.addrs() {
+                assert!(all_addrs.insert(*addr), "duplicate bound addr {addr}");
+            }
+        }
+        assert_eq!(all_addrs.len(), 6 * 6);
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct TraceEvent {
     pub seq: u64,
     /// Index into [`Trace::stages`].
     pub stage: u16,
+    /// The job this transfer belongs to (0 for exclusive/one-shot runs).
+    /// Concurrent jobs on a shared fabric interleave in one collector;
+    /// [`Trace::for_job`] separates them.
+    pub job: u32,
     /// Sender rank.
     pub src: u16,
     /// Receiver set as a bitmask (single bit for unicasts). `u128` so
@@ -149,6 +153,29 @@ impl Trace {
             .map(|e| e.bytes)
             .sum()
     }
+
+    /// The trace restricted to one job's transfers (stage table shared).
+    /// Event order — including [`TraceEvent::seq`] gaps where other jobs'
+    /// transfers interleaved — is preserved.
+    pub fn for_job(&self, job: u32) -> Trace {
+        Trace {
+            stages: self.stages.clone(),
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.job == job)
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Distinct job ids present, ascending.
+    pub fn jobs(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.events.iter().map(|e| e.job).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
 }
 
 #[derive(Default)]
@@ -212,12 +239,29 @@ impl TraceCollector {
     }
 
     /// Records one event with an explicit egress-transmission count (see
-    /// [`TraceEvent::wire_copies`]).
-    // One flat call per recorded field keeps the hot recording path free of
-    // intermediate structs; the argument list mirrors `TraceEvent` exactly.
+    /// [`TraceEvent::wire_copies`]), attributed to job 0.
     #[allow(clippy::too_many_arguments)]
     pub fn record_transfer(
         &self,
+        stage: u16,
+        src: usize,
+        dsts: u128,
+        bytes: u64,
+        overhead: u64,
+        wire_copies: u16,
+        kind: EventKind,
+    ) {
+        self.record_transfer_for(0, stage, src, dsts, bytes, overhead, wire_copies, kind);
+    }
+
+    /// Records one event attributed to `job` — the variant communicators on
+    /// a shared multi-job fabric use so traces stay separable per job.
+    // One flat call per recorded field keeps the hot recording path free of
+    // intermediate structs; the argument list mirrors `TraceEvent` exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_transfer_for(
+        &self,
+        job: u32,
         stage: u16,
         src: usize,
         dsts: u128,
@@ -236,6 +280,7 @@ impl TraceCollector {
         inner.events.push(TraceEvent {
             seq,
             stage,
+            job,
             src: src as u16,
             dsts,
             bytes,
@@ -323,5 +368,24 @@ mod tests {
         assert_eq!(t.stage_bytes("Nope"), 0);
         assert_eq!(t.stage_events("Nope").count(), 0);
         assert_eq!(t.stage_index("Nope"), None);
+    }
+
+    #[test]
+    fn job_filter_separates_interleaved_jobs() {
+        let c = TraceCollector::new(true);
+        let s = c.intern("Shuffle");
+        c.record_transfer_for(1, s, 0, 0b10, 100, 0, 1, EventKind::AppUnicast);
+        c.record_transfer_for(2, s, 1, 0b01, 40, 0, 1, EventKind::AppUnicast);
+        c.record_transfer_for(1, s, 1, 0b01, 60, 0, 1, EventKind::AppUnicast);
+        let t = c.snapshot();
+        assert_eq!(t.jobs(), vec![1, 2]);
+        let j1 = t.for_job(1);
+        assert_eq!(j1.events.len(), 2);
+        assert_eq!(j1.stage_bytes("Shuffle"), 160);
+        // Global sequence numbers survive the filter (order evidence).
+        assert_eq!(j1.events[0].seq, 0);
+        assert_eq!(j1.events[1].seq, 2);
+        assert_eq!(t.for_job(2).stage_bytes("Shuffle"), 40);
+        assert!(t.for_job(9).events.is_empty());
     }
 }

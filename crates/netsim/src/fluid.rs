@@ -366,6 +366,7 @@ mod tests {
         TraceEvent {
             seq: 0,
             stage: 0,
+            job: 0,
             src: src as u16,
             dsts,
             bytes,

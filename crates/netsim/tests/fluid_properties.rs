@@ -20,6 +20,7 @@ fn ev(src: usize, dsts: u128, bytes: u64) -> TraceEvent {
     TraceEvent {
         seq: 0,
         stage: 0,
+        job: 0,
         src: src as u16,
         dsts,
         bytes,

@@ -13,6 +13,8 @@
 //! * [`workload`] — TeraSort as a `cts-mapreduce` workload;
 //! * [`driver`] — one-call runs of TeraSort (§III) and CodedTeraSort
 //!   (§IV);
+//! * [`service`] — the `cts serve` daemon: a multi-tenant sort service
+//!   over a resident `cts_mapreduce::JobRuntime`, plus the wire client;
 //! * [`validate`](mod@validate) — TeraValidate (order, boundaries, conservation).
 //!
 //! ```
@@ -36,6 +38,7 @@
 pub mod driver;
 pub mod partition;
 pub mod record;
+pub mod service;
 pub mod sort;
 pub mod teragen;
 pub mod validate;
@@ -44,6 +47,7 @@ pub mod workload;
 pub use driver::{run_coded_terasort, run_terasort, PartitionerKind, SortJob, SortRun};
 pub use partition::{KeyPartitioner, RangePartitioner, SampledPartitioner};
 pub use record::{KEY_LEN, RECORD_LEN, VALUE_LEN};
+pub use service::{JobKind, RemoteStatus, ResultDigest, ServiceClient, SortService};
 pub use sort::SortKernel;
 pub use validate::{validate, ValidationError};
 pub use workload::TeraSortWorkload;

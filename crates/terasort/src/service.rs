@@ -1,0 +1,608 @@
+//! `cts serve` — the multi-tenant sort service.
+//!
+//! A thin wire layer over [`cts_mapreduce::JobRuntime`]: the daemon owns
+//! one resident runtime (shared fabric, admission queue, thread budget)
+//! and clients submit sort / wordcount / grep jobs into it over TCP,
+//! poll status, and fetch results or digests.
+//!
+//! ## Wire protocol
+//!
+//! Every message (both directions) is one length-prefixed frame: a `u32`
+//! little-endian payload length followed by the payload. Requests start
+//! with an opcode byte:
+//!
+//! | op | request payload | OK response payload |
+//! |----|-----------------|---------------------|
+//! | `0x01` SUBMIT | `kind u8, r u8, pat_len u16 LE, pattern, input…` | `job_id u32 LE` |
+//! | `0x02` STATUS | `job_id u32 LE` | `state u8` (+ error text when failed) |
+//! | `0x03` DIGEST | `job_id u32 LE` (blocks until done) | `parts u32`, per part `len u64 + fnv1a u64`, `total fnv1a u64` |
+//! | `0x04` FETCH  | `job_id u32 LE` (blocks until done) | `parts u32`, per part `len u64 + bytes` |
+//! | `0x05` SHUTDOWN | — | — |
+//!
+//! `kind` is 0 = sort (TeraGen records, range partitioner), 1 =
+//! wordcount, 2 = grep (`pattern` required). `r ≤ 1` runs the uncoded
+//! engine, `r > 1` the coded engine at that redundancy. Responses lead
+//! with a status byte: `0x00` OK (payload follows), `0xFF` error (UTF-8
+//! message follows). A connection may issue any number of requests;
+//! closing it does not cancel submitted jobs.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use cts_mapreduce::grep::Grep;
+use cts_mapreduce::runtime::{JobRuntime, JobStatus, RuntimeConfig};
+use cts_mapreduce::wordcount::WordCount;
+
+use crate::workload::TeraSortWorkload;
+
+/// Largest frame either side will accept (1 GiB).
+const MAX_FRAME: u32 = 1 << 30;
+
+const OP_SUBMIT: u8 = 0x01;
+const OP_STATUS: u8 = 0x02;
+const OP_DIGEST: u8 = 0x03;
+const OP_FETCH: u8 = 0x04;
+const OP_SHUTDOWN: u8 = 0x05;
+
+const RESP_OK: u8 = 0x00;
+const RESP_ERR: u8 = 0xFF;
+
+/// What a submitted job runs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobKind {
+    /// TeraSort over 100-byte TeraGen records (range partitioner).
+    Sort,
+    /// Word counting over newline-delimited text.
+    WordCount,
+    /// Line grep for the contained byte pattern.
+    Grep(Vec<u8>),
+}
+
+impl JobKind {
+    fn code(&self) -> u8 {
+        match self {
+            JobKind::Sort => 0,
+            JobKind::WordCount => 1,
+            JobKind::Grep(_) => 2,
+        }
+    }
+}
+
+/// FNV-1a 64 over `data` — the digest the service streams back in place
+/// of full outputs.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A job's result digest: per-partition lengths and FNV-1a hashes plus
+/// the hash of the concatenation — enough to prove byte-identity against
+/// a local run without shipping the data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResultDigest {
+    /// `(output_len, fnv1a)` per partition, rank order.
+    pub partitions: Vec<(u64, u64)>,
+    /// FNV-1a over all partitions concatenated in rank order.
+    pub total: u64,
+}
+
+impl ResultDigest {
+    /// Digests locally produced outputs (for comparison with a service
+    /// job's digest).
+    pub fn of(outputs: &[Vec<u8>]) -> ResultDigest {
+        let mut total: u64 = 0xcbf2_9ce4_8422_2325;
+        let partitions = outputs
+            .iter()
+            .map(|o| {
+                for &b in o.iter() {
+                    total ^= u64::from(b);
+                    total = total.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                (o.len() as u64, fnv1a(o))
+            })
+            .collect();
+        ResultDigest { partitions, total }
+    }
+}
+
+// ---- framing ------------------------------------------------------------
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn take<const N: usize>(buf: &[u8], at: usize) -> Result<[u8; N], String> {
+    buf.get(at..at + N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or_else(|| format!("truncated frame: wanted {N} bytes at offset {at}"))
+}
+
+// ---- server -------------------------------------------------------------
+
+/// A finished job's partitions (or its failure message), shared across
+/// however many clients ask for it.
+type CachedOutputs = Result<Arc<Vec<Vec<u8>>>, String>;
+
+struct Inner {
+    runtime: JobRuntime,
+    // Outcomes move from the runtime into this cache on first wait, so
+    // STATUS/DIGEST/FETCH can be asked any number of times by any client.
+    results: parking_lot::Mutex<HashMap<u32, CachedOutputs>>,
+    stop: AtomicBool,
+}
+
+impl Inner {
+    fn outputs_of(&self, id: u32) -> CachedOutputs {
+        if let Some(cached) = self.results.lock().get(&id) {
+            return cached.clone();
+        }
+        let outcome = self
+            .runtime
+            .wait(id)
+            .map(|o| Arc::new(o.outputs))
+            .map_err(|e| e.to_string());
+        // Two clients can race into wait(); only one takes the outcome.
+        // The holder of the real result (or real failure) wins the cache;
+        // the loser's "already taken" error defers to whatever the winner
+        // stored.
+        let mut results = self.results.lock();
+        if outcome.is_ok() {
+            results.insert(id, outcome.clone());
+            outcome
+        } else {
+            results.entry(id).or_insert(outcome).clone()
+        }
+    }
+
+    fn submit(&self, kind: JobKind, r: usize, input: Bytes) -> Result<u32, String> {
+        let handle = self
+            .runtime
+            .submit(move |ctx| {
+                let mut cfg = ctx.cfg.clone();
+                cfg.r = r;
+                let coded = r > 1;
+                match &kind {
+                    JobKind::Sort => {
+                        let w = TeraSortWorkload::range(cfg.k);
+                        if coded {
+                            ctx.run_coded_with(&w, input, &cfg)
+                        } else {
+                            ctx.run_uncoded_with(&w, input, &cfg)
+                        }
+                    }
+                    JobKind::WordCount => {
+                        if coded {
+                            ctx.run_coded_with(&WordCount, input, &cfg)
+                        } else {
+                            ctx.run_uncoded_with(&WordCount, input, &cfg)
+                        }
+                    }
+                    JobKind::Grep(pattern) => {
+                        let w = Grep::new(pattern.clone());
+                        if coded {
+                            ctx.run_coded_with(&w, input, &cfg)
+                        } else {
+                            ctx.run_uncoded_with(&w, input, &cfg)
+                        }
+                    }
+                }
+            })
+            .map_err(|e| e.to_string())?;
+        Ok(handle.id())
+    }
+
+    fn handle_request(&self, req: &[u8]) -> Result<Vec<u8>, String> {
+        let op = *req.first().ok_or("empty frame")?;
+        match op {
+            OP_SUBMIT => {
+                let kind_code = *req.get(1).ok_or("truncated SUBMIT")?;
+                let r = usize::from(*req.get(2).ok_or("truncated SUBMIT")?);
+                let pat_len = usize::from(u16::from_le_bytes(take::<2>(req, 3)?));
+                let pattern = req
+                    .get(5..5 + pat_len)
+                    .ok_or("truncated SUBMIT pattern")?
+                    .to_vec();
+                let input = Bytes::copy_from_slice(req.get(5 + pat_len..).unwrap_or(&[]));
+                let kind = match kind_code {
+                    0 => JobKind::Sort,
+                    1 => JobKind::WordCount,
+                    2 => JobKind::Grep(pattern),
+                    other => return Err(format!("unknown job kind {other}")),
+                };
+                let id = self.submit(kind, r, input)?;
+                Ok(id.to_le_bytes().to_vec())
+            }
+            OP_STATUS => {
+                let id = u32::from_le_bytes(take::<4>(req, 1)?);
+                let status = self
+                    .runtime
+                    .status(id)
+                    .ok_or_else(|| format!("unknown job id {id}"))?;
+                let mut out = Vec::new();
+                match status {
+                    JobStatus::Queued => out.push(0),
+                    JobStatus::Running => out.push(1),
+                    JobStatus::Done => out.push(2),
+                    JobStatus::Failed(msg) => {
+                        out.push(3);
+                        out.extend_from_slice(msg.as_bytes());
+                    }
+                }
+                Ok(out)
+            }
+            OP_DIGEST => {
+                let id = u32::from_le_bytes(take::<4>(req, 1)?);
+                let outputs = self.outputs_of(id)?;
+                let digest = ResultDigest::of(&outputs);
+                let mut out = Vec::with_capacity(4 + digest.partitions.len() * 16 + 8);
+                out.extend_from_slice(&(digest.partitions.len() as u32).to_le_bytes());
+                for (len, fnv) in &digest.partitions {
+                    out.extend_from_slice(&len.to_le_bytes());
+                    out.extend_from_slice(&fnv.to_le_bytes());
+                }
+                out.extend_from_slice(&digest.total.to_le_bytes());
+                Ok(out)
+            }
+            OP_FETCH => {
+                let id = u32::from_le_bytes(take::<4>(req, 1)?);
+                let outputs = self.outputs_of(id)?;
+                let total: usize = outputs.iter().map(|o| o.len() + 8).sum();
+                let mut out = Vec::with_capacity(4 + total);
+                out.extend_from_slice(&(outputs.len() as u32).to_le_bytes());
+                for o in outputs.iter() {
+                    out.extend_from_slice(&(o.len() as u64).to_le_bytes());
+                    out.extend_from_slice(o);
+                }
+                Ok(out)
+            }
+            OP_SHUTDOWN => {
+                self.stop.store(true, Ordering::SeqCst);
+                Ok(Vec::new())
+            }
+            other => Err(format!("unknown opcode {other:#04x}")),
+        }
+    }
+}
+
+/// The `cts serve` daemon: a TCP front-end over one resident
+/// [`JobRuntime`].
+pub struct SortService {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl SortService {
+    /// Starts the runtime and binds the service listener. Use port 0 for
+    /// a kernel-assigned port (read it back via
+    /// [`local_addr`](Self::local_addr)).
+    pub fn bind(addr: impl ToSocketAddrs, cfg: RuntimeConfig) -> Result<SortService, String> {
+        let runtime = JobRuntime::start(cfg).map_err(|e| e.to_string())?;
+        let listener = TcpListener::bind(addr).map_err(|e| format!("bind: {e}"))?;
+        Ok(SortService {
+            listener,
+            inner: Arc::new(Inner {
+                runtime,
+                results: parking_lot::Mutex::new(HashMap::new()),
+                stop: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a client sends SHUTDOWN. Each connection gets its own
+    /// handler thread; in-flight requests finish before return.
+    pub fn run(self) -> Result<(), String> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| e.to_string())?;
+        let mut handlers = Vec::new();
+        while !self.inner.stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false).map_err(|e| e.to_string())?;
+                    let inner = Arc::clone(&self.inner);
+                    handlers.push(std::thread::spawn(move || serve_connection(stream, &inner)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(format!("accept: {e}")),
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, inner: &Inner) {
+    loop {
+        let req = match read_frame(&mut stream) {
+            Ok(Some(req)) => req,
+            Ok(None) | Err(_) => return,
+        };
+        let mut resp = Vec::new();
+        match inner.handle_request(&req) {
+            Ok(payload) => {
+                resp.push(RESP_OK);
+                resp.extend_from_slice(&payload);
+            }
+            Err(msg) => {
+                resp.push(RESP_ERR);
+                resp.extend_from_slice(msg.as_bytes());
+            }
+        }
+        if write_frame(&mut stream, &resp).is_err() {
+            return;
+        }
+        if req.first() == Some(&OP_SHUTDOWN) {
+            return;
+        }
+    }
+}
+
+// ---- client -------------------------------------------------------------
+
+/// A client-side job state, mirroring [`JobStatus`] over the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RemoteStatus {
+    /// Admitted, waiting for a dispatcher.
+    Queued,
+    /// Running on the service's fabric.
+    Running,
+    /// Finished; digest/fetch will not block.
+    Done,
+    /// Failed with the contained service-side error message.
+    Failed(String),
+}
+
+/// The `cts submit` side: one TCP connection to a [`SortService`].
+pub struct ServiceClient {
+    stream: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connects to a running service.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<ServiceClient, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        stream.set_nodelay(true).map_err(|e| e.to_string())?;
+        Ok(ServiceClient { stream })
+    }
+
+    fn roundtrip(&mut self, req: &[u8]) -> Result<Vec<u8>, String> {
+        write_frame(&mut self.stream, req).map_err(|e| format!("send: {e}"))?;
+        let resp = read_frame(&mut self.stream)
+            .map_err(|e| format!("recv: {e}"))?
+            .ok_or("service closed the connection")?;
+        match resp.split_first() {
+            Some((&RESP_OK, payload)) => Ok(payload.to_vec()),
+            Some((&RESP_ERR, msg)) => Err(String::from_utf8_lossy(msg).into_owned()),
+            _ => Err("malformed response".into()),
+        }
+    }
+
+    /// Submits a job; returns its service-wide id immediately.
+    pub fn submit(&mut self, kind: &JobKind, r: usize, input: &[u8]) -> Result<u32, String> {
+        let pattern: &[u8] = match kind {
+            JobKind::Grep(p) => p,
+            _ => &[],
+        };
+        let r = u8::try_from(r).map_err(|_| "r exceeds 255".to_string())?;
+        let mut req = Vec::with_capacity(5 + pattern.len() + input.len());
+        req.push(OP_SUBMIT);
+        req.push(kind.code());
+        req.push(r);
+        req.extend_from_slice(
+            &u16::try_from(pattern.len())
+                .map_err(|_| "pattern too long".to_string())?
+                .to_le_bytes(),
+        );
+        req.extend_from_slice(pattern);
+        req.extend_from_slice(input);
+        let resp = self.roundtrip(&req)?;
+        Ok(u32::from_le_bytes(take::<4>(&resp, 0)?))
+    }
+
+    /// Polls a job's status.
+    pub fn status(&mut self, id: u32) -> Result<RemoteStatus, String> {
+        let mut req = vec![OP_STATUS];
+        req.extend_from_slice(&id.to_le_bytes());
+        let resp = self.roundtrip(&req)?;
+        match resp.split_first() {
+            Some((0, _)) => Ok(RemoteStatus::Queued),
+            Some((1, _)) => Ok(RemoteStatus::Running),
+            Some((2, _)) => Ok(RemoteStatus::Done),
+            Some((3, msg)) => Ok(RemoteStatus::Failed(
+                String::from_utf8_lossy(msg).into_owned(),
+            )),
+            _ => Err("malformed status".into()),
+        }
+    }
+
+    /// Blocks until the job finishes and returns its result digest.
+    pub fn digest(&mut self, id: u32) -> Result<ResultDigest, String> {
+        let mut req = vec![OP_DIGEST];
+        req.extend_from_slice(&id.to_le_bytes());
+        let resp = self.roundtrip(&req)?;
+        let parts = u32::from_le_bytes(take::<4>(&resp, 0)?) as usize;
+        let mut partitions = Vec::with_capacity(parts);
+        let mut at = 4;
+        for _ in 0..parts {
+            let len = u64::from_le_bytes(take::<8>(&resp, at)?);
+            let fnv = u64::from_le_bytes(take::<8>(&resp, at + 8)?);
+            partitions.push((len, fnv));
+            at += 16;
+        }
+        let total = u64::from_le_bytes(take::<8>(&resp, at)?);
+        Ok(ResultDigest { partitions, total })
+    }
+
+    /// Blocks until the job finishes and returns the full per-partition
+    /// outputs.
+    pub fn fetch(&mut self, id: u32) -> Result<Vec<Vec<u8>>, String> {
+        let mut req = vec![OP_FETCH];
+        req.extend_from_slice(&id.to_le_bytes());
+        let resp = self.roundtrip(&req)?;
+        let parts = u32::from_le_bytes(take::<4>(&resp, 0)?) as usize;
+        let mut outputs = Vec::with_capacity(parts);
+        let mut at = 4;
+        for _ in 0..parts {
+            let len = u64::from_le_bytes(take::<8>(&resp, at)?) as usize;
+            at += 8;
+            outputs.push(
+                resp.get(at..at + len)
+                    .ok_or("truncated fetch payload")?
+                    .to_vec(),
+            );
+            at += len;
+        }
+        Ok(outputs)
+    }
+
+    /// Asks the service to stop accepting and shut down.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.roundtrip(&[OP_SHUTDOWN]).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teragen::generate;
+    use cts_mapreduce::stage::EngineConfig;
+    use cts_mapreduce::verify::run_sequential;
+
+    fn service(
+        k: usize,
+        r: usize,
+        max_concurrent: usize,
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let cfg = RuntimeConfig::new(EngineConfig::local(k, r)).with_max_concurrent(max_concurrent);
+        let svc = SortService::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = svc.local_addr().unwrap();
+        let server = std::thread::spawn(move || svc.run().unwrap());
+        (addr, server)
+    }
+
+    #[test]
+    fn submit_status_digest_fetch_roundtrip() {
+        let (addr, server) = service(3, 2, 2);
+        let input = generate(300, 99);
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let id = client.submit(&JobKind::Sort, 2, &input).unwrap();
+        let digest = client.digest(id).unwrap();
+        assert_eq!(client.status(id).unwrap(), RemoteStatus::Done);
+        let fetched = client.fetch(id).unwrap();
+        // Byte-identical to a one-shot run of the same job.
+        let local =
+            crate::driver::run_terasort(input.clone(), &crate::driver::SortJob::local(3, 1))
+                .unwrap();
+        assert_eq!(fetched, local.outcome.outputs);
+        assert_eq!(digest, ResultDigest::of(&local.outcome.outputs));
+        client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn wordcount_and_grep_jobs_serve_too() {
+        let (addr, server) = service(3, 2, 2);
+        let text = b"the quick brown fox\nthe lazy dog\nthe end\n";
+        let mut client = ServiceClient::connect(addr).unwrap();
+        let wc = client.submit(&JobKind::WordCount, 2, text).unwrap();
+        let gr = client
+            .submit(&JobKind::Grep(b"the".to_vec()), 1, text)
+            .unwrap();
+        let wc_out = client.fetch(wc).unwrap();
+        let gr_out = client.fetch(gr).unwrap();
+        assert_eq!(
+            wc_out,
+            run_sequential(&WordCount, &Bytes::copy_from_slice(text), 3)
+        );
+        assert_eq!(
+            gr_out,
+            run_sequential(&Grep::new(&b"the"[..]), &Bytes::copy_from_slice(text), 3)
+        );
+        client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_job_id_yields_an_error_not_a_hang() {
+        let (addr, server) = service(2, 1, 1);
+        let mut client = ServiceClient::connect(addr).unwrap();
+        assert!(client.status(777).is_err());
+        assert!(client.digest(777).is_err());
+        client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_runtime() {
+        let (addr, server) = service(3, 2, 4);
+        let inputs: Vec<Vec<u8>> = (0..8)
+            .map(|i| generate(200 + i * 10, i as u64).to_vec())
+            .collect();
+        let digests: Vec<ResultDigest> = std::thread::scope(|s| {
+            let handles: Vec<_> = inputs
+                .iter()
+                .map(|input| {
+                    s.spawn(move || {
+                        let mut client = ServiceClient::connect(addr).unwrap();
+                        let id = client.submit(&JobKind::Sort, 2, input).unwrap();
+                        client.digest(id).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (input, digest) in inputs.iter().zip(&digests) {
+            let local = crate::driver::run_terasort(
+                Bytes::copy_from_slice(input),
+                &crate::driver::SortJob::local(3, 1),
+            )
+            .unwrap();
+            assert_eq!(*digest, ResultDigest::of(&local.outcome.outputs));
+        }
+        let mut client = ServiceClient::connect(addr).unwrap();
+        client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+}

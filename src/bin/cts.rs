@@ -7,6 +7,8 @@
 //!            [--fabric udp-multicast] [--field gf256] [--decode quorum]
 //!            [--recovery speculative] [--heartbeat-ms 25]
 //!            [--idle-timeout-ms 10000] [--paper-nic]
+//! cts serve  --k 4 --r 2 --port 0 [--tcp] [--max-concurrent 4] [--queue 16]
+//! cts submit --addr 127.0.0.1:7117 --kind sort --records 10000 [--r 2]
 //! cts model  --k 16 --r 3 [--records 120000] [--target-gb 12]
 //! cts theory --k 16 [--tmap 1.86 --tshuffle 945.72 --treduce 10.47]
 //! ```
@@ -36,6 +38,8 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "gen" => cmd_gen(&opts),
         "sort" => cmd_sort(&opts),
+        "serve" => cmd_serve(&opts),
+        "submit" => cmd_submit(&opts),
         "model" => cmd_model(&opts),
         "theory" => cmd_theory(&opts),
         "help" | "--help" | "-h" => {
@@ -88,6 +92,22 @@ USAGE:
                --idle-timeout-ms N → quorum shuffle zero-progress
                  deadline (default 10000),
                --paper-nic → emulate the paper's 100 Mbps NIC in real time
+  cts serve  --k K [--r R] [--port P] [--tcp] [--max-concurrent N]
+               [--queue N] [--threads T]
+               run the multi-tenant sort service: a resident job runtime
+               (shared fabric + admission queue) that clients submit
+               sort/wordcount/grep jobs into. --port 0 picks an ephemeral
+               port and prints it. --tcp backs the fabric with real
+               sockets; --max-concurrent bounds in-flight jobs (1 =
+               exclusive mode, full tag space); --queue bounds admitted-
+               but-not-running jobs (beyond it, submits are refused)
+  cts submit --addr HOST:PORT --kind sort|wordcount|grep
+               (--input FILE | --records N [--seed S]) [--pattern P]
+               [--r R] [--out FILE] [--no-wait] [--shutdown]
+               submit a job to a running `cts serve`. Default waits and
+               prints the result digest; --out also fetches the full
+               output; --no-wait prints the job id and returns;
+               --shutdown (alone) stops the service
   cts model  --k K --r R [--records N] [--target-gb G]
                modeled paper-scale stage breakdown (EC2 calibration)
   cts theory --k K [--tmap S --tshuffle S --treduce S]
@@ -103,7 +123,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             return Err(format!("expected a --flag, got `{arg}`"));
         };
         // Boolean flags take no value.
-        if matches!(name, "tcp" | "radix" | "no-validate" | "paper-nic") {
+        if matches!(
+            name,
+            "tcp" | "radix" | "no-validate" | "paper-nic" | "no-wait" | "shutdown"
+        ) {
             out.insert(name.to_string(), "true".to_string());
             continue;
         }
@@ -294,6 +317,98 @@ fn cmd_sort(opts: &Flags) -> Result<(), String> {
         stats.comm_load(input.len() as u64),
         theory::uncoded_comm_load(1, k),
     );
+    Ok(())
+}
+
+fn cmd_serve(opts: &Flags) -> Result<(), String> {
+    let k: usize = req(opts, "k")?;
+    let r: usize = opt(opts, "r", 1)?;
+    let port: u16 = opt(opts, "port", 7117)?;
+    let max_concurrent: usize = opt(opts, "max-concurrent", 4)?;
+    let queue: usize = opt(opts, "queue", 16)?;
+    let threads: usize = opt(opts, "threads", 0)?;
+    let tcp = opts.contains_key("tcp");
+
+    let template = if tcp {
+        EngineConfig::tcp(k, r)
+    } else {
+        EngineConfig::local(k, r)
+    };
+    let cfg = RuntimeConfig::new(template)
+        .with_max_concurrent(max_concurrent)
+        .with_queue_capacity(queue)
+        .with_pool_threads(threads);
+    let service = SortService::bind(("127.0.0.1", port), cfg).map_err(|e| e.to_string())?;
+    let addr = service.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "cts serve listening on {addr} (K = {k}, default r = {r}, {} fabric, \
+         {max_concurrent} concurrent jobs, queue depth {queue})",
+        if tcp { "TCP" } else { "in-memory" },
+    );
+    println!("submit with: cts submit --addr {addr} --kind sort --records 1000");
+    service.run()
+}
+
+fn cmd_submit(opts: &Flags) -> Result<(), String> {
+    let addr: String = req(opts, "addr")?;
+    let mut client = ServiceClient::connect(&*addr)?;
+    if opts.contains_key("shutdown") {
+        client.shutdown()?;
+        println!("service at {addr} shutting down");
+        return Ok(());
+    }
+
+    let kind_name: String = req(opts, "kind")?;
+    let kind = match kind_name.as_str() {
+        "sort" => JobKind::Sort,
+        "wordcount" => JobKind::WordCount,
+        "grep" => {
+            let pattern: String = req(opts, "pattern")?;
+            JobKind::Grep(pattern.into_bytes())
+        }
+        other => return Err(format!("--kind: unknown job kind `{other}`")),
+    };
+    let r: usize = opt(opts, "r", 1)?;
+
+    let input: Vec<u8> = match opts.get("input") {
+        Some(path) => std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?,
+        None if kind == JobKind::Sort => {
+            let records: usize = req(opts, "records")
+                .map_err(|_| "--input FILE or --records N is required".to_string())?;
+            let seed: u64 = opt(opts, "seed", 2017)?;
+            teragen::generate(records, seed).to_vec()
+        }
+        None => return Err("--input FILE is required for this kind".to_string()),
+    };
+
+    let id = client.submit(&kind, r, &input)?;
+    println!(
+        "job {id} submitted: {kind_name}, r = {r}, {:.1} KB input",
+        input.len() as f64 / 1e3
+    );
+    if opts.contains_key("no-wait") {
+        return Ok(());
+    }
+
+    let digest = client.digest(id)?;
+    let total_bytes: u64 = digest.partitions.iter().map(|(len, _)| len).sum();
+    println!(
+        "job {id} done: {} partitions, {total_bytes} output bytes, digest {:016x}",
+        digest.partitions.len(),
+        digest.total
+    );
+    for (p, (len, fnv)) in digest.partitions.iter().enumerate() {
+        println!("  partition {p}: {len:>10} bytes  fnv1a {fnv:016x}");
+    }
+    if let Some(out) = opts.get("out") {
+        let outputs = client.fetch(id)?;
+        let mut all = Vec::with_capacity(total_bytes as usize);
+        for o in &outputs {
+            all.extend_from_slice(o);
+        }
+        std::fs::write(out, &all).map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {} bytes to {out}", all.len());
+    }
     Ok(())
 }
 

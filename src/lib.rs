@@ -63,7 +63,8 @@ pub mod prelude {
         MapOutputStore, MulticastGroups, NodeSet, PlacementPlan, WorkerPool,
     };
     pub use cts_mapreduce::{
-        run_coded, run_coded_pods, run_sequential, run_uncoded, EngineConfig, InputFormat, Workload,
+        run_coded, run_coded_pods, run_sequential, run_uncoded, EngineConfig, InputFormat,
+        JobRuntime, JobStatus, RuntimeConfig, Workload,
     };
     pub use cts_net::{
         run_spmd, BcastAlgorithm, ClusterConfig, Communicator, NicProfile, ShuffleFabric, Tag,
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use cts_netsim::{render_table, PerfModel, PerfModelConfig, RunStats, StageBreakdown};
     pub use cts_terasort::teragen;
     pub use cts_terasort::{
-        run_coded_terasort, run_terasort, PartitionerKind, SortJob, SortKernel, TeraSortWorkload,
+        run_coded_terasort, run_terasort, JobKind, PartitionerKind, RemoteStatus, ServiceClient,
+        SortJob, SortKernel, SortService, TeraSortWorkload,
     };
 }
