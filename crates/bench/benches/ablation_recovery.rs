@@ -18,6 +18,7 @@
 use std::time::{Duration, Instant};
 
 use cts_bench::env_usize;
+use cts_bench::results::BenchDoc;
 use cts_core::decode::DecodeMode;
 use cts_core::field::FieldKind;
 use cts_mapreduce::error::EngineError;
@@ -160,38 +161,29 @@ fn write_json(
     detect_s: f64,
     points: &[Point],
 ) {
-    let Some(dir) = std::env::var_os("CTS_BENCH_JSON_DIR") else {
-        return;
-    };
-    let entries: Vec<Value> = points
-        .iter()
-        .map(|p| {
-            Value::object([
-                ("crash_point", Value::Str(p.label.clone())),
-                ("recovered_makespan_s", Value::Float(p.recovered_s)),
-                ("failfast_error_s", Value::Float(p.failfast_s)),
-                ("recovered_bound_s", Value::Float(p.recovered_hi_s)),
-                ("failfast_bound_s", Value::Float(p.failfast_hi_s)),
-                ("byte_identical", Value::Bool(true)),
-            ])
-        })
-        .collect();
-    let doc = Value::object([
-        ("target", Value::Str("ablation_recovery".to_string())),
-        ("k", Value::UInt(k as u64)),
-        ("r", Value::UInt(r as u64)),
-        ("records", Value::UInt(records as u64)),
-        ("victim_rank", Value::UInt(victim as u64)),
-        ("field", Value::Str("gf256".to_string())),
-        ("decode", Value::Str("quorum".to_string())),
-        ("heartbeat_ms", Value::UInt(HEARTBEAT.as_millis() as u64)),
-        ("death_deadline_s", Value::Float(detect_s)),
-        ("healthy_makespan_s", Value::Float(healthy_s)),
-        ("results", Value::Array(entries)),
-    ]);
-    let path = std::path::Path::new(&dir).join("BENCH_ablation_recovery.json");
-    match std::fs::write(&path, doc.render()) {
-        Ok(()) => println!("results json: {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    let mut doc = BenchDoc::new("ablation_recovery")
+        .config("k", Value::UInt(k as u64))
+        .config("r", Value::UInt(r as u64))
+        .config("records", Value::UInt(records as u64))
+        .config("victim_rank", Value::UInt(victim as u64))
+        .config("field", Value::Str("gf256".to_string()))
+        .config("decode", Value::Str("quorum".to_string()))
+        .config("heartbeat_ms", Value::UInt(HEARTBEAT.as_millis() as u64))
+        .config("death_deadline_s", Value::Float(detect_s))
+        .config("healthy_makespan_s", Value::Float(healthy_s))
+        .unit("recovered_makespan_s", "s")
+        .unit("failfast_error_s", "s")
+        .unit("recovered_bound_s", "s")
+        .unit("failfast_bound_s", "s");
+    for p in points {
+        doc.row([
+            ("crash_point", Value::Str(p.label.clone())),
+            ("recovered_makespan_s", Value::Float(p.recovered_s)),
+            ("failfast_error_s", Value::Float(p.failfast_s)),
+            ("recovered_bound_s", Value::Float(p.recovered_hi_s)),
+            ("failfast_bound_s", Value::Float(p.failfast_hi_s)),
+            ("byte_identical", Value::Bool(true)),
+        ]);
     }
+    doc.write();
 }

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cts_bench::env_usize;
+use cts_bench::results::BenchDoc;
 use cts_core::decode::DecodeMode;
 use cts_core::field::FieldKind;
 use cts_net::fault::{straggler_blackhole_rule, straggler_delay_rule, FaultRule};
@@ -153,47 +154,38 @@ fn main() {
 /// Dumps the sweep as `BENCH_ablation_straggler_sweep.json` inside
 /// `$CTS_BENCH_JSON_DIR` (no-op when unset), the PR's headline artifact.
 fn write_json(k: usize, r: usize, records: usize, healthy_s: f64, points: &[Point]) {
-    let Some(dir) = std::env::var_os("CTS_BENCH_JSON_DIR") else {
-        return;
-    };
-    let entries: Vec<Value> = points
-        .iter()
-        .map(|p| {
-            Value::object([
-                ("slowdown", Value::Str(p.label.clone())),
-                (
-                    "injected_delay_s",
-                    if p.delay_s.is_finite() {
-                        Value::Float(p.delay_s)
-                    } else {
-                        Value::Str("inf".to_string())
-                    },
-                ),
-                ("quorum_makespan_s", Value::Float(p.quorum_s)),
-                (
-                    "all_makespan_s",
-                    match p.all_s {
-                        Some(s) => Value::Float(s),
-                        None => Value::Str("never-completes".to_string()),
-                    },
-                ),
-                ("quorum_bound_s", Value::Float(p.quorum_hi_s)),
-            ])
-        })
-        .collect();
-    let doc = Value::object([
-        ("target", Value::Str("ablation_straggler_sweep".to_string())),
-        ("k", Value::UInt(k as u64)),
-        ("r", Value::UInt(r as u64)),
-        ("records", Value::UInt(records as u64)),
-        ("victim_rank", Value::UInt(1)),
-        ("field", Value::Str("gf256".to_string())),
-        ("healthy_quorum_makespan_s", Value::Float(healthy_s)),
-        ("results", Value::Array(entries)),
-    ]);
-    let path = std::path::Path::new(&dir).join("BENCH_ablation_straggler_sweep.json");
-    match std::fs::write(&path, doc.render()) {
-        Ok(()) => println!("results json: {}", path.display()),
-        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    let mut doc = BenchDoc::new("ablation_straggler_sweep")
+        .config("k", Value::UInt(k as u64))
+        .config("r", Value::UInt(r as u64))
+        .config("records", Value::UInt(records as u64))
+        .config("victim_rank", Value::UInt(1))
+        .config("field", Value::Str("gf256".to_string()))
+        .config("healthy_quorum_makespan_s", Value::Float(healthy_s))
+        .unit("injected_delay_s", "s")
+        .unit("quorum_makespan_s", "s")
+        .unit("all_makespan_s", "s")
+        .unit("quorum_bound_s", "s");
+    for p in points {
+        doc.row([
+            ("slowdown", Value::Str(p.label.clone())),
+            (
+                "injected_delay_s",
+                if p.delay_s.is_finite() {
+                    Value::Float(p.delay_s)
+                } else {
+                    Value::Str("inf".to_string())
+                },
+            ),
+            ("quorum_makespan_s", Value::Float(p.quorum_s)),
+            (
+                "all_makespan_s",
+                match p.all_s {
+                    Some(s) => Value::Float(s),
+                    None => Value::Str("never-completes".to_string()),
+                },
+            ),
+            ("quorum_bound_s", Value::Float(p.quorum_hi_s)),
+        ]);
     }
+    doc.write();
 }

@@ -12,6 +12,11 @@
 //! one-shot runs), and dumps `BENCH_service_throughput.json` when
 //! `CTS_BENCH_JSON_DIR` is set.
 //!
+//! Also pins the observability plane's overhead: the same load point
+//! runs with stage spans + transfer tracing on (the shipped default)
+//! and off, best-of-three each, and the bench **asserts** the
+//! instrumented run keeps ≥ 95% of the stripped run's jobs/s.
+//!
 //! Quick mode for CI: `CTS_RECORDS=1000 CTS_SERVICE_TENANTS=16`.
 //!
 //! ```sh
@@ -21,7 +26,7 @@
 use std::time::{Duration, Instant};
 
 use cts_bench::env_usize;
-use cts_bench::results::write_json;
+use cts_bench::results::BenchDoc;
 use cts_mapreduce::runtime::RuntimeConfig;
 use cts_mapreduce::stage::EngineConfig;
 use cts_terasort::driver::{run_terasort, SortJob};
@@ -87,7 +92,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for &tenants in &tenant_counts {
-        let row = drive(tenants, jobs_per_tenant, &inputs, &references);
+        let row = drive(tenants, jobs_per_tenant, &inputs, &references, true);
         println!(
             "{:>8} {:>8} {:>10.2} {:>10.1} {:>10.1} {:>8}",
             row.tenants,
@@ -99,20 +104,50 @@ fn main() {
         );
         rows.push(row);
     }
-
     println!("\nevery job digest matched its one-shot reference. ✓");
-    write_artifact(records, jobs_per_tenant, &rows);
+
+    // Overhead pin: same load point with the observability plane on vs
+    // off, best-of-three to damp scheduler noise. The instrumented
+    // service must keep >= 95% of the stripped service's throughput.
+    let probe_tenants = *tenant_counts.first().unwrap_or(&8);
+    let best = |on: bool| {
+        (0..3)
+            .map(|_| drive(probe_tenants, jobs_per_tenant, &inputs, &references, on).jobs_per_sec())
+            .fold(f64::MIN, f64::max)
+    };
+    let off_jps = best(false);
+    let on_jps = best(true);
+    let ratio = on_jps / off_jps;
+    println!(
+        "\noverhead pin at {probe_tenants} tenants: metrics+spans on {on_jps:.2} jobs/s, \
+         off {off_jps:.2} jobs/s — ratio {ratio:.3}"
+    );
+    assert!(
+        ratio >= 0.95,
+        "observability overhead too high: {on_jps:.2} vs {off_jps:.2} jobs/s ({:.1}% loss)",
+        (1.0 - ratio) * 100.0
+    );
+    println!("observability overhead within the 5% budget. ✓");
+
+    write_artifact(records, jobs_per_tenant, &rows, (on_jps, off_jps));
 }
 
 /// One load point: `tenants` concurrent clients, each submitting
-/// `jobs_per_tenant` sort jobs into a fresh service.
+/// `jobs_per_tenant` sort jobs into a fresh service. `observability`
+/// toggles the stage-span ring and transfer trace (the metric registry
+/// itself always exists; its instruments are the cheap part).
 fn drive(
     tenants: usize,
     jobs_per_tenant: usize,
     inputs: &[bytes::Bytes],
     references: &[ResultDigest],
+    observability: bool,
 ) -> Row {
-    let cfg = RuntimeConfig::new(EngineConfig::local(K, R))
+    let mut template = EngineConfig::local(K, R);
+    if !observability {
+        template.cluster = template.cluster.with_trace(false).with_spans(false);
+    }
+    let cfg = RuntimeConfig::new(template)
         .with_max_concurrent(4)
         .with_queue_capacity(2 * tenants);
     let service = SortService::bind("127.0.0.1:0", cfg).expect("service bind");
@@ -174,27 +209,31 @@ fn drive(
     }
 }
 
-fn write_artifact(records: usize, jobs_per_tenant: usize, rows: &[Row]) {
-    let entries: Vec<Value> = rows
-        .iter()
-        .map(|row| {
-            Value::object([
-                ("tenants", Value::UInt(row.tenants as u64)),
-                ("jobs", Value::UInt(row.jobs as u64)),
-                ("jobs_per_sec", Value::Float(row.jobs_per_sec())),
-                ("p50_ms", Value::Float(row.percentile(0.50))),
-                ("p99_ms", Value::Float(row.percentile(0.99))),
-                ("busy_retries", Value::UInt(row.busy_retries as u64)),
-            ])
-        })
-        .collect();
-    let doc = Value::object([
-        ("target", Value::Str("service_throughput".to_string())),
-        ("k", Value::UInt(K as u64)),
-        ("r", Value::UInt(R as u64)),
-        ("records_per_job", Value::UInt(records as u64)),
-        ("jobs_per_tenant", Value::UInt(jobs_per_tenant as u64)),
-        ("results", Value::Array(entries)),
-    ]);
-    write_json("service_throughput", &doc);
+fn write_artifact(records: usize, jobs_per_tenant: usize, rows: &[Row], overhead: (f64, f64)) {
+    let (on_jps, off_jps) = overhead;
+    let mut doc = BenchDoc::new("service_throughput")
+        .config("k", Value::UInt(K as u64))
+        .config("r", Value::UInt(R as u64))
+        .config("records_per_job", Value::UInt(records as u64))
+        .config("jobs_per_tenant", Value::UInt(jobs_per_tenant as u64))
+        .config("observability_on_jobs_per_sec", Value::Float(on_jps))
+        .config("observability_off_jobs_per_sec", Value::Float(off_jps))
+        .config(
+            "observability_overhead_ratio",
+            Value::Float(on_jps / off_jps),
+        )
+        .unit("jobs_per_sec", "jobs/s")
+        .unit("p50_ms", "ms")
+        .unit("p99_ms", "ms");
+    for row in rows {
+        doc.row([
+            ("tenants", Value::UInt(row.tenants as u64)),
+            ("jobs", Value::UInt(row.jobs as u64)),
+            ("jobs_per_sec", Value::Float(row.jobs_per_sec())),
+            ("p50_ms", Value::Float(row.percentile(0.50))),
+            ("p99_ms", Value::Float(row.percentile(0.99))),
+            ("busy_retries", Value::UInt(row.busy_retries as u64)),
+        ]);
+    }
+    doc.write();
 }

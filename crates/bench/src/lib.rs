@@ -189,13 +189,93 @@ pub mod results {
     }
 
     /// Serializes experiment rows (per-stage breakdowns + speedups) and
-    /// writes them as `BENCH_<target>.json` via [`write_json`].
+    /// writes them as `BENCH_<target>.json` via [`BenchDoc`].
     pub fn write_rows_json(target: &str, rows: &[TableRow]) -> Option<std::path::PathBuf> {
-        let doc = Value::object([
-            ("target", Value::Str(target.to_string())),
-            ("rows", rows.to_json()),
-        ]);
-        write_json(target, &doc)
+        let mut doc = BenchDoc::new(target);
+        for field in [
+            "codegen_s",
+            "map_s",
+            "pack_encode_s",
+            "shuffle_s",
+            "unpack_decode_s",
+            "reduce_s",
+            "total_s",
+        ] {
+            doc = doc.unit(field, "seconds");
+        }
+        if let Value::Array(rows) = rows.to_json() {
+            for row in rows {
+                doc.push_row_value(row);
+            }
+        }
+        doc.write()
+    }
+
+    /// The one shared `BENCH_*.json` schema every artifact uses, so
+    /// results stay comparable across PRs:
+    ///
+    /// ```json
+    /// {"target": "...", "config": {...}, "units": {...}, "rows": [...]}
+    /// ```
+    ///
+    /// `target` names the bench, `config` records the knobs the run used
+    /// (K, r, record counts, env overrides), `units` maps row fields to
+    /// their unit strings, and `rows` holds the measurements. Build with
+    /// the fluent methods and finish with [`write`](BenchDoc::write)
+    /// (gated on `CTS_BENCH_JSON_DIR` like [`write_json`]).
+    #[derive(Debug)]
+    pub struct BenchDoc {
+        target: String,
+        config: Vec<(String, Value)>,
+        units: Vec<(String, Value)>,
+        rows: Vec<Value>,
+    }
+
+    impl BenchDoc {
+        /// An empty document for bench `target`.
+        pub fn new(target: impl Into<String>) -> BenchDoc {
+            BenchDoc {
+                target: target.into(),
+                config: Vec::new(),
+                units: Vec::new(),
+                rows: Vec::new(),
+            }
+        }
+
+        /// Records one configuration knob.
+        pub fn config(mut self, key: &str, value: Value) -> Self {
+            self.config.push((key.to_string(), value));
+            self
+        }
+
+        /// Declares the unit of a row field (e.g. `("p50_ms", "ms")`).
+        pub fn unit(mut self, field: &str, unit: &str) -> Self {
+            self.units
+                .push((field.to_string(), Value::Str(unit.to_string())));
+            self
+        }
+
+        /// Appends one measurement row.
+        pub fn row(&mut self, fields: impl IntoIterator<Item = (&'static str, Value)>) {
+            self.rows.push(Value::object(fields));
+        }
+
+        /// Appends an already-built row value (for pre-serialized rows).
+        pub fn push_row_value(&mut self, row: Value) {
+            self.rows.push(row);
+        }
+
+        /// Renders the document and writes `BENCH_<target>.json` via
+        /// [`write_json`]. No-op without `CTS_BENCH_JSON_DIR`.
+        pub fn write(&self) -> Option<std::path::PathBuf> {
+            let doc = Value::Object(vec![
+                ("target".to_string(), Value::Str(self.target.clone())),
+                ("config".to_string(), Value::Object(self.config.clone())),
+                ("units".to_string(), Value::Object(self.units.clone())),
+                ("rows".to_string(), Value::Array(self.rows.clone())),
+            ]);
+            write_json(&self.target, &doc)
+        }
     }
 
     #[cfg(test)]

@@ -82,6 +82,10 @@ pub struct Budget {
     state: Mutex<BudgetState>,
     cv: Condvar,
     probe: Mutex<Option<Vec<LeaseEvent>>>,
+    /// Observability sink for cooperative lease wait times (ns), attached
+    /// by the owning runtime. `None` costs one uncontended mutex lock per
+    /// cooperative acquire.
+    wait_hist: Mutex<Option<Arc<crate::metrics::Histogram>>>,
 }
 
 impl std::fmt::Debug for Budget {
@@ -103,7 +107,14 @@ impl Budget {
             }),
             cv: Condvar::new(),
             probe: Mutex::new(None),
+            wait_hist: Mutex::new(None),
         }
+    }
+
+    /// Attaches a histogram that receives the time (ns) each cooperative
+    /// acquire spent waiting for its FIFO turn.
+    pub fn set_wait_histogram(&self, hist: Arc<crate::metrics::Histogram>) {
+        *self.wait_hist.lock().expect("budget wait hist lock") = Some(hist);
     }
 
     /// Starts recording lease grants (for fairness tests and diagnostics).
@@ -144,7 +155,8 @@ impl Budget {
     /// caller proceeds with whatever is free (possibly 0) — cooperative
     /// acquires never deadlock, they only wait politely.
     pub fn acquire_coop(&self, want: usize, patience: Duration, owner: u64) -> usize {
-        let deadline = Instant::now() + patience;
+        let start = Instant::now();
+        let deadline = start + patience;
         let mut s = self.state.lock().expect("exec budget lock");
         let ticket = s.next_ticket;
         s.next_ticket += 1;
@@ -178,6 +190,14 @@ impl Budget {
             s = guard;
         };
         drop(s);
+        if let Some(h) = self
+            .wait_hist
+            .lock()
+            .expect("budget wait hist lock")
+            .as_ref()
+        {
+            h.record(start.elapsed().as_nanos() as u64);
+        }
         self.record(owner, granted);
         granted
     }

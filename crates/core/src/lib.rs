@@ -87,6 +87,7 @@ pub mod field;
 pub mod gf256;
 pub mod groups;
 pub mod intermediate;
+pub mod metrics;
 pub mod packet;
 pub mod placement;
 pub mod pool;
@@ -106,6 +107,7 @@ pub use field::FieldKind;
 pub use gf256::Gf256Kernel;
 pub use groups::{GroupId, MulticastGroups, PodGroups};
 pub use intermediate::{IntermediateSource, MapOutputStore};
+pub use metrics::{Counter, Gauge, Histogram, MetricsHub};
 pub use packet::CodedPacket;
 pub use placement::{FileId, PlacementPlan};
 pub use pool::{BufPool, Scratch};

@@ -24,6 +24,7 @@ use cts_core::encode::{EncodeScratch, Encoder};
 use cts_core::exec::WorkerPool;
 use cts_core::groups::MulticastGroups;
 use cts_core::intermediate::MapOutputStore;
+use cts_core::metrics::Counter;
 use cts_core::packet::CodedPacket;
 use cts_core::placement::{FileId, PlacementPlan};
 use cts_core::solve::mds_parts;
@@ -214,6 +215,7 @@ pub fn run_coded_on<W: Workload>(
         outputs,
         stats,
         trace: run.trace,
+        spans: run.spans,
         wall: WallTimes::aggregate(&walls),
     })
 }
@@ -232,8 +234,12 @@ fn decode_one(
     store: &MapOutputStore,
     stats: &mut NodeStats,
     recovered: &mut Vec<(NodeSet, Vec<u8>)>,
+    progress: Option<&Counter>,
 ) -> Result<()> {
     packet.read_wire(raw)?;
+    if let Some(c) = progress {
+        c.inc();
+    }
     // Decode work: XOR `r-1` known segments against the payload plus the
     // final merge — `r × payload` touched bytes, which at scale is the sum
     // of the packet's true segment lengths.
@@ -340,12 +346,26 @@ fn node_main<W: Workload>(
     let mut stats = NodeStats::default();
     let mut wall = NodeWall::default();
     let pool = cfg.worker_pool();
+    // Live decode progress: one tick per decoded packet, readable mid-job
+    // through the daemon's metric registry (`cts stats`, `/metrics`).
+    let decode_ctr = comm
+        .metrics()
+        .map(|h| h.counter("cts_decode_packets_total"));
     // Recovery mode runs a heartbeat beacon and replaces every barrier
     // with the alive-aware dead-mask sync, so a dead rank can never
     // strand a stage transition.
     let mut ctx = if cfg.recovery == RecoveryMode::Speculative {
+        let mut board = HealthBoard::new(me, k, HealthConfig::from_heartbeat(cfg.heartbeat));
+        // Liveness transitions feed the runtime's metric registry when one
+        // is attached (resident service); standalone runs skip this.
+        if let Some(hub) = comm.metrics() {
+            board = board.with_transition_counters(
+                hub.counter("cts_heartbeat_suspect_total"),
+                hub.counter("cts_heartbeat_dead_total"),
+            );
+        }
         SyncCtx::Recover(Box::new(Recovery {
-            board: HealthBoard::new(me, k, HealthConfig::from_heartbeat(cfg.heartbeat)),
+            board,
             beat: Heartbeat::spawn(comm.transport().clone(), cfg.heartbeat),
             epoch: 0,
         }))
@@ -581,6 +601,7 @@ fn node_main<W: Workload>(
                             &store,
                             &mut stats,
                             &mut recovered,
+                            decode_ctr.as_deref(),
                         )?;
                         if recovered.len() > before {
                             done_groups.insert(gid);
@@ -659,6 +680,7 @@ fn node_main<W: Workload>(
                         &store,
                         &mut stats,
                         &mut recovered,
+                        decode_ctr.as_deref(),
                     )?;
                 } else {
                     received.push(payload);
@@ -730,6 +752,9 @@ fn node_main<W: Workload>(
             for item in segments {
                 let (work, seg) = item?;
                 stats.decode_work_bytes += work;
+                if let Some(c) = &decode_ctr {
+                    c.inc();
+                }
                 if let Some(done) = pipeline.accept_segment(seg)? {
                     recovered.push(done);
                 }
@@ -744,6 +769,7 @@ fn node_main<W: Workload>(
                 &store,
                 &mut stats,
                 &mut recovered,
+                decode_ctr.as_deref(),
             )?;
         }
     }

@@ -41,6 +41,7 @@ pub mod recover;
 pub mod runtime;
 pub mod selfjoin;
 pub mod stage;
+pub mod timeline;
 pub mod uncoded;
 pub mod verify;
 pub mod wordcount;
@@ -51,6 +52,7 @@ pub use error::{EngineError, JobReport, Result};
 pub use pods::run_coded_pods;
 pub use runtime::{JobContext, JobHandle, JobRuntime, JobStatus, RuntimeConfig};
 pub use stage::{EngineConfig, NodeWall, RecoveryMode, WallTimes};
+pub use timeline::{chrome_trace, stage_totals_ns};
 pub use uncoded::{run_uncoded, run_uncoded_on, JobOutcome};
 pub use verify::{diff_outputs, run_sequential};
 pub use workload::{InputFormat, Workload};

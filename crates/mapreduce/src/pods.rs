@@ -117,6 +117,7 @@ pub fn run_coded_pods<W: Workload>(
         outputs,
         stats,
         trace: run.trace,
+        spans: run.spans,
         wall: WallTimes::aggregate(&walls),
     })
 }

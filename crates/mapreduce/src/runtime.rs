@@ -38,6 +38,7 @@ use std::thread::JoinHandle;
 
 use bytes::Bytes;
 use cts_core::exec::Budget;
+use cts_core::metrics::{Counter, Gauge, Histogram};
 use cts_net::admission::{AdmissionQueue, SlotPool};
 use cts_net::cluster::{JobBinding, SharedFabric};
 use parking_lot::{Condvar, Mutex};
@@ -178,6 +179,71 @@ impl JobContext<'_> {
 
 type BoxedJob = Box<dyn FnOnce(&JobContext<'_>) -> Result<JobOutcome> + Send>;
 
+/// Runtime-level instruments, registered on the fabric's
+/// [`MetricsHub`](cts_core::metrics::MetricsHub) at start. The stage
+/// histograms record each finished job's slowest-node wall time per
+/// stage (the paper's Fig. 9 breakdown), in nanoseconds, rendered as
+/// seconds.
+struct RuntimeMetrics {
+    submitted: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    running: Arc<Gauge>,
+    stage_hists: Vec<(&'static str, Arc<Histogram>)>,
+}
+
+impl RuntimeMetrics {
+    fn register(hub: &cts_core::metrics::MetricsHub) -> RuntimeMetrics {
+        use crate::stage::stages;
+        let stage_hists = [
+            stages::CODEGEN,
+            stages::MAP,
+            stages::PACK_ENCODE,
+            stages::SHUFFLE,
+            stages::UNPACK_DECODE,
+            stages::REDUCE,
+        ]
+        .into_iter()
+        .map(|name| {
+            (
+                name,
+                hub.histogram_with("cts_stage_seconds", "stage", name, 1e-9),
+            )
+        })
+        .collect();
+        RuntimeMetrics {
+            submitted: hub.counter("cts_jobs_submitted_total"),
+            completed: hub.counter("cts_jobs_completed_total"),
+            failed: hub.counter("cts_jobs_failed_total"),
+            running: hub.gauge("cts_jobs_running"),
+            stage_hists,
+        }
+    }
+
+    fn record_finish(&self, outcome: &Result<JobOutcome>) {
+        match outcome {
+            Ok(o) => {
+                self.completed.inc();
+                let w = &o.wall.max;
+                for (name, hist) in &self.stage_hists {
+                    let d = match *name {
+                        crate::stage::stages::CODEGEN => w.codegen,
+                        crate::stage::stages::MAP => w.map,
+                        crate::stage::stages::PACK_ENCODE => w.pack_encode,
+                        crate::stage::stages::SHUFFLE => w.shuffle,
+                        crate::stage::stages::UNPACK_DECODE => w.unpack_decode,
+                        _ => w.reduce,
+                    };
+                    if !d.is_zero() {
+                        hist.record(d.as_nanos() as u64);
+                    }
+                }
+            }
+            Err(_) => self.failed.inc(),
+        }
+    }
+}
+
 struct Submission {
     id: u32,
     run: BoxedJob,
@@ -268,6 +334,7 @@ pub struct JobRuntime {
     queue: Arc<AdmissionQueue<Submission>>,
     shared: Arc<Shared>,
     budget: Arc<Budget>,
+    metrics: Arc<RuntimeMetrics>,
     next_id: AtomicU32,
     dispatchers: Vec<JoinHandle<()>>,
 }
@@ -302,8 +369,19 @@ impl JobRuntime {
             cfg.pool_threads
         };
         let budget = Arc::new(Budget::new(pool_threads));
+        // Observability: every runtime instrument registers on the
+        // fabric's hub, so one Prometheus render (or STATS frame) covers
+        // admission, execution, and transport in a single snapshot.
+        let hub = Arc::clone(fabric.metrics());
+        let metrics = Arc::new(RuntimeMetrics::register(&hub));
+        hub.gauge("cts_admission_queue_capacity")
+            .set(cfg.queue_capacity as i64);
+        budget.set_wait_histogram(hub.histogram_scaled("cts_worker_lease_wait_seconds", 1e-9));
         let queue: Arc<AdmissionQueue<Submission>> =
-            Arc::new(AdmissionQueue::new(cfg.queue_capacity));
+            Arc::new(AdmissionQueue::new(cfg.queue_capacity).with_metrics(
+                hub.gauge("cts_admission_queue_depth"),
+                hub.counter("cts_jobs_refused_total"),
+            ));
         let shared = Arc::new(Shared {
             jobs: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
@@ -311,7 +389,10 @@ impl JobRuntime {
         // Exclusive mode: the single dispatcher keeps slot 0, so one-shot
         // semantics (full tag space, recovery) survive residency.
         let exclusive = cfg.max_concurrent == 1;
-        let slots = Arc::new(SlotPool::new(cfg.max_concurrent.max(1) as u8));
+        let slots = Arc::new(
+            SlotPool::new(cfg.max_concurrent.max(1) as u8)
+                .with_gauge(hub.gauge("cts_slots_in_use")),
+        );
 
         let mut job_template = cfg.template.clone();
         job_template.yield_slices = cfg.yield_slices;
@@ -323,10 +404,12 @@ impl JobRuntime {
                 let queue = Arc::clone(&queue);
                 let shared = Arc::clone(&shared);
                 let slots = Arc::clone(&slots);
+                let metrics = Arc::clone(&metrics);
                 let template = job_template.clone();
                 std::thread::spawn(move || {
                     while let Some(sub) = queue.dequeue() {
                         shared.set_status(sub.id, JobStatus::Running);
+                        metrics.running.add(1);
                         let slot = if exclusive { 0 } else { slots.acquire() };
                         let ctx = JobContext {
                             fabric: &fabric,
@@ -350,6 +433,8 @@ impl JobRuntime {
                         if !exclusive {
                             slots.release(slot);
                         }
+                        metrics.running.add(-1);
+                        metrics.record_finish(&outcome);
                         shared.finish(sub.id, outcome);
                     }
                 })
@@ -361,6 +446,7 @@ impl JobRuntime {
             queue,
             shared,
             budget,
+            metrics,
             next_id: AtomicU32::new(1),
             dispatchers,
         })
@@ -398,6 +484,7 @@ impl JobRuntime {
             self.shared.jobs.lock().remove(&id);
             return Err(e.into());
         }
+        self.metrics.submitted.inc();
         Ok(JobHandle {
             id,
             shared: Arc::clone(&self.shared),
@@ -441,6 +528,20 @@ impl JobRuntime {
     /// Current admission-queue depth (jobs admitted, not yet dispatched).
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
+    }
+
+    /// Every known job with its current status, ascending by id (the
+    /// `cts stats` table's row source).
+    pub fn job_statuses(&self) -> Vec<(u32, JobStatus)> {
+        let mut rows: Vec<(u32, JobStatus)> = self
+            .shared
+            .jobs
+            .lock()
+            .iter()
+            .map(|(id, e)| (*id, e.status.clone()))
+            .collect();
+        rows.sort_unstable_by_key(|(id, _)| *id);
+        rows
     }
 
     /// The resident fabric (e.g. for all-jobs trace snapshots).

@@ -1,0 +1,122 @@
+//! Chrome trace-event export of a job's stage spans.
+//!
+//! [`chrome_trace`] turns a [`JobOutcome`]'s recorded
+//! [`SpanLog`](cts_net::span::SpanLog) into the Trace Event Format JSON
+//! that `chrome://tracing` and Perfetto load directly: one complete
+//! (`"ph": "X"`) event per rank per stage, `pid` = job id, `tid` = rank.
+//! Loading the file reproduces the paper's Fig. 9 stage breakdown for
+//! that job — each rank's Map / Encode / Shuffle / Decode / Reduce
+//! bracket laid out on a common timebase.
+//!
+//! Timestamps are microseconds (the format's unit) on the span
+//! collector's clock; durations under 1 µs round up to 1 so hairline
+//! stages stay visible.
+
+use serde::json::Value;
+
+use crate::uncoded::JobOutcome;
+
+/// Microseconds, rounding a nonzero duration up to at least 1.
+fn us(ns: u64) -> u64 {
+    if ns == 0 {
+        0
+    } else {
+        (ns / 1_000).max(1)
+    }
+}
+
+/// Renders `outcome`'s spans as Chrome trace-event JSON for `job_id`.
+///
+/// The output is a complete JSON document (`{"traceEvents": [...]}`)
+/// ready to write to disk and load into a trace viewer. Spans from other
+/// jobs that may share the log are filtered out.
+pub fn chrome_trace(outcome: &JobOutcome, job_id: u32) -> String {
+    let log = outcome.spans.for_job(job_id);
+    let events: Vec<Value> = log
+        .spans
+        .iter()
+        .map(|s| {
+            Value::object([
+                ("name", Value::Str(log.stage_name(s.stage).to_string())),
+                ("cat", Value::Str("stage".to_string())),
+                ("ph", Value::Str("X".to_string())),
+                ("ts", Value::UInt(us(s.start_ns))),
+                ("dur", Value::UInt(us(s.dur_ns()))),
+                ("pid", Value::UInt(u64::from(s.job))),
+                ("tid", Value::UInt(u64::from(s.rank))),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ])
+    .render()
+}
+
+/// Per-stage wall totals (ns) of the spans behind [`chrome_trace`], in
+/// first-appearance order — the cross-check that the exported timeline
+/// and the engine's own stage accounting agree.
+pub fn stage_totals_ns(outcome: &JobOutcome, job_id: u32) -> Vec<(String, u64)> {
+    let log = outcome.spans.for_job(job_id);
+    log.stages_in_order()
+        .iter()
+        .map(|name| ((*name).to_string(), log.stage_wall_ns(name)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage::{stages, EngineConfig};
+    use crate::uncoded::run_uncoded;
+    use crate::workload::{InputFormat, Workload};
+    use bytes::Bytes;
+
+    struct ByteSort;
+
+    impl Workload for ByteSort {
+        fn name(&self) -> &str {
+            "bytesort"
+        }
+        fn format(&self) -> InputFormat {
+            InputFormat::FixedWidth(1)
+        }
+        fn map_file(&self, file: &[u8], num_partitions: usize) -> Vec<Vec<u8>> {
+            let mut out = vec![Vec::new(); num_partitions];
+            for &b in file {
+                out[b as usize % num_partitions].push(b);
+            }
+            out
+        }
+        fn reduce(&self, _partition: usize, data: &[u8]) -> Vec<u8> {
+            let mut v = data.to_vec();
+            v.sort_unstable();
+            v
+        }
+    }
+
+    #[test]
+    fn chrome_trace_covers_every_rank_and_stage() {
+        let input = Bytes::from((0..500).map(|i| (i % 251) as u8).collect::<Vec<u8>>());
+        let outcome = run_uncoded(&ByteSort, input, &EngineConfig::local(3, 1)).unwrap();
+        let json = chrome_trace(&outcome, 0);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        // Every uncoded stage appears as an event name.
+        for stage in [
+            stages::MAP,
+            stages::PACK_ENCODE,
+            stages::SHUFFLE,
+            stages::UNPACK_DECODE,
+            stages::REDUCE,
+        ] {
+            assert!(json.contains(&format!("\"name\":\"{stage}\"")), "{stage}");
+        }
+        // Three ranks → each stage occurs three times.
+        assert_eq!(json.matches("\"name\":\"Map\"").count(), 3);
+        // Totals line up with the span log's own accounting.
+        let totals = stage_totals_ns(&outcome, 0);
+        assert_eq!(totals.len(), 5);
+        assert!(totals.iter().all(|(_, ns)| *ns > 0));
+    }
+}

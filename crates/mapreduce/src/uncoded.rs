@@ -15,6 +15,7 @@
 use bytes::Bytes;
 use cts_net::cluster::{JobBinding, SharedFabric};
 use cts_net::message::Tag;
+use cts_net::span::SpanLog;
 use cts_net::trace::Trace;
 use cts_netsim::stats::{NodeStats, RunStats};
 
@@ -31,6 +32,8 @@ pub struct JobOutcome {
     pub stats: RunStats,
     /// Recorded transfer trace.
     pub trace: Trace,
+    /// Recorded per-rank stage spans (the timeline's raw material).
+    pub spans: SpanLog,
     /// Measured wall-clock stage times (slowest node per stage).
     pub wall: WallTimes,
 }
@@ -104,6 +107,7 @@ pub fn run_uncoded_on<W: Workload>(
         outputs,
         stats,
         trace: run.trace,
+        spans: run.spans,
         wall: WallTimes::aggregate(&walls),
     })
 }

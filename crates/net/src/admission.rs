@@ -30,7 +30,9 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use cts_core::metrics::{Counter, Gauge};
 use parking_lot::{Condvar, Mutex};
 
 /// Why a submission was refused at the door.
@@ -73,6 +75,10 @@ pub struct AdmissionQueue<T> {
     capacity: usize,
     state: Mutex<QueueState<T>>,
     cv: Condvar,
+    /// Observability: live queue depth, mirrored on every enqueue/dequeue.
+    depth_gauge: Option<Arc<Gauge>>,
+    /// Observability: submissions refused because the queue was full.
+    refused: Option<Arc<Counter>>,
 }
 
 impl<T> AdmissionQueue<T> {
@@ -89,6 +95,23 @@ impl<T> AdmissionQueue<T> {
                 closed: false,
             }),
             cv: Condvar::new(),
+            depth_gauge: None,
+            refused: None,
+        }
+    }
+
+    /// Attaches a depth gauge and a refusal counter (builder-style, before
+    /// the queue is shared). The gauge tracks the live depth; the counter
+    /// increments on every [`AdmissionError::QueueFull`] refusal.
+    pub fn with_metrics(mut self, depth: Arc<Gauge>, refused: Arc<Counter>) -> Self {
+        self.depth_gauge = Some(depth);
+        self.refused = Some(refused);
+        self
+    }
+
+    fn mirror_depth(&self, depth: usize) {
+        if let Some(g) = &self.depth_gauge {
+            g.set(depth as i64);
         }
     }
 
@@ -109,11 +132,15 @@ impl<T> AdmissionQueue<T> {
             return Err(AdmissionError::Closed);
         }
         if st.items.len() >= self.capacity {
+            if let Some(c) = &self.refused {
+                c.inc();
+            }
             return Err(AdmissionError::QueueFull {
                 capacity: self.capacity,
             });
         }
         st.items.push_back(item);
+        self.mirror_depth(st.items.len());
         drop(st);
         self.cv.notify_one();
         Ok(())
@@ -125,6 +152,7 @@ impl<T> AdmissionQueue<T> {
         let mut st = self.state.lock();
         loop {
             if let Some(item) = st.items.pop_front() {
+                self.mirror_depth(st.items.len());
                 return Some(item);
             }
             if st.closed {
@@ -150,8 +178,11 @@ impl<T> AdmissionQueue<T> {
 /// dispatcher — by construction the pool is sized to the runtime's
 /// `max_concurrent`, so this only ever waits for a retiring job.
 pub struct SlotPool {
+    max: u8,
     free: Mutex<Vec<u8>>,
     cv: Condvar,
+    /// Observability: slots currently leased.
+    in_use: Option<Arc<Gauge>>,
 }
 
 impl SlotPool {
@@ -168,14 +199,33 @@ impl SlotPool {
         );
         // Reversed so pop() hands out the lowest slot first.
         SlotPool {
+            max,
             free: Mutex::new((1..=max).rev().collect()),
             cv: Condvar::new(),
+            in_use: None,
+        }
+    }
+
+    /// Attaches an occupancy gauge (builder-style, before sharing).
+    pub fn with_gauge(mut self, in_use: Arc<Gauge>) -> Self {
+        self.in_use = Some(in_use);
+        self
+    }
+
+    fn mirror(&self, free: usize) {
+        if let Some(g) = &self.in_use {
+            g.set(self.max as i64 - free as i64);
         }
     }
 
     /// Takes a free slot without blocking, if one exists.
     pub fn try_acquire(&self) -> Option<u8> {
-        self.free.lock().pop()
+        let mut free = self.free.lock();
+        let slot = free.pop();
+        if slot.is_some() {
+            self.mirror(free.len());
+        }
+        slot
     }
 
     /// Blocks until a slot frees up and takes it.
@@ -183,6 +233,7 @@ impl SlotPool {
         let mut free = self.free.lock();
         loop {
             if let Some(slot) = free.pop() {
+                self.mirror(free.len());
                 return slot;
             }
             self.cv.wait(&mut free);
@@ -194,6 +245,7 @@ impl SlotPool {
         let mut free = self.free.lock();
         debug_assert!(!free.contains(&slot), "slot {slot} double-released");
         free.push(slot);
+        self.mirror(free.len());
         drop(free);
         self.cv.notify_one();
     }
@@ -241,6 +293,30 @@ mod tests {
         q.close();
         assert_eq!(q.try_enqueue(6), Err(AdmissionError::Closed));
         assert_eq!(worker.join().unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn metrics_mirror_depth_refusals_and_occupancy() {
+        use cts_core::metrics::{Counter, Gauge};
+        let depth = Arc::new(Gauge::new());
+        let refused = Arc::new(Counter::new());
+        let q: AdmissionQueue<u32> =
+            AdmissionQueue::new(2).with_metrics(Arc::clone(&depth), Arc::clone(&refused));
+        q.try_enqueue(1).unwrap();
+        q.try_enqueue(2).unwrap();
+        assert_eq!(depth.get(), 2);
+        assert!(q.try_enqueue(3).is_err());
+        assert_eq!(refused.get(), 1);
+        q.dequeue();
+        assert_eq!(depth.get(), 1);
+
+        let in_use = Arc::new(Gauge::new());
+        let pool = SlotPool::new(3).with_gauge(Arc::clone(&in_use));
+        let a = pool.acquire();
+        let _b = pool.try_acquire().unwrap();
+        assert_eq!(in_use.get(), 2);
+        pool.release(a);
+        assert_eq!(in_use.get(), 1);
     }
 
     #[test]

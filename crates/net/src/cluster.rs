@@ -27,6 +27,7 @@
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
+use cts_core::metrics::{Histogram, MetricsHub};
 use parking_lot::Mutex;
 
 use crate::comm::{BcastAlgorithm, Communicator};
@@ -34,7 +35,8 @@ use crate::error::Result;
 use crate::fabric::ShuffleFabric;
 use crate::fault::{FaultRule, FaultyTransport};
 use crate::local::LocalFabric;
-use crate::rate::{Nic, NicProfile};
+use crate::rate::{Nic, NicMeter, NicProfile};
+use crate::span::{SpanCollector, SpanLog};
 use crate::tcp::build_tcp_fabric;
 use crate::trace::{Trace, TraceCollector};
 use crate::transport::Transport;
@@ -94,6 +96,9 @@ pub struct ClusterConfig {
     pub fabric: ShuffleFabric,
     /// Whether to record a transfer trace.
     pub trace_enabled: bool,
+    /// Whether to record per-stage wall-clock spans (the observability
+    /// plane's timing layer; a bounded ring, on by default).
+    pub spans_enabled: bool,
     /// Tuning (chunk size, NACK cadence, retransmit budgets, fault
     /// injection, stats sink) for the [`TransportKind::Udp`] fabric;
     /// ignored by the others.
@@ -113,6 +118,7 @@ impl ClusterConfig {
             bcast: BcastAlgorithm::default(),
             fabric: ShuffleFabric::default(),
             trace_enabled: true,
+            spans_enabled: true,
             udp: UdpConfig::default(),
             fault: None,
         }
@@ -195,6 +201,12 @@ impl ClusterConfig {
         self.trace_enabled = enabled;
         self
     }
+
+    /// Enables or disables stage-span recording.
+    pub fn with_spans(mut self, enabled: bool) -> Self {
+        self.spans_enabled = enabled;
+        self
+    }
 }
 
 /// The outcome of an SPMD run: one result per rank plus the transfer trace.
@@ -205,6 +217,9 @@ pub struct ClusterRun<R> {
     /// Recorded transfer trace (empty if tracing was disabled). On a
     /// [`SharedFabric`] this is already filtered to the submitting job.
     pub trace: Trace,
+    /// Recorded stage spans (empty if spans were disabled), filtered to
+    /// the submitting job.
+    pub spans: SpanLog,
 }
 
 /// A job's identity on a [`SharedFabric`]: the tag-namespace `slot`
@@ -247,6 +262,13 @@ impl JobBinding {
 pub struct SharedFabric {
     transports: Vec<Arc<dyn Transport>>,
     trace: Arc<TraceCollector>,
+    spans: Arc<SpanCollector>,
+    metrics: Arc<MetricsHub>,
+    /// Distribution of individual NIC token-bucket stalls (ns), shared by
+    /// every job's NICs.
+    nic_wait_hist: Arc<Histogram>,
+    /// Per-job NIC meters, created lazily on the job's first shaped run.
+    meters: Mutex<Vec<(u32, Arc<NicMeter>)>>,
     config: ClusterConfig,
 }
 
@@ -270,6 +292,9 @@ impl SharedFabric {
             crate::registry::MAX_WORLD
         );
         let trace = Arc::new(TraceCollector::new(config.trace_enabled));
+        let spans = Arc::new(SpanCollector::new(config.spans_enabled));
+        let metrics = Arc::new(MetricsHub::new());
+        let nic_wait_hist = metrics.histogram_scaled("cts_nic_wait_seconds", 1e-9);
         let mut transports: Vec<Arc<dyn Transport>> = match config.resolved_transport() {
             TransportKind::Local => {
                 let fabric = LocalFabric::new(k);
@@ -302,6 +327,10 @@ impl SharedFabric {
         Ok(SharedFabric {
             transports,
             trace,
+            spans,
+            metrics,
+            nic_wait_hist,
+            meters: Mutex::new(Vec::new()),
             config: config.clone(),
         })
     }
@@ -325,6 +354,64 @@ impl SharedFabric {
     /// A snapshot of the full (all-jobs) trace recorded so far.
     pub fn trace_snapshot(&self) -> Trace {
         self.trace.snapshot()
+    }
+
+    /// A snapshot of the retained (all-jobs) stage spans.
+    pub fn spans_snapshot(&self) -> SpanLog {
+        self.spans.snapshot()
+    }
+
+    /// The fabric's metric registry. Subsystems riding this fabric (the
+    /// job runtime, the sort service) register their instruments here so
+    /// one render call exposes the whole plane.
+    pub fn metrics(&self) -> &Arc<MetricsHub> {
+        &self.metrics
+    }
+
+    /// The per-job NIC meter for `job`, created on first use.
+    pub fn job_meter(&self, job: u32) -> Arc<NicMeter> {
+        let mut meters = self.meters.lock();
+        if let Some((_, m)) = meters.iter().find(|(id, _)| *id == job) {
+            return Arc::clone(m);
+        }
+        let m = Arc::new(NicMeter::new());
+        meters.push((job, Arc::clone(&m)));
+        m
+    }
+
+    /// All per-job NIC meters created so far, in creation order.
+    pub fn job_meters(&self) -> Vec<(u32, Arc<NicMeter>)> {
+        self.meters
+            .lock()
+            .iter()
+            .map(|(id, m)| (*id, Arc::clone(m)))
+            .collect()
+    }
+
+    /// Renders the fabric's full metric inventory as Prometheus text:
+    /// everything registered on the hub, plus the UDP fabric's datagram
+    /// counters when the physical multicast transport is in use.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = self.metrics.render_prometheus();
+        if self.config.resolved_transport() == TransportKind::Udp {
+            let st = &self.config.udp.stats;
+            for (name, v) in [
+                ("cts_udp_datagrams_sent_total", st.datagrams_sent()),
+                ("cts_udp_datagrams_received_total", st.datagrams_received()),
+                ("cts_udp_dropped_by_fault_total", st.dropped_by_fault()),
+                ("cts_udp_messages_completed_total", st.messages_completed()),
+                ("cts_udp_nacks_sent_total", st.nacks_sent()),
+                ("cts_udp_status_rounds_total", st.status_rounds()),
+                (
+                    "cts_udp_mcast_repair_chunks_total",
+                    st.mcast_repair_chunks(),
+                ),
+                ("cts_udp_tcp_repair_chunks_total", st.tcp_repair_chunks()),
+            ] {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+        }
+        out
     }
 
     /// Shuts down every transport, waking any blocked receiver. Irreversible.
@@ -370,10 +457,16 @@ impl SharedFabric {
         let panics: Mutex<Vec<Box<dyn std::any::Any + Send>>> = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
+            let meter = profile.map(|_| self.job_meter(binding.id));
             for rank in 0..k {
                 let transport = Arc::clone(&self.transports[rank]);
                 let trace = Arc::clone(&self.trace);
-                let nic = profile.map(|p| Arc::new(Nic::new(p)));
+                let spans = Arc::clone(&self.spans);
+                let metrics = Arc::clone(&self.metrics);
+                let nic = profile.map(|p| {
+                    let meter = Arc::clone(meter.as_ref().expect("meter exists when shaped"));
+                    Arc::new(Nic::new(p).with_meter(meter, Some(Arc::clone(&self.nic_wait_hist))))
+                });
                 let bcast = self.config.bcast;
                 let fabric = self.config.fabric;
                 let slots = &slots;
@@ -384,10 +477,13 @@ impl SharedFabric {
                 scope.spawn(move || {
                     let comm = Communicator::new(transport, trace, nic, bcast)
                         .with_fabric(fabric)
-                        .with_job(binding.slot, binding.id);
+                        .with_job(binding.slot, binding.id)
+                        .with_spans(spans)
+                        .with_metrics(metrics);
                     let input = slots[rank].lock().take().expect("input taken once");
                     match catch_unwind(AssertUnwindSafe(|| f(&comm, input))) {
                         Ok(r) => {
+                            comm.finish_spans();
                             *results[rank].lock() = Some(r);
                         }
                         Err(payload) => {
@@ -413,6 +509,7 @@ impl SharedFabric {
         Ok(ClusterRun {
             results,
             trace: self.trace.snapshot().for_job(binding.id),
+            spans: self.spans.snapshot().for_job(binding.id),
         })
     }
 }
@@ -618,6 +715,80 @@ mod tests {
         // The fabric-wide trace saw both.
         let all = fabric.trace_snapshot();
         assert_eq!(all.jobs(), vec![0xA1, 0xB2]);
+    }
+
+    #[test]
+    fn stage_spans_bracket_each_job_per_rank() {
+        let fabric = SharedFabric::build(&ClusterConfig::local(3)).unwrap();
+        let run = fabric
+            .run_job(
+                JobBinding { slot: 1, id: 42 },
+                None,
+                vec![(); 3],
+                |comm: &Communicator, ()| {
+                    comm.set_stage("Map");
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    comm.set_stage("Shuffle");
+                    comm.barrier().unwrap();
+                },
+            )
+            .unwrap();
+        // Two stages × three ranks, all stamped with the job id.
+        assert_eq!(run.spans.spans.len(), 6);
+        assert!(run.spans.spans.iter().all(|s| s.job == 42));
+        assert_eq!(run.spans.stages_in_order(), vec!["Map", "Shuffle"]);
+        assert_eq!(run.spans.stage_durations_ns("Map").len(), 3);
+        // The Map stage really took its sleep on every rank.
+        assert!(run
+            .spans
+            .stage_durations_ns("Map")
+            .iter()
+            .all(|&d| d >= 2_000_000));
+        // The final stage was closed by the harness, not left dangling.
+        assert!(run.spans.stage_durations_ns("Shuffle").len() == 3);
+        // Spans disabled → nothing recorded, and set_stage stays legal.
+        let quiet = SharedFabric::build(&ClusterConfig::local(2).with_spans(false)).unwrap();
+        let run = quiet
+            .run_job(JobBinding::ROOT, None, vec![(); 2], |comm, ()| {
+                comm.set_stage("Map");
+            })
+            .unwrap();
+        assert!(run.spans.spans.is_empty());
+    }
+
+    #[test]
+    fn job_meters_attribute_nic_waits_per_tenant() {
+        // Job A is rate-limited hard, job B runs unshaped: only A's meter
+        // may record token-bucket stalls.
+        let fabric = SharedFabric::build(&ClusterConfig::local(2)).unwrap();
+        let slow = NicProfile::rate_limited(1_000_000.0);
+        fabric
+            .run_job(
+                JobBinding { slot: 1, id: 1 },
+                Some(slow),
+                vec![(); 2],
+                |comm: &Communicator, ()| {
+                    if comm.rank() == 0 {
+                        comm.send(1, Tag::app(0), Bytes::from(vec![0u8; 300_000]))
+                            .unwrap();
+                        comm.send(1, Tag::app(0), Bytes::from(vec![0u8; 1]))
+                            .unwrap();
+                    } else {
+                        comm.recv(0, Tag::app(0)).unwrap();
+                        comm.recv(0, Tag::app(0)).unwrap();
+                    }
+                },
+            )
+            .unwrap();
+        let meters = fabric.job_meters();
+        assert_eq!(meters.len(), 1, "unshaped jobs create no meter");
+        let (id, meter) = &meters[0];
+        assert_eq!(*id, 1);
+        assert!(meter.waits.get() >= 1);
+        assert!(meter.wait_ns.get() > 0);
+        // The fabric-wide histogram saw the same stalls.
+        let text = fabric.render_prometheus();
+        assert!(text.contains("cts_nic_wait_seconds_count"));
     }
 
     #[test]

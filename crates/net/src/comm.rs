@@ -35,16 +35,19 @@
 //! assert_eq!(run.trace.stage_wire_sends("Shuffle"), 1);
 //! ```
 
-use std::sync::atomic::{AtomicU16, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 
+use cts_core::metrics::MetricsHub;
+
 use crate::error::{NetError, Result};
 use crate::fabric::ShuffleFabric;
 use crate::message::Tag;
 use crate::rate::Nic;
+use crate::span::SpanCollector;
 use crate::trace::{EventKind, TraceCollector};
 use crate::transport::Transport;
 
@@ -81,6 +84,17 @@ pub struct Communicator {
     job_slot: u8,
     /// Job id stamped on every trace event.
     job_id: u32,
+    /// Stage-span sink, attached by the shared fabric. Each `set_stage`
+    /// closes the rank's open span and opens the next.
+    spans: Option<Arc<SpanCollector>>,
+    /// The open span's interned stage (`u16::MAX` = none open).
+    span_stage: AtomicU16,
+    /// The open span's start, ns on the collector's clock.
+    span_start: AtomicU64,
+    /// The owning runtime's metric registry, attached by the shared
+    /// fabric so engines can register job-level instruments (heartbeat
+    /// transitions, decode progress) without new plumbing.
+    metrics: Option<Arc<MetricsHub>>,
 }
 
 impl Communicator {
@@ -106,7 +120,32 @@ impl Communicator {
             bcast_epoch: AtomicU32::new(0),
             job_slot: 0,
             job_id: 0,
+            spans: None,
+            span_stage: AtomicU16::new(u16::MAX),
+            span_start: AtomicU64::new(0),
+            metrics: None,
         }
+    }
+
+    /// Attaches a stage-span collector: from now on every
+    /// [`set_stage`](Self::set_stage) brackets wall-clock time per stage
+    /// (closed by the next `set_stage` or [`finish_spans`](Self::finish_spans)).
+    pub fn with_spans(mut self, spans: Arc<SpanCollector>) -> Self {
+        self.spans = Some(spans);
+        self
+    }
+
+    /// Attaches the runtime's metric registry (builder-style).
+    pub fn with_metrics(mut self, metrics: Arc<MetricsHub>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The runtime's metric registry, when this communicator belongs to a
+    /// metrics-bearing fabric. Engines use this to register job-level
+    /// instruments lazily; standalone communicators return `None`.
+    pub fn metrics(&self) -> Option<&Arc<MetricsHub>> {
+        self.metrics.as_ref()
     }
 
     /// Selects how [`multicast`](Self::multicast) realizes group sends.
@@ -173,8 +212,46 @@ impl Communicator {
     }
 
     /// Labels subsequent traffic with a stage name ("Map", "Shuffle", …).
+    ///
+    /// When a span collector is attached this also closes the rank's open
+    /// stage span and opens one for `name` — the engines' existing stage
+    /// annotations double as the timing brackets behind `cts stats` and
+    /// `--timeline`, with no extra calls in the engine.
     pub fn set_stage(&self, name: &str) {
         self.stage.store(self.trace.intern(name), Ordering::Relaxed);
+        if let Some(spans) = &self.spans {
+            if spans.enabled() {
+                let now = spans.now_ns();
+                self.close_open_span(spans, now);
+                self.span_stage.store(spans.intern(name), Ordering::Relaxed);
+                self.span_start.store(now, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Closes the open stage span, if any (idempotent). The shared fabric
+    /// calls this when the rank's job closure returns, so the final stage
+    /// is bracketed too.
+    pub fn finish_spans(&self) {
+        if let Some(spans) = &self.spans {
+            if spans.enabled() {
+                let now = spans.now_ns();
+                self.close_open_span(spans, now);
+            }
+        }
+    }
+
+    fn close_open_span(&self, spans: &Arc<SpanCollector>, now: u64) {
+        let stage = self.span_stage.swap(u16::MAX, Ordering::Relaxed);
+        if stage != u16::MAX {
+            spans.record(crate::span::StageSpan {
+                job: self.job_id,
+                rank: self.transport.rank() as u16,
+                stage,
+                start_ns: self.span_start.load(Ordering::Relaxed),
+                end_ns: now,
+            });
+        }
     }
 
     /// The underlying transport (for tests and wrappers).

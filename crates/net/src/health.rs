@@ -36,6 +36,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use cts_core::metrics::Counter;
 
 use crate::message::Tag;
 use crate::transport::Transport;
@@ -155,6 +156,9 @@ pub struct HealthBoard {
     cfg: HealthConfig,
     last_seen: Vec<Instant>,
     state: Vec<Liveness>,
+    /// Observability: counts of `→ Suspect` and `→ Dead` transitions this
+    /// board performs, shared with the fabric's metrics hub when attached.
+    transitions: Option<(Arc<Counter>, Arc<Counter>)>,
 }
 
 impl HealthBoard {
@@ -167,6 +171,25 @@ impl HealthBoard {
             cfg,
             last_seen: vec![Instant::now(); k],
             state: vec![Liveness::Alive; k],
+            transitions: None,
+        }
+    }
+
+    /// Attaches transition counters: `suspect` increments on every
+    /// `→ Suspect` edge, `dead` on every `→ Dead` declaration (including
+    /// merged masks).
+    pub fn with_transition_counters(mut self, suspect: Arc<Counter>, dead: Arc<Counter>) -> Self {
+        self.transitions = Some((suspect, dead));
+        self
+    }
+
+    fn note_transition(&self, to: Liveness) {
+        if let Some((suspect, dead)) = &self.transitions {
+            match to {
+                Liveness::Suspect => suspect.inc(),
+                Liveness::Dead => dead.inc(),
+                Liveness::Alive => {}
+            }
         }
     }
 
@@ -192,9 +215,13 @@ impl HealthBoard {
             }
             let silence = now.duration_since(self.last_seen[peer]);
             if silence >= self.cfg.death_deadline() {
+                self.note_transition(Liveness::Dead);
                 self.state[peer] = Liveness::Dead;
                 transport.mark_peer_dead(peer);
             } else if silence >= self.cfg.suspect_after {
+                if self.state[peer] != Liveness::Suspect {
+                    self.note_transition(Liveness::Suspect);
+                }
                 self.state[peer] = Liveness::Suspect;
             }
         }
@@ -204,6 +231,7 @@ impl HealthBoard {
     /// dead-mask rather than own observation).
     pub fn declare_dead(&mut self, peer: usize, transport: &dyn Transport) {
         if peer < self.k && peer != self.me && self.state[peer] != Liveness::Dead {
+            self.note_transition(Liveness::Dead);
             self.state[peer] = Liveness::Dead;
             transport.mark_peer_dead(peer);
         }
@@ -341,6 +369,26 @@ mod tests {
             .unwrap();
         board.tick(&rx);
         assert_eq!(board.liveness(1), Liveness::Alive);
+    }
+
+    #[test]
+    fn transition_counters_count_each_edge_once() {
+        let fabric = LocalFabric::new(3);
+        let rx = fabric.endpoint(0);
+        let suspect = Arc::new(Counter::new());
+        let dead = Arc::new(Counter::new());
+        let cfg = fast();
+        let mut board = HealthBoard::new(0, 3, cfg)
+            .with_transition_counters(Arc::clone(&suspect), Arc::clone(&dead));
+        std::thread::sleep(cfg.suspect_after + Duration::from_millis(10));
+        board.tick(&rx);
+        board.tick(&rx); // still suspect: no second count
+        assert_eq!(suspect.get(), 2, "both silent peers turn suspect once");
+        assert_eq!(dead.get(), 0);
+        board.declare_dead(1, &rx);
+        board.declare_dead(1, &rx); // idempotent
+        board.merge_dead_mask(0b110, &rx);
+        assert_eq!(dead.get(), 2, "each peer's death counted once");
     }
 
     #[test]

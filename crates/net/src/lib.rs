@@ -29,6 +29,9 @@
 //! * [`trace`] — transfer tracing: every unicast and multicast with stage
 //!   labels, byte counts, and per-fabric egress frame counts, consumed by
 //!   `cts-netsim`'s calibrated network model;
+//! * [`span`] — stage spans: wall-clock brackets per job and rank driven
+//!   by the engines' `set_stage` annotations, recorded into a bounded
+//!   ring for live daemon introspection (`cts stats`, `--timeline`);
 //! * [`cluster`] — SPMD runners ([`run_spmd`]) spawning
 //!   one thread per rank over either fabric, with panic-safe teardown,
 //!   plus the resident [`SharedFabric`] that runs many concurrent
@@ -77,6 +80,7 @@ pub mod message;
 pub mod nio;
 pub mod rate;
 pub mod registry;
+pub mod span;
 pub mod tcp;
 pub mod trace;
 pub mod transport;
@@ -92,8 +96,9 @@ pub use error::{NetError, Result};
 pub use fabric::ShuffleFabric;
 pub use health::{HealthBoard, HealthConfig, Heartbeat, Liveness};
 pub use message::{Message, Tag};
-pub use rate::{Nic, NicProfile};
+pub use rate::{Nic, NicMeter, NicProfile};
 pub use registry::{MembershipView, RankRegistry};
+pub use span::{SpanCollector, SpanLog, StageSpan};
 pub use trace::{EventKind, Trace, TraceCollector, TraceEvent};
 pub use transport::Transport;
 pub use udp::{build_udp_fabric, UdpConfig, UdpEndpoint, UdpFabricStats};

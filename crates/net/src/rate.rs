@@ -26,8 +26,10 @@
 //! assert!(profile.multicast_penalty(4) > 1.0);
 //! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cts_core::metrics::{Counter, Histogram};
 use parking_lot::Mutex;
 
 struct BucketState {
@@ -77,7 +79,11 @@ impl TokenBucket {
     /// them. Requests larger than the burst size are admitted by letting the
     /// token count go negative (debt), which delays subsequent senders —
     /// this keeps long-run throughput exact for arbitrarily large messages.
-    pub fn acquire(&self, n: u64) {
+    ///
+    /// Returns how long the caller was stalled (`Duration::ZERO` when the
+    /// burst absorbed the request) — the raw signal behind the
+    /// per-job NIC-wait metrics.
+    pub fn acquire(&self, n: u64) -> Duration {
         let needed = n as f64;
         let wait = {
             let mut st = self.state.lock();
@@ -92,9 +98,32 @@ impl TokenBucket {
                 Some(Duration::from_secs_f64(-st.tokens / self.rate))
             }
         };
-        if let Some(d) = wait {
-            std::thread::sleep(d);
+        match wait {
+            Some(d) => {
+                std::thread::sleep(d);
+                d
+            }
+            None => Duration::ZERO,
         }
+    }
+}
+
+/// Per-NIC observability sink: totals of token-bucket stalls, owned by
+/// whoever built the NIC (the shared fabric keeps one per job so `cts
+/// stats` can attribute egress backpressure to tenants). Plain atomics —
+/// recording allocates nothing.
+#[derive(Debug, Default)]
+pub struct NicMeter {
+    /// Nanoseconds spent stalled in the token bucket.
+    pub wait_ns: Counter,
+    /// Number of sends that stalled (zero-wait sends are not counted).
+    pub waits: Counter,
+}
+
+impl NicMeter {
+    /// A zeroed meter.
+    pub fn new() -> NicMeter {
+        NicMeter::default()
     }
 }
 
@@ -178,6 +207,8 @@ impl NicProfile {
 pub struct Nic {
     profile: NicProfile,
     bucket: Option<TokenBucket>,
+    meter: Option<Arc<NicMeter>>,
+    wait_hist: Option<Arc<Histogram>>,
 }
 
 impl Nic {
@@ -188,6 +219,35 @@ impl Nic {
                 .rate_bytes_per_sec
                 .map(|rate| TokenBucket::new(rate, profile.burst_bytes)),
             profile,
+            meter: None,
+            wait_hist: None,
+        }
+    }
+
+    /// Attaches a per-job wait meter (totals) and an optional shared
+    /// histogram (distribution of individual stall durations, ns).
+    pub fn with_meter(mut self, meter: Arc<NicMeter>, hist: Option<Arc<Histogram>>) -> Self {
+        self.meter = Some(meter);
+        self.wait_hist = hist;
+        self
+    }
+
+    /// The attached meter, if any.
+    pub fn meter(&self) -> Option<&Arc<NicMeter>> {
+        self.meter.as_ref()
+    }
+
+    fn note_wait(&self, waited: Duration) {
+        if waited.is_zero() {
+            return;
+        }
+        let ns = waited.as_nanos() as u64;
+        if let Some(m) = &self.meter {
+            m.wait_ns.add(ns);
+            m.waits.inc();
+        }
+        if let Some(h) = &self.wait_hist {
+            h.record(ns);
         }
     }
 
@@ -209,7 +269,7 @@ impl Nic {
     /// Pushes `bytes` through the shaped egress (blocking as needed).
     pub fn charge(&self, bytes: u64) {
         if let Some(bucket) = &self.bucket {
-            bucket.acquire(bytes);
+            self.note_wait(bucket.acquire(bytes));
         }
     }
 
@@ -217,7 +277,7 @@ impl Nic {
     /// penalty path (`factor = multicast_penalty(fanout)`).
     pub fn charge_scaled(&self, bytes: u64, factor: f64) {
         if let Some(bucket) = &self.bucket {
-            bucket.acquire((bytes as f64 * factor).round() as u64);
+            self.note_wait(bucket.acquire((bytes as f64 * factor).round() as u64));
         }
     }
 }
@@ -345,6 +405,29 @@ mod tests {
         assert_eq!(p.multicast_penalty(1), 1.0);
         assert!((p.multicast_penalty(4) - 2.0).abs() < 1e-12);
         assert_eq!(NicProfile::unlimited().multicast_penalty(8), 1.0);
+    }
+
+    #[test]
+    fn meter_counts_stalls_and_reports_wait_time() {
+        // 1 MB/s, 1 KB burst: the second 100 KB charge must stall ~100 ms.
+        let meter = Arc::new(NicMeter::new());
+        let hist = Arc::new(Histogram::new());
+        let nic = Nic::new(NicProfile::rate_limited(1_000_000.0))
+            .with_meter(Arc::clone(&meter), Some(Arc::clone(&hist)));
+        nic.charge(100_000);
+        nic.charge(100_000);
+        assert!(meter.waits.get() >= 1, "stall not counted");
+        assert!(
+            meter.wait_ns.get() >= 50_000_000,
+            "wait_ns {} too small",
+            meter.wait_ns.get()
+        );
+        assert_eq!(hist.count(), meter.waits.get());
+        // An unshaped NIC never stalls, metered or not.
+        let free_meter = Arc::new(NicMeter::new());
+        let free = Nic::new(NicProfile::unlimited()).with_meter(Arc::clone(&free_meter), None);
+        free.charge(10_000_000);
+        assert_eq!(free_meter.waits.get(), 0);
     }
 
     #[test]

@@ -208,7 +208,15 @@ impl TraceCollector {
     }
 
     /// Interns a stage name, returning its index.
+    ///
+    /// Disabled collectors return 0 without touching the lock or
+    /// allocating — stage labels are meaningless when nothing records, and
+    /// the engine calls this once per stage per rank on the hot path
+    /// (`tests/alloc_free.rs` pins the disabled path at zero allocations).
     pub fn intern(&self, name: &str) -> u16 {
+        if !self.enabled {
+            return 0;
+        }
         let mut inner = self.inner.lock();
         if let Some(&idx) = inner.stage_index.get(name) {
             return idx;
@@ -346,6 +354,15 @@ mod tests {
         let s = c.intern("Map");
         c.record(s, 0, 1, 10, EventKind::AppUnicast);
         assert!(c.snapshot().events.is_empty());
+    }
+
+    #[test]
+    fn disabled_intern_returns_zero_without_interning() {
+        let c = TraceCollector::new(false);
+        assert_eq!(c.intern("Map"), 0);
+        assert_eq!(c.intern("Shuffle"), 0);
+        // No stage table was built behind the scenes.
+        assert!(c.snapshot().stages.is_empty());
     }
 
     #[test]

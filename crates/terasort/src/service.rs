@@ -18,6 +18,8 @@
 //! | `0x03` DIGEST | `job_id u32 LE` (blocks until done) | `parts u32`, per part `len u64 + fnv1a u64`, `total fnv1a u64` |
 //! | `0x04` FETCH  | `job_id u32 LE` (blocks until done) | `parts u32`, per part `len u64 + bytes` |
 //! | `0x05` SHUTDOWN | — | — |
+//! | `0x06` STATS | — | UTF-8 live-stats table (see [`ServiceClient::stats`]) |
+//! | `0x07` TIMELINE | `job_id u32 LE` (blocks until done) | Chrome trace-event JSON |
 //!
 //! `kind` is 0 = sort (TeraGen records, range partitioner), 1 =
 //! wordcount, 2 = grep (`pattern` required). `r ≤ 1` runs the uncoded
@@ -25,6 +27,18 @@
 //! with a status byte: `0x00` OK (payload follows), `0xFF` error (UTF-8
 //! message follows). A connection may issue any number of requests;
 //! closing it does not cancel submitted jobs.
+//!
+//! ## Introspection
+//!
+//! Besides the binary STATS frame, [`SortService::serve_metrics`] binds a
+//! second listener that answers any connection with a Prometheus
+//! text-format dump of the runtime's
+//! [`MetricsHub`](cts_core::metrics::MetricsHub) (a minimal hard-coded
+//! HTTP/1.1 200 — `curl http://addr/metrics` works, no HTTP stack
+//! involved). And [`SortService::run_until`] gives the daemon a graceful
+//! drain: when the caller's stop flag rises (e.g. from SIGINT/SIGTERM),
+//! the service stops accepting connections and admitting jobs, finishes
+//! everything in flight, and returns cleanly.
 
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -48,6 +62,8 @@ const OP_STATUS: u8 = 0x02;
 const OP_DIGEST: u8 = 0x03;
 const OP_FETCH: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
+const OP_TIMELINE: u8 = 0x07;
 
 const RESP_OK: u8 = 0x00;
 const RESP_ERR: u8 = 0xFF;
@@ -114,6 +130,25 @@ impl ResultDigest {
     }
 }
 
+/// The engine stages STATS summarizes, in pipeline order.
+const STAGE_NAMES: [&str; 6] = [
+    cts_mapreduce::stage::stages::CODEGEN,
+    cts_mapreduce::stage::stages::MAP,
+    cts_mapreduce::stage::stages::PACK_ENCODE,
+    cts_mapreduce::stage::stages::SHUFFLE,
+    cts_mapreduce::stage::stages::UNPACK_DECODE,
+    cts_mapreduce::stage::stages::REDUCE,
+];
+
+/// Nearest-rank percentile of an ascending-sorted sample (`0` if empty).
+fn pct(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
 // ---- framing ------------------------------------------------------------
 
 fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
@@ -124,13 +159,54 @@ fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
     stream.flush()
 }
 
-/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+/// Fills `buf` completely, tolerating read timeouts. Returns `Ok(false)`
+/// — without consuming anything — on clean EOF before the first byte, or
+/// when `stop` rises while still at the boundary (no byte read yet). Once
+/// any byte has arrived the frame is committed: timeouts keep retrying
+/// so a drain never truncates a frame mid-flight.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: Option<&AtomicBool>,
+) -> std::io::Result<bool> {
+    use std::io::ErrorKind;
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "EOF mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if filled == 0 {
+                    if let Some(s) = stop {
+                        if s.load(Ordering::SeqCst) {
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary, or when
+/// `stop` rises at one (requires a read timeout on `stream` to be
+/// observed — in-flight frames always complete first).
+fn read_frame(
+    stream: &mut TcpStream,
+    stop: Option<&AtomicBool>,
+) -> std::io::Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
-    match stream.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    if !read_full(stream, &mut len_buf, stop)? {
+        return Ok(None);
     }
     let len = u32::from_le_bytes(len_buf);
     if len > MAX_FRAME {
@@ -140,7 +216,12 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
         ));
     }
     let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
+    if !read_full(stream, &mut payload, None)? {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "EOF mid-frame",
+        ));
+    }
     Ok(Some(payload))
 }
 
@@ -152,27 +233,37 @@ fn take<const N: usize>(buf: &[u8], at: usize) -> Result<[u8; N], String> {
 
 // ---- server -------------------------------------------------------------
 
-/// A finished job's partitions (or its failure message), shared across
-/// however many clients ask for it.
-type CachedOutputs = Result<Arc<Vec<Vec<u8>>>, String>;
+/// A finished job's cached artifacts: its partitions and the rendered
+/// Chrome-trace timeline, shared across however many clients ask.
+#[derive(Clone)]
+struct JobRecord {
+    outputs: Arc<Vec<Vec<u8>>>,
+    timeline: Arc<String>,
+}
+
+type CachedRecord = Result<JobRecord, String>;
 
 struct Inner {
     runtime: JobRuntime,
     // Outcomes move from the runtime into this cache on first wait, so
-    // STATUS/DIGEST/FETCH can be asked any number of times by any client.
-    results: parking_lot::Mutex<HashMap<u32, CachedOutputs>>,
+    // STATUS/DIGEST/FETCH/TIMELINE can be asked any number of times by
+    // any client.
+    results: parking_lot::Mutex<HashMap<u32, CachedRecord>>,
     stop: AtomicBool,
 }
 
 impl Inner {
-    fn outputs_of(&self, id: u32) -> CachedOutputs {
+    fn record_of(&self, id: u32) -> CachedRecord {
         if let Some(cached) = self.results.lock().get(&id) {
             return cached.clone();
         }
         let outcome = self
             .runtime
             .wait(id)
-            .map(|o| Arc::new(o.outputs))
+            .map(|o| JobRecord {
+                timeline: Arc::new(cts_mapreduce::timeline::chrome_trace(&o, id)),
+                outputs: Arc::new(o.outputs),
+            })
             .map_err(|e| e.to_string());
         // Two clients can race into wait(); only one takes the outcome.
         // The holder of the real result (or real failure) wins the cache;
@@ -185,6 +276,104 @@ impl Inner {
         } else {
             results.entry(id).or_insert(outcome).clone()
         }
+    }
+
+    fn outputs_of(&self, id: u32) -> Result<Arc<Vec<Vec<u8>>>, String> {
+        self.record_of(id).map(|r| r.outputs)
+    }
+
+    /// The live-stats table STATS answers with: job lifecycle counts,
+    /// admission/slot gauges, the cross-job stage-latency summary from
+    /// the metric registry, and a per-job stage/NIC breakdown from the
+    /// span ring.
+    fn render_stats(&self) -> String {
+        use std::fmt::Write as _;
+        let hub = self.runtime.fabric().metrics();
+        let statuses = self.runtime.job_statuses();
+        let (mut queued, mut running, mut done, mut failed) = (0u32, 0u32, 0u32, 0u32);
+        for (_, st) in &statuses {
+            match st {
+                JobStatus::Queued => queued += 1,
+                JobStatus::Running => running += 1,
+                JobStatus::Done => done += 1,
+                JobStatus::Failed(_) => failed += 1,
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "jobs: {} known — {queued} queued, {running} running, {done} done, {failed} failed",
+            statuses.len()
+        );
+        let _ = writeln!(
+            out,
+            "admission: queue {}/{}  refused {}  slots in use {}",
+            self.runtime.queue_depth(),
+            hub.gauge("cts_admission_queue_capacity").get(),
+            hub.counter("cts_jobs_refused_total").get(),
+            hub.gauge("cts_slots_in_use").get(),
+        );
+
+        let _ = writeln!(out);
+        let _ = writeln!(out, "stage latency across finished jobs (ms):");
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>6} {:>10} {:>10} {:>10}",
+            "stage", "count", "p50", "p99", "max"
+        );
+        for stage in STAGE_NAMES {
+            let h = hub.histogram_with("cts_stage_seconds", "stage", stage, 1e-9);
+            if h.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>6} {:>10.2} {:>10.2} {:>10.2}",
+                stage,
+                h.count(),
+                h.p50().unwrap_or(0) as f64 / 1e6,
+                h.p99().unwrap_or(0) as f64 / 1e6,
+                h.max() as f64 / 1e6,
+            );
+        }
+
+        let spans = self.runtime.fabric().spans_snapshot();
+        let meters: HashMap<u32, _> = self.runtime.fabric().job_meters().into_iter().collect();
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "per-job stage walls (ms; slowest rank) and NIC stalls:"
+        );
+        for (id, st) in &statuses {
+            let state = match st {
+                JobStatus::Queued => "queued",
+                JobStatus::Running => "running",
+                JobStatus::Done => "done",
+                JobStatus::Failed(_) => "failed",
+            };
+            let _ = write!(out, "  job {id:<5} {state:<8}");
+            let log = spans.for_job(*id);
+            for stage in log.stages_in_order() {
+                let mut durs = log.stage_durations_ns(stage);
+                durs.sort_unstable();
+                let _ = write!(
+                    out,
+                    " {stage}={:.2}/p99 {:.2}",
+                    pct(&durs, 0.50) as f64 / 1e6,
+                    pct(&durs, 0.99) as f64 / 1e6,
+                );
+            }
+            if let Some(m) = meters.get(id) {
+                let _ = write!(
+                    out,
+                    "  nic_waits={} stall_ms={:.2}",
+                    m.waits.get(),
+                    m.wait_ns.get() as f64 / 1e6
+                );
+            }
+            let _ = writeln!(out);
+        }
+        out
     }
 
     fn submit(&self, kind: JobKind, r: usize, input: Bytes) -> Result<u32, String> {
@@ -288,6 +477,12 @@ impl Inner {
                 }
                 Ok(out)
             }
+            OP_STATS => Ok(self.render_stats().into_bytes()),
+            OP_TIMELINE => {
+                let id = u32::from_le_bytes(take::<4>(req, 1)?);
+                let record = self.record_of(id)?;
+                Ok(record.timeline.as_bytes().to_vec())
+            }
             OP_SHUTDOWN => {
                 self.stop.store(true, Ordering::SeqCst);
                 Ok(Vec::new())
@@ -302,6 +497,7 @@ impl Inner {
 pub struct SortService {
     listener: TcpListener,
     inner: Arc<Inner>,
+    metrics_threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl SortService {
@@ -318,7 +514,49 @@ impl SortService {
                 results: parking_lot::Mutex::new(HashMap::new()),
                 stop: AtomicBool::new(false),
             }),
+            metrics_threads: Vec::new(),
         })
+    }
+
+    /// Binds a Prometheus text-format endpoint on `addr` (port 0 works;
+    /// the bound address is returned). Any connection — e.g.
+    /// `curl http://addr/metrics` — receives one minimal HTTP/1.1 200
+    /// with the runtime's full metric dump and is closed. The listener
+    /// thread exits with the service.
+    pub fn serve_metrics(
+        &mut self,
+        addr: impl ToSocketAddrs,
+    ) -> Result<std::net::SocketAddr, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("metrics bind: {e}"))?;
+        let bound = listener.local_addr().map_err(|e| e.to_string())?;
+        listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+        let inner = Arc::clone(&self.inner);
+        self.metrics_threads.push(std::thread::spawn(move || {
+            while !inner.stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((mut stream, _peer)) => {
+                        // Drain whatever request line arrived (best
+                        // effort), then answer with the dump and close.
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+                        let mut scratch = [0u8; 1024];
+                        let _ = stream.read(&mut scratch);
+                        let body = inner.runtime.fabric().render_prometheus();
+                        let resp = format!(
+                            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+                            body.len(),
+                            body
+                        );
+                        let _ = stream.write_all(resp.as_bytes());
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        }));
+        Ok(bound)
     }
 
     /// The bound address (the actual port when bound with port 0).
@@ -329,11 +567,20 @@ impl SortService {
     /// Serves until a client sends SHUTDOWN. Each connection gets its own
     /// handler thread; in-flight requests finish before return.
     pub fn run(self) -> Result<(), String> {
+        self.run_until(&AtomicBool::new(false))
+    }
+
+    /// Serves until a client sends SHUTDOWN **or** `stop` rises (the
+    /// graceful-drain path `cts serve` wires to SIGINT/SIGTERM): new
+    /// connections stop being accepted, connected clients are cut loose
+    /// at their next frame boundary, queued and running jobs finish
+    /// inside the runtime, and the call returns `Ok`.
+    pub fn run_until(mut self, stop: &AtomicBool) -> Result<(), String> {
         self.listener
             .set_nonblocking(true)
             .map_err(|e| e.to_string())?;
         let mut handlers = Vec::new();
-        while !self.inner.stop.load(Ordering::SeqCst) {
+        while !self.inner.stop.load(Ordering::SeqCst) && !stop.load(Ordering::SeqCst) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     stream.set_nonblocking(false).map_err(|e| e.to_string())?;
@@ -346,7 +593,15 @@ impl SortService {
                 Err(e) => return Err(format!("accept: {e}")),
             }
         }
+        // Propagate the drain to connection handlers (their stop-aware
+        // frame reads observe it at the next boundary) and the metrics
+        // listener, then wait for everyone. The runtime itself drains on
+        // drop: admission closes, dispatchers finish queued jobs, join.
+        self.inner.stop.store(true, Ordering::SeqCst);
         for h in handlers {
+            let _ = h.join();
+        }
+        for h in self.metrics_threads.drain(..) {
             let _ = h.join();
         }
         Ok(())
@@ -354,8 +609,16 @@ impl SortService {
 }
 
 fn serve_connection(mut stream: TcpStream, inner: &Inner) {
+    // The read timeout makes the boundary-only stop check in `read_full`
+    // fire; committed frames still complete.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
     loop {
-        let req = match read_frame(&mut stream) {
+        let req = match read_frame(&mut stream, Some(&inner.stop)) {
             Ok(Some(req)) => req,
             Ok(None) | Err(_) => return,
         };
@@ -409,7 +672,7 @@ impl ServiceClient {
 
     fn roundtrip(&mut self, req: &[u8]) -> Result<Vec<u8>, String> {
         write_frame(&mut self.stream, req).map_err(|e| format!("send: {e}"))?;
-        let resp = read_frame(&mut self.stream)
+        let resp = read_frame(&mut self.stream, None)
             .map_err(|e| format!("recv: {e}"))?
             .ok_or("service closed the connection")?;
         match resp.split_first() {
@@ -495,6 +758,24 @@ impl ServiceClient {
             at += len;
         }
         Ok(outputs)
+    }
+
+    /// Fetches the service's live-stats table: job lifecycle counts,
+    /// admission/slot gauges, the cross-job stage-latency summary
+    /// (p50/p99/max), and a per-job stage/NIC breakdown.
+    pub fn stats(&mut self) -> Result<String, String> {
+        let resp = self.roundtrip(&[OP_STATS])?;
+        Ok(String::from_utf8_lossy(&resp).into_owned())
+    }
+
+    /// Blocks until the job finishes and returns its per-stage timeline
+    /// as Chrome trace-event JSON (load it in `chrome://tracing` or
+    /// Perfetto).
+    pub fn timeline(&mut self, id: u32) -> Result<String, String> {
+        let mut req = vec![OP_TIMELINE];
+        req.extend_from_slice(&id.to_le_bytes());
+        let resp = self.roundtrip(&req)?;
+        Ok(String::from_utf8_lossy(&resp).into_owned())
     }
 
     /// Asks the service to stop accepting and shut down.

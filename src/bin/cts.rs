@@ -8,7 +8,10 @@
 //!            [--recovery speculative] [--heartbeat-ms 25]
 //!            [--idle-timeout-ms 10000] [--paper-nic]
 //! cts serve  --k 4 --r 2 --port 0 [--tcp] [--max-concurrent 4] [--queue 16]
+//!            [--metrics-port 9100]
 //! cts submit --addr 127.0.0.1:7117 --kind sort --records 10000 [--r 2]
+//!            [--timeline trace.json]
+//! cts stats  --addr 127.0.0.1:7117
 //! cts model  --k 16 --r 3 [--records 120000] [--target-gb 12]
 //! cts theory --k 16 [--tmap 1.86 --tshuffle 945.72 --treduce 10.47]
 //! ```
@@ -40,6 +43,7 @@ fn main() -> ExitCode {
         "sort" => cmd_sort(&opts),
         "serve" => cmd_serve(&opts),
         "submit" => cmd_submit(&opts),
+        "stats" => cmd_stats(&opts),
         "model" => cmd_model(&opts),
         "theory" => cmd_theory(&opts),
         "help" | "--help" | "-h" => {
@@ -93,21 +97,31 @@ USAGE:
                  deadline (default 10000),
                --paper-nic → emulate the paper's 100 Mbps NIC in real time
   cts serve  --k K [--r R] [--port P] [--tcp] [--max-concurrent N]
-               [--queue N] [--threads T]
+               [--queue N] [--threads T] [--metrics-port P]
                run the multi-tenant sort service: a resident job runtime
                (shared fabric + admission queue) that clients submit
                sort/wordcount/grep jobs into. --port 0 picks an ephemeral
                port and prints it. --tcp backs the fabric with real
                sockets; --max-concurrent bounds in-flight jobs (1 =
                exclusive mode, full tag space); --queue bounds admitted-
-               but-not-running jobs (beyond it, submits are refused)
+               but-not-running jobs (beyond it, submits are refused);
+               --metrics-port binds a Prometheus text endpoint
+               (`curl http://127.0.0.1:P/metrics`). SIGINT/SIGTERM drain
+               gracefully: admission stops, in-flight jobs finish, exit 0
   cts submit --addr HOST:PORT --kind sort|wordcount|grep
                (--input FILE | --records N [--seed S]) [--pattern P]
                [--r R] [--out FILE] [--no-wait] [--shutdown]
+               [--timeline FILE]
                submit a job to a running `cts serve`. Default waits and
                prints the result digest; --out also fetches the full
                output; --no-wait prints the job id and returns;
+               --timeline writes the job's per-rank stage timeline as
+               Chrome trace-event JSON (open in chrome://tracing);
                --shutdown (alone) stops the service
+  cts stats  --addr HOST:PORT
+               print a running service's live stats: job lifecycle
+               counts, admission queue / slot occupancy, stage-latency
+               summary (p50/p99/max), per-job stage walls and NIC stalls
   cts model  --k K --r R [--records N] [--target-gb G]
                modeled paper-scale stage breakdown (EC2 calibration)
   cts theory --k K [--tmap S --tshuffle S --treduce S]
@@ -338,15 +352,64 @@ fn cmd_serve(opts: &Flags) -> Result<(), String> {
         .with_max_concurrent(max_concurrent)
         .with_queue_capacity(queue)
         .with_pool_threads(threads);
-    let service = SortService::bind(("127.0.0.1", port), cfg).map_err(|e| e.to_string())?;
+    let mut service = SortService::bind(("127.0.0.1", port), cfg).map_err(|e| e.to_string())?;
     let addr = service.local_addr().map_err(|e| e.to_string())?;
     println!(
         "cts serve listening on {addr} (K = {k}, default r = {r}, {} fabric, \
          {max_concurrent} concurrent jobs, queue depth {queue})",
         if tcp { "TCP" } else { "in-memory" },
     );
+    if let Some(mp) = opts.get("metrics-port") {
+        let mport: u16 = mp
+            .parse()
+            .map_err(|_| format!("--metrics-port: cannot parse `{mp}`"))?;
+        let maddr = service.serve_metrics(("127.0.0.1", mport))?;
+        println!("metrics endpoint: curl http://{maddr}/metrics");
+    }
     println!("submit with: cts submit --addr {addr} --kind sort --records 1000");
-    service.run()
+    signals::install();
+    service.run_until(signals::stop_flag())
+}
+
+/// SIGINT/SIGTERM → a process-wide stop flag the serve loop drains on.
+/// Registered through the raw C `signal` entry point: the handler only
+/// stores into an atomic, which is async-signal-safe.
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static STOP: AtomicBool = AtomicBool::new(false);
+
+    pub fn stop_flag() -> &'static AtomicBool {
+        &STOP
+    }
+
+    #[cfg(unix)]
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    #[cfg(unix)]
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    #[cfg(not(unix))]
+    pub fn install() {}
+}
+
+fn cmd_stats(opts: &Flags) -> Result<(), String> {
+    let addr: String = req(opts, "addr")?;
+    let mut client = ServiceClient::connect(&*addr)?;
+    print!("{}", client.stats()?);
+    Ok(())
 }
 
 fn cmd_submit(opts: &Flags) -> Result<(), String> {
@@ -408,6 +471,14 @@ fn cmd_submit(opts: &Flags) -> Result<(), String> {
         }
         std::fs::write(out, &all).map_err(|e| format!("writing {out}: {e}"))?;
         println!("wrote {} bytes to {out}", all.len());
+    }
+    if let Some(path) = opts.get("timeline") {
+        let json = client.timeline(id)?;
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "wrote stage timeline ({} bytes) to {path} — load in chrome://tracing",
+            json.len()
+        );
     }
     Ok(())
 }

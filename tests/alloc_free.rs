@@ -267,3 +267,127 @@ fn warm_parallel_decode_shard_path_allocates_nothing() {
     );
     assert_eq!(last_len, reference.len());
 }
+
+/// The observability plane on the same warm round trip: metric
+/// instruments tick every iteration the way the engines tick them, a
+/// stage span closes into a warm ring, and the **disabled** trace and
+/// span collectors swallow their events — all still at zero heap
+/// allocations. Instrument registration and ring growth pay their
+/// allocations once, up front; the steady state is free, which is what
+/// lets the daemon keep them on by default.
+#[test]
+fn warm_metrics_enabled_round_trip_allocates_nothing() {
+    use cts_core::metrics::MetricsHub;
+    use cts_net::span::{SpanCollector, StageSpan};
+    use cts_net::trace::{EventKind, TraceCollector};
+
+    let (k, r, value_len) = (6usize, 3usize, 4096usize);
+    let sender = 0usize;
+    let receiver = 1usize;
+    let tx_store = store_for(k, r, sender, value_len);
+    let rx_store = store_for(k, r, receiver, value_len);
+    let encoder = Encoder::new(k, r, sender).unwrap();
+    let decoder = Decoder::new(k, r, receiver).unwrap();
+    let m: NodeSet = encoder
+        .groups()
+        .groups_of_node(sender)
+        .map(|(_, m)| m)
+        .find(|m| m.contains(receiver))
+        .expect("shared group");
+
+    // The instruments the engines touch per packet / per stage, created
+    // (and their one-time registration allocations paid) before the
+    // measured window.
+    let hub = MetricsHub::new();
+    let packets = hub.counter("cts_decode_packets_total");
+    let depth = hub.gauge("cts_admission_queue_depth");
+    let shuffle_ns = hub.histogram_with("cts_stage_seconds", "stage", "Shuffle", 1e-9);
+    // Enabled span ring, deliberately tiny so the warm-up fills it and
+    // the measured records overwrite in place instead of growing.
+    let spans = SpanCollector::with_capacity(true, 64);
+    let shuffle = spans.intern("Shuffle");
+    // Observability switched off must be indistinguishable from absent.
+    let trace_off = TraceCollector::new(false);
+    let spans_off = SpanCollector::new(false);
+
+    let mut scratch = EncodeScratch::new();
+    let mut wire: Vec<u8> = Vec::new();
+    let mut shell = CodedPacket::empty();
+    let mut acc: Vec<u8> = Vec::new();
+
+    // Warm-up: size the coding buffers and saturate the span ring.
+    encoder
+        .encode_group_into(m, &tx_store, &mut scratch)
+        .unwrap();
+    wire.clear();
+    CodedPacket::write_wire(m, sender, &scratch.seg_lens, &scratch.payload, &mut wire);
+    let frame = Bytes::from(wire.clone());
+    shell.read_wire(&frame).unwrap();
+    decoder
+        .decode_packet_into(&shell, &rx_store, &mut acc)
+        .unwrap();
+    for i in 0..80u64 {
+        spans.record(StageSpan {
+            job: 0,
+            rank: 0,
+            stage: shuffle,
+            start_ns: i,
+            end_ns: i + 1,
+        });
+    }
+    let warm_segment = acc.clone();
+    assert!(!warm_segment.is_empty(), "decode must recover bytes");
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..100u64 {
+        encoder
+            .encode_group_into(m, &tx_store, &mut scratch)
+            .unwrap();
+        wire.clear();
+        CodedPacket::write_wire(m, sender, &scratch.seg_lens, &scratch.payload, &mut wire);
+        shell.read_wire(&frame).unwrap();
+        decoder
+            .decode_packet_into(&shell, &rx_store, &mut acc)
+            .unwrap();
+        // Per-packet and per-stage observability, as the engines emit it.
+        packets.inc();
+        depth.set(i as i64);
+        shuffle_ns.record(1 + i * 1_000);
+        let start = spans.now_ns();
+        spans.record(StageSpan {
+            job: 0,
+            rank: 0,
+            stage: shuffle,
+            start_ns: start,
+            end_ns: spans.now_ns(),
+        });
+        // Disabled collectors: interning and recording are no-ops.
+        let s = trace_off.intern("Shuffle");
+        trace_off.record(
+            s,
+            sender,
+            m.bits().into(),
+            wire.len() as u64,
+            EventKind::Multicast,
+        );
+        let s2 = spans_off.intern("Shuffle");
+        spans_off.record(StageSpan {
+            job: 0,
+            rank: 0,
+            stage: s2,
+            start_ns: 0,
+            end_ns: 1,
+        });
+    }
+    let allocs = ALLOCS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocs, 0,
+        "metrics-enabled warm round trip performed {allocs} heap allocations"
+    );
+    assert_eq!(acc, warm_segment);
+    assert_eq!(packets.get(), 100);
+    assert_eq!(spans.recorded(), 180);
+    assert_eq!(shuffle_ns.count(), 100);
+    assert_eq!(spans_off.recorded(), 0);
+    assert!(trace_off.snapshot().total_bytes() == 0);
+}
